@@ -1,0 +1,81 @@
+"""Ablation: branching factor / leaf capacity sweep (DESIGN.md).
+
+The paper sizes b and l so one node fills one disk page ("on the order
+of hundreds").  This sweep shows why: higher fanout means shorter trees
+and fewer node touches per operation, until per-node list-manipulation
+costs start to dominate in-memory.
+"""
+
+import pytest
+
+from repro import SBTree
+from repro.benchlib import Series, scaled, time_call
+from repro.workloads import uniform
+
+N = scaled(2000)
+FACTS = uniform(N, horizon=N * 20, max_duration=400, seed=91)
+PROBES = [N * 20 * i // 100 for i in range(100)]
+
+
+def test_branching_sweep(report):
+    factors = [4, 8, 32, 128]
+    series = Series("b=l", factors)
+    heights, nodes, build_times, lookup_reads = [], [], [], []
+    for b in factors:
+        tree = SBTree("sum", branching=b, leaf_capacity=b)
+        build_times.append(
+            time_call(lambda: [tree.insert(v, i) for v, i in FACTS])
+        )
+        heights.append(tree.height)
+        nodes.append(tree.node_count())
+        snapshot = tree.store.stats.snapshot()
+        for t in PROBES:
+            tree.lookup(t)
+        lookup_reads.append((tree.store.stats - snapshot).reads / len(PROBES))
+    series.add("height", heights)
+    series.add("nodes", nodes)
+    series.add("build s", build_times)
+    series.add("reads/lookup", lookup_reads)
+    report("Ablation / branching factor sweep", series.render(with_exponents=False))
+    assert heights[-1] < heights[0]
+    assert lookup_reads[-1] < lookup_reads[0]
+    # Same logical contents at every fanout.
+    tables = []
+    for b in (4, 128):
+        tree = SBTree("sum", branching=b, leaf_capacity=b)
+        for value, interval in FACTS[: scaled(300)]:
+            tree.insert(value, interval)
+        tables.append(tree.to_table())
+    assert tables[0] == tables[1]
+
+
+def test_leaf_capacity_vs_branching(report):
+    """The paper: l may exceed b since leaves store no child pointers."""
+    combos = [(8, 8), (8, 16), (8, 32)]
+    rows = []
+    for b, l in combos:
+        tree = SBTree("sum", branching=b, leaf_capacity=l)
+        for value, interval in FACTS:
+            tree.insert(value, interval)
+        rows.append((f"b={b},l={l}", tree.height, tree.node_count()))
+    from repro.benchlib import format_table
+
+    report(
+        "Ablation / leaf capacity vs branching",
+        format_table(["config", "height", "nodes"], rows),
+    )
+    # Larger leaves -> fewer nodes overall.
+    assert rows[-1][2] < rows[0][2]
+
+
+@pytest.mark.parametrize("b", [4, 32, 128])
+def test_benchmark_build_by_branching(benchmark, b):
+    facts = FACTS[: scaled(500)]
+
+    def build():
+        tree = SBTree("sum", branching=b, leaf_capacity=b)
+        for value, interval in facts:
+            tree.insert(value, interval)
+        return tree
+
+    benchmark(build)

@@ -1,0 +1,142 @@
+"""Section 3.6's compaction claims.
+
+* SUM/COUNT/AVG trees are kept compact *at all times* by per-update
+  ``imerge``: after deleting everything, the tree is empty again, and
+  tree size tracks the number of constant intervals m, not the number
+  of updates n.
+* MIN/MAX trees skip per-update merging; their size tracks n until a
+  batch ``bmerge`` compacts them to m in O(n + m log m).
+"""
+
+import pytest
+
+from repro import Interval, MSBTree, SBTree, check_tree
+from repro.benchlib import Series, geometric_sizes, scaled, time_call
+from repro.workloads import insert_delete_stream, uniform
+
+
+def test_sum_tree_size_tracks_constant_intervals(report):
+    """imerge keeps the SUM tree proportional to m even as n churns."""
+    ops = insert_delete_stream(
+        scaled(2000), delete_fraction=0.45, horizon=5_000, max_duration=500, seed=61
+    )
+    tree = SBTree("sum", branching=8, leaf_capacity=8)
+    points = []
+    live = 0
+    for i, op in enumerate(ops):
+        if op.is_insert:
+            tree.insert(op.value, op.interval)
+            live += 1
+        else:
+            tree.delete(op.value, op.interval)
+            live -= 1
+        if (i + 1) % (len(ops) // 8) == 0:
+            points.append((i + 1, live, len(tree.to_table()), tree.node_count()))
+    check_tree(tree)
+    from repro.benchlib import format_table
+
+    report(
+        "Section 3.6 / SUM tree stays compact under churn",
+        format_table(["ops", "live tuples", "constant intervals m", "tree nodes"], points),
+    )
+    # Node count stays proportional to m (amply bounded by it).
+    for _, _, m, nodes in points:
+        assert nodes <= max(4, m), f"{nodes} nodes for {m} constant intervals"
+
+
+def test_minmax_bmerge_compacts(report):
+    """MIN/MAX trees are not kept compact per update; bmerge reclaims.
+
+    The tree accumulates boundaries from n varied inserts; one final
+    dominating tuple makes almost every leaf interval carry the same
+    MAX, yet without per-update merging the structure keeps all its
+    boundaries.  ``bmerge`` collapses it to the m constant intervals.
+    """
+    sizes = geometric_sizes(scaled(250), 4)
+    series = Series("n", sizes)
+    before_nodes, after_nodes, m_sizes, bmerge_times = [], [], [], []
+    for n in sizes:
+        facts = uniform(
+            n, horizon=50_000, max_duration=500, value_range=(1, 100), seed=63
+        )
+        tree = SBTree("max", branching=8, leaf_capacity=8)
+        for value, interval in facts:
+            tree.insert(value, interval)
+        tree.insert(1000, Interval(0, 60_000))  # dominates everything
+        table = tree.to_table()
+        before_nodes.append(tree.node_count())
+        m_sizes.append(len(table))
+        bmerge_times.append(time_call(tree.compact))
+        after_nodes.append(tree.node_count())
+        assert tree.to_table() == table  # compaction preserves contents
+        check_tree(tree, check_compact=True)
+    series.add("m", m_sizes)
+    series.add("nodes before", before_nodes)
+    series.add("nodes after bmerge", after_nodes)
+    series.add("bmerge seconds", bmerge_times)
+    report("Section 3.6 / bmerge compaction of a MAX tree", series.render())
+    # Uncompacted size grows with n; compacted size tracks m ~ 1.
+    assert series.exponent("nodes before") > 0.4
+    assert after_nodes[-1] <= 2
+    assert before_nodes[-1] > 20 * after_nodes[-1]
+
+
+def test_msb_mbmerge_preserves_window_lookups():
+    facts = uniform(
+        scaled(500), horizon=5_000, max_duration=2_000, value_range=(1, 3), seed=65
+    )
+    msb = MSBTree("min", branching=8, leaf_capacity=8)
+    for value, interval in facts:
+        msb.insert(value, interval)
+    probes = [(t, w) for t in range(0, 7_000, 500) for w in (0, 100, 2_000)]
+    expected = {(t, w): msb.window_lookup(t, w) for t, w in probes}
+    msb.mbmerge()
+    for (t, w), want in expected.items():
+        assert msb.window_lookup(t, w) == want
+
+
+def test_bulk_vs_insert_rebuild(report):
+    """Ablation: the paper's insert-based bmerge vs bottom-up bulk load.
+
+    Both produce logically identical trees; the bulk path is linear in m
+    and packs leaves full, the insert path is O(m log m) and leaves
+    nodes ~half full after splits.
+    """
+    sizes = geometric_sizes(scaled(500), 3)
+    series = Series("m", [])
+    ms, insert_times, bulk_times, insert_nodes, bulk_nodes = [], [], [], [], []
+    for n in sizes:
+        facts = uniform(n, horizon=n * 40, max_duration=n, seed=69)
+        tree = SBTree("sum", branching=8, leaf_capacity=8)
+        for value, interval in facts:
+            tree.insert(value, interval)
+        ms.append(len(tree.to_table()))
+        insert_times.append(time_call(lambda: tree.compact()))
+        insert_nodes.append(tree.node_count())
+        bulk_times.append(time_call(lambda: tree.compact(bulk=True)))
+        bulk_nodes.append(tree.node_count())
+        check_tree(tree)
+    series = Series("m", ms)
+    series.add("insert rebuild s", insert_times)
+    series.add("bulk rebuild s", bulk_times)
+    series.add("insert nodes", insert_nodes)
+    series.add("bulk nodes", bulk_nodes)
+    report("Ablation / bmerge rebuild strategy", series.render(with_exponents=False))
+    assert all(b <= i for b, i in zip(bulk_nodes, insert_nodes))
+    assert bulk_times[-1] < insert_times[-1]
+
+
+@pytest.mark.parametrize("kind", ["max", "min"])
+def test_benchmark_bmerge(benchmark, kind):
+    facts = uniform(
+        scaled(500), horizon=5_000, max_duration=2_000, value_range=(1, 3), seed=67
+    )
+
+    def build_and_compact():
+        tree = SBTree(kind, branching=8, leaf_capacity=8)
+        for value, interval in facts:
+            tree.insert(value, interval)
+        tree.compact()
+        return tree
+
+    benchmark(build_and_compact)

@@ -1,0 +1,173 @@
+"""Section 4 / Figure 23 last three rows: cumulative aggregates.
+
+Three claims are regenerated:
+
+1. (§4.1 vs §4.2) dual SB-trees answer cumulative SUM/COUNT/AVG for
+   *any* window offset with the same O(log n) lookup cost as a dedicated
+   fixed-window tree -- at roughly 2-3x the constant (two trees, three
+   lookups).
+2. (§4.3) a cumulative MIN/MAX lookup via a plain SB-tree ``rangeq``
+   costs O(h + r): it grows with the window offset.  The MSB-tree's
+   ``mlookup`` costs O(h) regardless of the offset -- the wider the
+   window, the bigger the win.
+3. All routes agree with the brute-force oracle (asserted).
+"""
+
+import pytest
+
+from repro import DualTreeAggregate, FixedWindowTree, Interval, MSBTree, SBTree
+from repro.benchlib import Series, geometric_sizes, scaled, time_call
+from repro.core import reference
+from repro.workloads import uniform
+
+N = scaled(2000)
+HORIZON = N * 10
+FACTS = uniform(N, horizon=HORIZON, max_duration=150, value_range=(1, 50), seed=31)
+PROBES = [HORIZON * i // 50 for i in range(1, 50)]
+
+
+def test_dual_tree_vs_fixed_window_lookup(report):
+    """Claim 1: any-offset lookups cost a small constant more."""
+    offsets = [0, 100, 1000, 10_000]
+    fixed_trees = {
+        w: FixedWindowTree("avg", window=w, branching=32, leaf_capacity=32)
+        for w in offsets
+    }
+    dual = DualTreeAggregate("avg", branching=32, leaf_capacity=32)
+    for value, interval in FACTS:
+        dual.insert(value, interval)
+        for tree in fixed_trees.values():
+            tree.insert(value, interval)
+
+    series = Series("w", offsets)
+    fixed_times, dual_times = [], []
+    for w in offsets:
+        fixed_times.append(
+            time_call(lambda: [fixed_trees[w].lookup(t) for t in PROBES], repeat=3)
+            / len(PROBES)
+        )
+        dual_times.append(
+            time_call(lambda: [dual.window_lookup(t, w) for t in PROBES], repeat=3)
+            / len(PROBES)
+        )
+        for t in PROBES:
+            expected = reference.cumulative_value(FACTS, "avg", t, w)
+            assert fixed_trees[w].lookup(t) == expected
+            assert dual.window_lookup(t, w) == expected
+    series.add("fixed-window s/lookup", fixed_times)
+    series.add("dual-tree s/lookup", dual_times)
+    series.add(
+        "dual/fixed ratio",
+        [d / f if f else 0.0 for d, f in zip(dual_times, fixed_times)],
+    )
+    report(
+        "Section 4.2 / dual trees vs dedicated fixed-window trees",
+        series.render(with_exponents=False),
+    )
+    # A small constant factor, not asymptotic: every ratio stays modest.
+    assert all(r < 12 for r in series.columns["dual/fixed ratio"])
+
+
+def _rangeq_window_max(tree: SBTree, t, w):
+    """Cumulative MAX via a plain SB-tree range scan (the §4.3 strawman)."""
+    best = None
+    # The closed window [t-w, t]: scan [t-w, t) and add the instant t.
+    for value, _ in tree.range_query(Interval(t - w, t + 1)):
+        if best is None or (value is not None and value > best):
+            best = value
+    return best
+
+
+def test_msb_mlookup_beats_rangeq_for_wide_windows(report):
+    """Claim 2: O(h) mlookup vs O(h + r) rangeq as the window grows."""
+    sb = SBTree("max", branching=32, leaf_capacity=32)
+    msb = MSBTree("max", branching=32, leaf_capacity=32)
+    for value, interval in FACTS:
+        sb.insert(value, interval)
+        msb.insert(value, interval)
+
+    offsets = [100, 1000, 10_000, HORIZON]
+    series = Series("w", offsets)
+    rq_times, ml_times, rq_reads, ml_reads = [], [], [], []
+    for w in offsets:
+        for t in PROBES[::5]:
+            assert msb.window_lookup(t, w) == _rangeq_window_max(sb, t, w)
+        rq_times.append(
+            time_call(lambda: [_rangeq_window_max(sb, t, w) for t in PROBES])
+            / len(PROBES)
+        )
+        ml_times.append(
+            time_call(lambda: [msb.window_lookup(t, w) for t in PROBES])
+            / len(PROBES)
+        )
+        snapshot = sb.store.stats.snapshot()
+        for t in PROBES:
+            _rangeq_window_max(sb, t, w)
+        rq_reads.append((sb.store.stats - snapshot).reads / len(PROBES))
+        snapshot = msb.store.stats.snapshot()
+        for t in PROBES:
+            msb.window_lookup(t, w)
+        ml_reads.append((msb.store.stats - snapshot).reads / len(PROBES))
+    series.add("rangeq s/lookup", rq_times)
+    series.add("mlookup s/lookup", ml_times)
+    series.add("rangeq node reads", rq_reads)
+    series.add("mlookup node reads", ml_reads)
+    report("Section 4.3 / MSB-tree mlookup vs SB-tree rangeq", series.render())
+    # rangeq cost grows with the window; mlookup stays flat and wins big
+    # at the widest window.
+    assert rq_reads[-1] > 3 * rq_reads[0]
+    assert series.exponent("mlookup node reads") < 0.25
+    assert rq_reads[-1] > 5 * ml_reads[-1]
+
+
+def test_cumulative_maintenance_cost(report):
+    """Updates: a dual-tree pair costs ~2x one tree, an MSB ~1x."""
+    series = Series("n", geometric_sizes(scaled(250), 4))
+    single_t, dual_t, msb_t = [], [], []
+    for n in series.xs:
+        facts = uniform(n, horizon=n * 10, max_duration=150, seed=37)
+        single = SBTree("sum", branching=32, leaf_capacity=32)
+        dual = DualTreeAggregate("sum", branching=32, leaf_capacity=32)
+        msb = MSBTree("max", branching=32, leaf_capacity=32)
+        single_t.append(
+            time_call(lambda: [single.insert(v, i) for v, i in facts]) / n
+        )
+        dual_t.append(time_call(lambda: [dual.insert(v, i) for v, i in facts]) / n)
+        msb_t.append(time_call(lambda: [msb.insert(v, i) for v, i in facts]) / n)
+    series.add("SB-tree s/insert", single_t)
+    series.add("dual-trees s/insert", dual_t)
+    series.add("MSB-tree s/insert", msb_t)
+    report("Section 4 / cumulative maintenance cost per insert", series.render())
+    # All stay ~O(log n): no column's exponent approaches linear.
+    for column in series.columns:
+        assert series.exponent(column) < 0.5, column
+
+
+@pytest.mark.parametrize("route", ["fixed", "dual"])
+def test_benchmark_cumulative_sum_lookup(benchmark, route):
+    w = 1000
+    if route == "fixed":
+        index = FixedWindowTree("sum", window=w, branching=32, leaf_capacity=32)
+        for value, interval in FACTS:
+            index.insert(value, interval)
+        benchmark(index.lookup, HORIZON // 2)
+    else:
+        index = DualTreeAggregate("sum", branching=32, leaf_capacity=32)
+        for value, interval in FACTS:
+            index.insert(value, interval)
+        benchmark(index.window_lookup, HORIZON // 2, w)
+
+
+@pytest.mark.parametrize("route", ["mlookup", "rangeq"])
+def test_benchmark_cumulative_max_lookup(benchmark, route):
+    w = 10_000
+    if route == "mlookup":
+        msb = MSBTree("max", branching=32, leaf_capacity=32)
+        for value, interval in FACTS:
+            msb.insert(value, interval)
+        benchmark(msb.window_lookup, HORIZON // 2, w)
+    else:
+        sb = SBTree("max", branching=32, leaf_capacity=32)
+        for value, interval in FACTS:
+            sb.insert(value, interval)
+        benchmark(_rangeq_window_max, sb, HORIZON // 2, w)

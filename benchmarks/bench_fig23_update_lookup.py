@@ -1,0 +1,137 @@
+"""Figure 23, "update time" and "lookup time" columns.
+
+The paper claims the SB-tree is the only disk-capable structure with
+O(log n) incremental updates *and* O(log n) lookups; the aggregation
+tree [KS95] does both in O(n) worst case (ordered input), and a directly
+materialized view pays O(m) row touches per update.
+
+Deterministic witnesses back the timing series: logical node reads per
+operation for the trees, rows touched for the materialized view.
+"""
+
+import pytest
+
+from repro import Interval, SBTree
+from repro.baselines import AggregationTree
+from repro.benchlib import Series, geometric_sizes, scaled, time_call
+from repro.warehouse import MaterializedView
+from repro.workloads import ordered, uniform
+
+SIZES = geometric_sizes(scaled(250), 4)
+
+
+def _build(n, seed=21):
+    """Chronologically ordered arrivals: the warehouse common case."""
+    return ordered(n, k=0, gap=7, max_duration=70, seed=seed)
+
+
+def _probe_updates(n):
+    """A handful of fresh tuples to insert near the end of the horizon."""
+    horizon = n * 7
+    return [(3, Interval(horizon - 50 - 10 * i, horizon - 10 * i)) for i in range(5)]
+
+
+def test_update_time_series(report):
+    series = Series("n", SIZES)
+    sb_times, agg_times, view_rows, sb_reads, agg_depths = [], [], [], [], []
+    for n in SIZES:
+        facts = _build(n)
+        sb = SBTree("sum", branching=32, leaf_capacity=32)
+        agg = AggregationTree("sum")
+        view = MaterializedView("sum")
+        for value, interval in facts:
+            sb.insert(value, interval)
+            agg.insert(value, interval)
+            view.insert(value, interval)
+        probes = _probe_updates(n)
+        sb_times.append(
+            time_call(lambda: [sb.insert(v, i) for v, i in probes]) / len(probes)
+        )
+        agg_times.append(
+            time_call(lambda: [agg.insert(v, i) for v, i in probes]) / len(probes)
+        )
+        # One long-interval update against the materialized view: rows touched.
+        before = view.rows_touched
+        view.insert(1, Interval(0, n * 7))
+        view_rows.append(view.rows_touched - before)
+        snapshot = sb.store.stats.snapshot()
+        sb.insert(1, Interval(0, n * 7))
+        sb_reads.append((sb.store.stats - snapshot).reads)
+        agg_depths.append(agg.depth())
+    series.add("SB-tree s/update", sb_times)
+    series.add("aggr-tree s/update", agg_times)
+    series.add("view rows touched", view_rows)
+    series.add("SB-tree node reads", sb_reads)
+    series.add("aggr-tree depth", agg_depths)
+    report("Figure 23 / update time", series.render())
+    # The materialized view's long-interval update cost is linear in m...
+    assert series.exponent("view rows touched") > 0.8
+    # ...while the SB-tree's stays logarithmic (near-flat).
+    assert series.exponent("SB-tree node reads") < 0.4
+    assert sb_reads[-1] < 40
+
+
+def test_lookup_time_series(report):
+    series = Series("n", SIZES)
+    sb_times, agg_times, sb_reads, agg_steps = [], [], [], []
+    for n in SIZES:
+        facts = _build(n)
+        sb = SBTree("sum", branching=32, leaf_capacity=32)
+        agg = AggregationTree("sum")
+        for value, interval in facts:
+            sb.insert(value, interval)
+            agg.insert(value, interval)
+        instants = [i * 7 * n // 64 for i in range(64)]
+        sb_times.append(time_call(lambda: [sb.lookup(t) for t in instants]) / 64)
+        agg_times.append(time_call(lambda: [agg.lookup(t) for t in instants]) / 64)
+        snapshot = sb.store.stats.snapshot()
+        for t in instants:
+            sb.lookup(t)
+        sb_reads.append((sb.store.stats - snapshot).reads / 64)
+        agg_steps.append(agg.depth())
+    series.add("SB-tree s/lookup", sb_times)
+    series.add("aggr-tree s/lookup", agg_times)
+    series.add("SB-tree reads/lookup", sb_reads)
+    series.add("aggr-tree worst steps", agg_steps)
+    report("Figure 23 / lookup time", series.render())
+    assert series.exponent("SB-tree reads/lookup") < 0.3
+    assert series.exponent("aggr-tree worst steps") > 0.8
+    # Both answered correctly, of course.
+    facts = _build(SIZES[-1])
+
+
+@pytest.mark.parametrize(
+    "structure", ["sbtree", "aggregation_tree", "materialized_view"]
+)
+def test_benchmark_single_update(benchmark, structure):
+    """pytest-benchmark: one long-interval update at a fixed size."""
+    n = scaled(1000)
+    facts = _build(n)
+    if structure == "sbtree":
+        index = SBTree("sum", branching=32, leaf_capacity=32)
+    elif structure == "aggregation_tree":
+        index = AggregationTree("sum")
+    else:
+        index = MaterializedView("sum")
+    for value, interval in facts:
+        index.insert(value, interval)
+    long_interval = Interval(0, n * 7)
+
+    def update_and_undo():
+        index.insert(1, long_interval)
+        index.delete(1, long_interval)
+
+    benchmark(update_and_undo)
+
+
+@pytest.mark.parametrize("structure", ["sbtree", "aggregation_tree"])
+def test_benchmark_lookup(benchmark, structure):
+    n = scaled(1000)
+    facts = _build(n)
+    if structure == "sbtree":
+        index = SBTree("sum", branching=32, leaf_capacity=32)
+    else:
+        index = AggregationTree("sum")
+    for value, interval in facts:
+        index.insert(value, interval)
+    benchmark(index.lookup, n * 3)

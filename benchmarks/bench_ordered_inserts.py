@@ -1,0 +1,93 @@
+"""Section 2's k-ordered discussion: chronological warehouse arrivals.
+
+Claims regenerated:
+
+* [KS95]'s k-ordered aggregation tree garbage-collects finalized
+  intervals, bounding memory -- but it stops being usable as an index,
+  and its worst case is still O(n^2).
+* The SB-tree needs no such trade-off: balanced under any arrival
+  order, full history remains indexed.
+"""
+
+import pytest
+
+from repro import SBTree
+from repro.baselines import AggregationTree, KOrderedAggregationTree
+from repro.benchlib import Series, format_table, geometric_sizes, scaled, time_call
+from repro.workloads import ordered
+
+
+def test_memory_and_indexability(report):
+    n = scaled(3000)
+    facts = ordered(n, k=3, gap=5, max_duration=60, seed=81)
+    plain = AggregationTree("sum")
+    gc = KOrderedAggregationTree("sum", k=3)
+    sb = SBTree("sum", branching=32, leaf_capacity=32)
+    for value, interval in facts:
+        plain.insert(value, interval)
+        gc.insert(value, interval)
+        sb.insert(value, interval)
+    assert gc.to_table() == plain.to_table() == sb.to_table()
+    # The GC variant cannot answer historical lookups any more...
+    early_instant = facts[0][1].start
+    with pytest.raises(KeyError):
+        gc.lookup(early_instant)
+    # ...but the SB-tree can.
+    assert sb.lookup(early_instant) == plain.lookup(early_instant)
+    report(
+        "Section 2 / k-ordered GC vs SB-tree (n=%d, k=3)" % n,
+        format_table(
+            ["structure", "live nodes", "indexes history?"],
+            [
+                ("aggregation tree", plain.node_count, "yes (O(n) lookups)"),
+                ("k-ordered aggr tree", gc.live_node_count, "no (GC'd)"),
+                ("SB-tree", sb.node_count(), "yes (O(log n) lookups)"),
+            ],
+        ),
+    )
+    assert gc.live_node_count < plain.node_count / 10
+    assert sb.node_count() < plain.node_count
+
+
+def test_build_time_under_ordered_arrival(report):
+    sizes = geometric_sizes(scaled(250), 4)
+    series = Series("n", sizes)
+    results = {"aggr-tree": [], "k-ordered": [], "SB-tree": []}
+    for n in sizes:
+        facts = ordered(n, k=0, gap=5, max_duration=60, seed=83)
+        plain = AggregationTree("sum")
+        results["aggr-tree"].append(
+            time_call(lambda: [plain.insert(v, i) for v, i in facts])
+        )
+        gc = KOrderedAggregationTree("sum", k=0)
+        results["k-ordered"].append(
+            time_call(lambda: [gc.insert(v, i) for v, i in facts])
+        )
+        sb = SBTree("sum", branching=32, leaf_capacity=32)
+        results["SB-tree"].append(
+            time_call(lambda: [sb.insert(v, i) for v, i in facts])
+        )
+    for name, times in results.items():
+        series.add(name, times)
+    report("Section 2 / build time under ordered arrival", series.render())
+    # The plain aggregation tree is superlinear; the SB-tree near-linear.
+    assert series.exponent("aggr-tree") > series.exponent("SB-tree") + 0.25
+
+
+@pytest.mark.parametrize("structure", ["aggr-tree", "k-ordered", "sb-tree"])
+def test_benchmark_ordered_build(benchmark, structure):
+    n = scaled(500)
+    facts = ordered(n, k=0, gap=5, max_duration=60, seed=83)
+
+    def build():
+        if structure == "aggr-tree":
+            index = AggregationTree("sum")
+        elif structure == "k-ordered":
+            index = KOrderedAggregationTree("sum", k=0)
+        else:
+            index = SBTree("sum", branching=32, leaf_capacity=32)
+        for value, interval in facts:
+            index.insert(value, interval)
+        return index
+
+    benchmark(build)

@@ -1,0 +1,96 @@
+"""Section 2's bucket parallelization ([MLI00], shared-nothing).
+
+Regenerates the claim that bucket partitioning parallelizes temporal
+aggregation: buckets are independent work units, so worker count scales
+the per-worker load down.  We report wall-clock for sequential,
+thread-pool and process-pool execution plus the per-bucket/meta work
+split.  (In CPython, thread pools are GIL-bound for this pure-Python
+workload; the process pool carries pickling overhead at these sizes --
+the *correctness* of the parallel decomposition is asserted, speedup is
+reported, and per-bucket independence is what the paper's cluster
+exploited.)
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import pytest
+
+from repro.baselines.bucket import partition
+from repro.benchlib import Series, format_table, scaled, time_call
+from repro.core import reference
+from repro.parallel import parallel_build, parallel_compute
+from repro.workloads import uniform
+
+N = scaled(3000)
+FACTS = uniform(N, horizon=N * 20, max_duration=N, seed=73)
+
+
+def test_parallel_routes_report(report):
+    rows = []
+    expected = reference.instantaneous_table(FACTS, "sum")
+    sequential = time_call(lambda: parallel_compute(FACTS, "sum", num_buckets=8))
+    rows.append(("sequential", 1, sequential))
+    for workers in (2, 4):
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            got_table = parallel_compute(FACTS, "sum", num_buckets=8, executor=pool)
+            assert got_table == expected
+            elapsed = time_call(
+                lambda: parallel_compute(FACTS, "sum", num_buckets=8, executor=pool)
+            )
+        rows.append((f"threads x{workers}", workers, elapsed))
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        got_table = parallel_compute(FACTS, "sum", num_buckets=8, executor=pool)
+        assert got_table == expected
+        elapsed = time_call(
+            lambda: parallel_compute(FACTS, "sum", num_buckets=8, executor=pool)
+        )
+    rows.append(("processes x2", 2, elapsed))
+    report(
+        "Section 2 / parallel bucket aggregation",
+        format_table(["executor", "workers", "seconds"], rows),
+    )
+
+
+def test_bucket_load_balance(report):
+    """Per-bucket independence: the work split the cluster would see."""
+    lo = min(i.start for _, i in FACTS)
+    hi = max(i.end for _, i in FACTS)
+    rows = []
+    for nb in (4, 16, 64):
+        width = (hi - lo) / nb
+        edges = [lo + i * width for i in range(nb)] + [hi]
+        buckets, meta = partition(FACTS, edges)
+        sizes = sorted(len(b) for b in buckets)
+        rows.append(
+            (nb, len(meta), sizes[-1], sizes[len(sizes) // 2], sizes[0])
+        )
+    report(
+        "Section 2 / bucket load balance (meta array = long spanners)",
+        format_table(
+            ["buckets", "meta facts", "max bucket", "median", "min"], rows
+        ),
+    )
+    # More buckets push more tuples into the meta array (they span more
+    # boundaries) -- the trade-off [MLI00] tunes.
+    metas = [r[1] for r in rows]
+    assert metas[0] <= metas[-1]
+
+
+def test_parallel_build_equivalence():
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        tree = parallel_build(
+            FACTS, "sum", num_buckets=8, executor=pool,
+            branching=32, leaf_capacity=32,
+        )
+    assert tree.to_table() == reference.instantaneous_table(FACTS, "sum")
+
+
+@pytest.mark.parametrize("route", ["sequential", "threads"])
+def test_benchmark_parallel_compute(benchmark, route):
+    if route == "sequential":
+        benchmark(parallel_compute, FACTS, "sum", num_buckets=8)
+    else:
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            benchmark(
+                lambda: parallel_compute(FACTS, "sum", num_buckets=8, executor=pool)
+            )

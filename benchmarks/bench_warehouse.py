@@ -1,0 +1,129 @@
+"""End-to-end warehouse maintenance throughput.
+
+The paper's setting is a warehouse keeping *several* temporal aggregate
+views fresh over one change stream.  This benchmark measures update
+throughput as the number of maintained views grows (each additional
+view adds one O(log n) index maintenance per change), and compares the
+all-views cost against recomputing any single aggregate from scratch --
+the incremental-vs-recompute argument of Section 1.
+"""
+
+import pytest
+
+from repro.baselines import endpoint_sort
+from repro.benchlib import Series, format_table, scaled, time_call
+from repro.relation import TemporalRelation
+from repro.warehouse import ANY_WINDOW, TemporalAggregateView
+from repro.workloads import insert_delete_stream
+
+OPS = insert_delete_stream(
+    scaled(1200), delete_fraction=0.25, horizon=40_000, max_duration=2_000, seed=97
+)
+
+
+def _make_views(relation, count):
+    """A realistic mix of view shapes, cycled up to *count*."""
+    shapes = [
+        ("sum", 0),
+        ("avg", 0),
+        ("count", 7_000),
+        ("sum", ANY_WINDOW),
+        ("avg", ANY_WINDOW),
+    ]
+    views = []
+    for i in range(count):
+        kind, window = shapes[i % len(shapes)]
+        views.append(
+            TemporalAggregateView(
+                f"v{i}", relation, kind, window=window,
+                branching=32, leaf_capacity=32,
+            )
+        )
+    return views
+
+
+def _replay(relation):
+    live = {}
+    for i, op in enumerate(OPS):
+        if op.is_insert:
+            live[i] = relation.insert(op.value, op.interval)
+        else:
+            victim_key = next(
+                k for k, row in live.items()
+                if row.value == op.value and row.valid == op.interval
+            )
+            relation.delete(live.pop(victim_key))
+
+
+def test_throughput_vs_view_count(report):
+    counts = [0, 1, 2, 5, 10]
+    series = Series("views", [c or 0.5 for c in counts])
+    seconds, per_op_us = [], []
+    for count in counts:
+        relation = TemporalRelation("stream")
+        _make_views(relation, count)
+        elapsed = time_call(lambda: _replay(relation))
+        seconds.append(elapsed)
+        per_op_us.append(elapsed / len(OPS) * 1e6)
+    series.add("replay s", seconds)
+    series.add("us/op", per_op_us)
+    report(
+        "Warehouse / maintenance throughput vs view count",
+        series.render(with_exponents=False),
+    )
+    # Cost grows roughly linearly in the number of views: the marginal
+    # cost of the tenth view is in the same ballpark as the first's.
+    marginal_first = seconds[1] - seconds[0]
+    marginal_avg_at_ten = (seconds[-1] - seconds[0]) / 10
+    assert marginal_avg_at_ten < 3 * marginal_first
+
+
+def test_incremental_vs_recompute(report):
+    """After history accumulates, one more update is far cheaper than a
+    recomputation -- and recomputation needs the full base table, which
+    the warehouse may not even retain (Section 1)."""
+    relation = TemporalRelation("stream")
+    view = TemporalAggregateView(
+        "sum", relation, "sum", branching=32, leaf_capacity=32
+    )
+    _replay(relation)
+    facts = relation.facts()
+
+    update = time_call(
+        lambda: (
+            relation.delete(relation.insert(5, (100, 20_000)))
+        )
+    )
+    recompute = time_call(lambda: endpoint_sort.compute(facts, "sum"))
+    report(
+        "Warehouse / one incremental update vs full recomputation",
+        format_table(
+            ["approach", "seconds"],
+            [
+                ("incremental (insert+delete)", update),
+                ("recompute from base table", recompute),
+            ],
+        ),
+    )
+    assert update < recompute
+
+
+@pytest.mark.parametrize("views", [1, 5])
+def test_benchmark_replay(benchmark, views):
+    ops = OPS[: scaled(300)]
+
+    def run():
+        relation = TemporalRelation("stream")
+        _make_views(relation, views)
+        live = {}
+        for i, op in enumerate(ops):
+            if op.is_insert:
+                live[i] = relation.insert(op.value, op.interval)
+            else:
+                victim_key = next(
+                    k for k, row in live.items()
+                    if row.value == op.value and row.valid == op.interval
+                )
+                relation.delete(live.pop(victim_key))
+
+    benchmark(run)

@@ -1,0 +1,39 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module measures one figure/table/claim of the paper (see
+DESIGN.md's experiment index) and records a printed series via the
+``report`` fixture.  Reports are written to ``benchmarks/results/`` and
+echoed in the terminal summary, so they survive pytest's output capture
+and ``--benchmark-only`` runs alike.
+
+Set ``REPRO_BENCH_SCALE`` (default 1) to scale every sweep size up or
+down, e.g. ``REPRO_BENCH_SCALE=4`` for slower, higher-resolution runs.
+"""
+
+import os
+import re
+
+import pytest
+
+_REPORTS = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture()
+def report():
+    """Record a named series report (printed in the terminal summary)."""
+
+    def _record(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+        with open(os.path.join(_RESULTS_DIR, f"{slug}.txt"), "w") as f:
+            f.write(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, text in _REPORTS:
+        terminalreporter.section(title)
+        terminalreporter.write_line(text)

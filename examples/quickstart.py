@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Prescription example, end to end.
+
+Builds SB-tree indices over the Prescription table (Figure 1), prints
+the aggregate tables of Figures 3 and 4, runs the worked lookups and
+range queries from Sections 3.1-3.2, and replays the insertion/deletion
+narratives of Sections 3.3-3.4.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Interval, SBTree
+from repro.workloads import PRESCRIPTIONS
+
+
+def main() -> None:
+    print("Prescription base table (Figure 1):")
+    for p in PRESCRIPTIONS:
+        print(f"  {p.patient:>5}  dosage={p.dosage}  valid={p.valid}")
+
+    # ------------------------------------------------------------------
+    # Build one SB-tree per aggregate.  Small fanout (4) mirrors the
+    # paper's figures; production trees use page-sized fanouts.
+    # ------------------------------------------------------------------
+    sum_tree = SBTree("sum", branching=4, leaf_capacity=4)
+    avg_tree = SBTree("avg", branching=4, leaf_capacity=4)
+    for p in PRESCRIPTIONS:
+        sum_tree.insert(p.dosage, p.valid)
+        avg_tree.insert(p.dosage, p.valid)
+
+    print("\nSumDosage (Figure 3):")
+    print(sum_tree.to_table().pretty("sum_dosage"))
+
+    print("\nAvgDosage (cf. Figure 4; see DESIGN.md errata):")
+    print(avg_tree.to_table().finalized(avg_tree.spec).coalesce().pretty("avg_dosage"))
+
+    # ------------------------------------------------------------------
+    # Point lookups and range queries (Sections 3.1 and 3.2).
+    # ------------------------------------------------------------------
+    print(f"\nlookup(SumDosage, 19) = {sum_tree.lookup(19)}   (paper: 6)")
+    print(f"lookup(AvgDosage, 32) = {avg_tree.lookup_final(32):.2f}  (paper: 1.33)")
+
+    print("\nrangeq(SumDosage, [14, 28)):")
+    print(sum_tree.range_query(Interval(14, 28)).pretty("sum_dosage"))
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (Sections 3.3 and 3.4).
+    # ------------------------------------------------------------------
+    print("\nInsert <'Gill', 5, [15, 45)> ...")
+    sum_tree.insert(5, Interval(15, 45))
+    print(sum_tree.to_table().pretty("sum_dosage"))
+
+    print("\nDelete it again (a deletion is a negative insertion) ...")
+    sum_tree.delete(5, Interval(15, 45))
+    print(sum_tree.to_table().pretty("sum_dosage"))
+
+    print(
+        f"\nTree stats: height={sum_tree.height}, nodes={sum_tree.node_count()}, "
+        f"logical node reads so far={sum_tree.store.stats.reads}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Baseline temporal aggregation algorithms (the paper's related work).
+
+One module per Figure 23 row:
+
+* :mod:`~repro.baselines.naive` -- the basic two-scan algorithm [Tum92]
+* :mod:`~repro.baselines.balanced_tree` -- red-black-tree sweep [MLI00]
+* :mod:`~repro.baselines.endpoint_sort` -- the paper's Appendix A
+* :mod:`~repro.baselines.merge_sort` -- divide and conquer MIN/MAX [MLI00]
+* :mod:`~repro.baselines.aggregation_tree` -- segment tree [KS95]
+* :mod:`~repro.baselines.k_ordered` -- garbage-collecting variant [KS95]
+* :mod:`~repro.baselines.bucket` -- time-partitioned / parallel [MLI00]
+"""
+
+from . import (
+    aggregation_tree,
+    balanced_tree,
+    bucket,
+    endpoint_sort,
+    merge_sort,
+    naive,
+)
+from .aggregation_tree import AggregationTree
+from .k_ordered import KOrderedAggregationTree
+from .redblack import RedBlackTree
+
+__all__ = [
+    "AggregationTree",
+    "KOrderedAggregationTree",
+    "RedBlackTree",
+    "aggregation_tree",
+    "balanced_tree",
+    "bucket",
+    "endpoint_sort",
+    "merge_sort",
+    "naive",
+]

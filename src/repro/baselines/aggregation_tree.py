@@ -1,0 +1,153 @@
+"""The aggregation tree of [KS95] (Figure 23, row "aggregation tree").
+
+A main-memory binary segment tree over the time line.  Like the SB-tree
+it records an effect at the highest node whose range the effect covers,
+so it *is* incrementally maintainable -- but it is unbalanced: split
+points are created wherever update endpoints happen to fall, in arrival
+order.  A base table sorted by valid-interval start (the common data
+warehouse arrival order) degenerates the tree into a spine, giving the
+O(n) update/lookup and O(n^2) construction worst cases the paper cites,
+which the SB-tree's B-tree balancing eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from ..core.intervals import Interval, NEG_INF, POS_INF, Time
+from ..core.results import ConstantIntervalTable, trim_initial
+from ..core.values import spec_for
+
+__all__ = ["AggregationTree", "compute"]
+
+
+class _AggNode:
+    """One binary node; its range is implicit from the path to it."""
+
+    __slots__ = ("split", "value", "left", "right")
+
+    def __init__(self, value: Any) -> None:
+        self.split: Optional[Time] = None  # None: leaf
+        self.value = value
+        self.left: Optional["_AggNode"] = None
+        self.right: Optional["_AggNode"] = None
+
+
+class AggregationTree:
+    """Incremental, unbalanced, main-memory temporal aggregate index."""
+
+    def __init__(self, kind, lo: Time = NEG_INF, hi: Time = POS_INF) -> None:
+        self.spec = spec_for(kind)
+        self.lo = lo
+        self.hi = hi
+        self._root = _AggNode(self.spec.v0)
+        self._nodes = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return self._nodes
+
+    def depth(self) -> int:
+        # Iterative: a degenerate tree is deeper than Python's stack.
+        deepest = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, d = stack.pop()
+            if node.split is None:
+                deepest = max(deepest, d)
+            else:
+                stack.append((node.left, d + 1))
+                stack.append((node.right, d + 1))
+        return deepest
+
+    # ------------------------------------------------------------------
+    def insert(self, value: Any, interval) -> None:
+        """Add a base tuple's effect; O(depth) plus at most two new cuts."""
+        if not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        self._apply(self.spec.effect(value), interval)
+
+    def delete(self, value: Any, interval) -> None:
+        """Remove a base tuple (SUM/COUNT/AVG); the tree never shrinks."""
+        if not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        self._apply(self.spec.negated_effect(value), interval)
+
+    def _apply(self, effect: Any, interval: Interval) -> None:
+        clipped = interval.intersection(Interval(self.lo, self.hi))
+        if clipped is None:
+            return
+        self._insert(self._root, self.lo, self.hi, effect, clipped)
+
+    def _insert(self, node: _AggNode, lo: Time, hi: Time, v: Any, query: Interval) -> None:
+        # Iterative descent: the unbalanced tree can be deeper than the
+        # Python recursion limit in exactly the degenerate cases this
+        # baseline exists to demonstrate.
+        acc = self.spec.acc
+        stack = [(node, lo, hi)]
+        while stack:
+            node, lo, hi = stack.pop()
+            if query.start <= lo and hi <= query.end:
+                # Segment-tree case: the effect covers this whole range.
+                node.value = acc(v, node.value)
+                continue
+            if node.split is None:
+                # Partial overlap with a leaf: cut it at one endpoint of
+                # the effect and retry (at most two cuts per insertion).
+                cut = query.start if lo < query.start else query.end
+                assert lo < cut < hi, "cut must fall strictly inside the leaf"
+                node.split = cut
+                node.left = _AggNode(self.spec.v0)
+                node.right = _AggNode(self.spec.v0)
+                self._nodes += 2
+            if query.start < node.split:
+                stack.append((node.left, lo, node.split))
+            if query.end > node.split:
+                stack.append((node.right, node.split, hi))
+
+    # ------------------------------------------------------------------
+    def lookup(self, t: Time) -> Any:
+        """Aggregate value at instant *t*: O(depth), O(n) in the worst case."""
+        if not (self.lo <= t < self.hi):
+            raise KeyError(f"instant {t} outside tree domain [{self.lo}, {self.hi})")
+        acc = self.spec.acc
+        node = self._root
+        result = self.spec.v0
+        while node is not None:
+            result = acc(result, node.value)
+            if node.split is None:
+                break
+            node = node.left if t < node.split else node.right
+        return result
+
+    def rows(self) -> Iterator[Tuple[Any, Interval]]:
+        """DFS yielding the (uncoalesced) constant intervals."""
+        yield from self._rows(self._root, self.lo, self.hi, self.spec.v0)
+
+    def _rows(self, node, lo, hi, carried) -> Iterator[Tuple[Any, Interval]]:
+        # Iterative in-order DFS (the tree can be arbitrarily deep).
+        stack = [(node, lo, hi, carried)]
+        while stack:
+            node, lo, hi, carried = stack.pop()
+            value = self.spec.acc(carried, node.value)
+            if node.split is None:
+                yield value, Interval(lo, hi)
+                continue
+            stack.append((node.right, node.split, hi, value))
+            stack.append((node.left, lo, node.split, value))
+
+    def to_table(self, *, drop_initial: bool = True) -> ConstantIntervalTable:
+        """Reconstruct the aggregate's constant-interval table."""
+        table = ConstantIntervalTable(self.rows()).coalesce(self.spec.eq)
+        if drop_initial:
+            table = trim_initial(table, self.spec)
+        return table
+
+
+def compute(facts, kind) -> ConstantIntervalTable:
+    """One-shot convenience: build an aggregation tree over *facts*."""
+    tree = AggregationTree(kind)
+    for value, interval in facts:
+        tree.insert(value, interval)
+    return tree.to_table()

@@ -1,0 +1,51 @@
+"""The balanced-tree algorithm of [MLI00] (Figure 23, row "balanced tree").
+
+A variant of the end-point sort algorithm that uses a red-black tree as
+the sorting engine: the two effect marks of every tuple are inserted
+into the tree keyed by time (same-time marks combined in place), then a
+single in-order traversal sweeps the running aggregate value across the
+time line.  O(n log n) computation for SUM/COUNT/AVG; like the sort
+variant, it supports neither incremental maintenance nor index lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.intervals import Interval, NEG_INF
+from ..core.results import ConstantIntervalTable, trim_initial
+from ..core.values import spec_for
+from .redblack import RedBlackTree
+
+__all__ = ["compute"]
+
+
+def compute(facts: Iterable, kind) -> ConstantIntervalTable:
+    """Compute an instantaneous SUM/COUNT/AVG aggregate via a red-black tree."""
+    spec = spec_for(kind)
+    if not spec.invertible:
+        raise ValueError(
+            "the balanced-tree algorithm handles SUM/COUNT/AVG only; "
+            "use the merge-sort baseline for MIN/MAX"
+        )
+    tree = RedBlackTree()
+    for value, interval in facts:
+        if not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        effect = spec.effect(value)
+        tree.insert(interval.start, effect, combine=spec.acc)
+        tree.insert(interval.end, spec.diff(spec.v0, effect), combine=spec.acc)
+
+    rows = []
+    previous = NEG_INF
+    running = spec.v0
+    for t, effect in tree.items():
+        if spec.is_initial(effect):
+            # Opposite marks at the same instant cancelled out: the
+            # running value does not change at t, so no row boundary.
+            continue
+        if previous < t:
+            rows.append((running, Interval(previous, t)))
+        previous = t
+        running = spec.acc(running, effect)
+    return trim_initial(ConstantIntervalTable(rows), spec)

@@ -1,0 +1,81 @@
+"""The bucket algorithm of [MLI00].
+
+Partition the time line into disjoint bucket ranges; tuples whose valid
+interval falls inside a single bucket are assigned to it, tuples
+spanning several buckets go to a *meta array*.  Each bucket is then
+aggregated independently (embarrassingly parallel -- [MLI00] ran this on
+a shared-nothing cluster), the per-bucket results are concatenated, and
+the meta array's aggregate is merged in with one linear pass.
+
+The per-bucket aggregation can use any temporal aggregation algorithm;
+we use the end-point sort for SUM/COUNT/AVG and merge sort for MIN/MAX.
+``map_fn`` exposes the per-bucket independence: pass e.g. a thread
+pool's ``map`` to run buckets concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Tuple
+
+from ..core.intervals import Interval
+from ..core.results import ConstantIntervalTable, trim_initial
+from ..core.values import spec_for
+from . import endpoint_sort, merge_sort
+
+__all__ = ["compute", "partition"]
+
+
+def partition(facts, edges) -> Tuple[List[List], List]:
+    """Assign facts to buckets; multi-bucket spanners go to the meta array."""
+    buckets: List[List] = [[] for _ in range(len(edges) - 1)]
+    meta: List = []
+    for value, interval in facts:
+        placed = False
+        for i in range(len(edges) - 1):
+            if edges[i] <= interval.start and interval.end <= edges[i + 1]:
+                buckets[i].append((value, interval))
+                placed = True
+                break
+        if not placed:
+            meta.append((value, interval))
+    return buckets, meta
+
+
+def compute(
+    facts: Iterable,
+    kind,
+    *,
+    num_buckets: int = 16,
+    map_fn: Callable = map,
+) -> ConstantIntervalTable:
+    """Compute an instantaneous temporal aggregate bucket by bucket."""
+    spec = spec_for(kind)
+    normalized = []
+    for value, interval in facts:
+        if not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        normalized.append((value, interval))
+    if not normalized:
+        return ConstantIntervalTable()
+    if num_buckets < 1:
+        raise ValueError("need at least one bucket")
+
+    solver = endpoint_sort.compute if spec.invertible else merge_sort.compute
+
+    lo = min(interval.start for _, interval in normalized)
+    hi = max(interval.end for _, interval in normalized)
+    width = (hi - lo) / num_buckets
+    edges = [lo + i * width for i in range(num_buckets)] + [hi]
+    buckets, meta = partition(normalized, edges)
+
+    # Independent per-bucket aggregation (parallelizable via map_fn).
+    bucket_tables = list(map_fn(lambda chunk: solver(chunk, spec), buckets))
+
+    # Concatenate the disjoint per-bucket results...
+    combined_rows: List[Tuple[Any, Interval]] = []
+    for table in bucket_tables:
+        combined_rows.extend(table.rows)
+    # ...and fold in the meta array's aggregate with one linear merge.
+    meta_rows = solver(meta, spec).rows
+    merged = merge_sort.merge_tables(combined_rows, meta_rows, spec)
+    return trim_initial(ConstantIntervalTable(merged).coalesce(spec.eq), spec)

@@ -1,0 +1,139 @@
+"""The k-ordered aggregation tree of [KS95].
+
+A base table is *k-ordered* when every tuple arrives at most k positions
+away from valid-interval-start order.  Under that promise, once k+1
+further tuples have arrived, the aggregate's constant intervals ending
+before the smallest start time among the last k+1 arrivals can never
+change again: they are emitted to an output buffer and their tree nodes
+garbage-collected, keeping the in-memory tree bounded.
+
+The paper's criticisms apply and are observable here: the emitted
+intervals are gone from the structure, so it cannot serve as an index
+over the full history (``lookup`` raises for finalized instants), and a
+perfectly ordered arrival stream (k = 0, the warehouse common case)
+still degenerates the underlying unbalanced tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from ..core.intervals import Interval, NEG_INF, Time
+from ..core.results import ConstantIntervalTable, trim_initial
+from ..core.values import spec_for
+from .aggregation_tree import AggregationTree, _AggNode
+
+__all__ = ["KOrderedAggregationTree"]
+
+
+class KOrderedAggregationTree:
+    """Aggregation tree with k-ordered garbage collection."""
+
+    def __init__(self, kind, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.spec = spec_for(kind)
+        self.k = k
+        self._tree = AggregationTree(self.spec)
+        self._recent_starts: Deque[Time] = deque(maxlen=k + 1)
+        self._finalized: List[Tuple[Any, Interval]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def frontier(self) -> Time:
+        """Instant before which the aggregate can no longer change."""
+        if len(self._recent_starts) <= self.k:
+            return NEG_INF
+        return min(self._recent_starts)
+
+    @property
+    def live_node_count(self) -> int:
+        return self._tree.node_count
+
+    # ------------------------------------------------------------------
+    def insert(self, value: Any, interval) -> None:
+        """Insert a tuple; tuples must respect the k-ordering promise."""
+        if not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        if interval.start < self._tree.lo:
+            raise ValueError(
+                f"tuple starting at {interval.start} violates the k={self.k} "
+                f"ordering promise (already finalized up to {self._tree.lo})"
+            )
+        self._tree.insert(value, interval)
+        self._recent_starts.append(interval.start)
+        self._collect_garbage()
+
+    def _collect_garbage(self) -> None:
+        frontier = self.frontier
+        if frontier <= self._tree.lo:
+            return
+        emitted = self._emit_before(frontier)
+        self._finalized.extend(emitted)
+
+    def _emit_before(self, frontier: Time) -> List[Tuple[Any, Interval]]:
+        """Emit and free everything strictly left of *frontier*."""
+        tree = self._tree
+        emitted: List[Tuple[Any, Interval]] = []
+
+        def prune(node: _AggNode, lo: Time, hi: Time, carried: Any) -> Optional[_AggNode]:
+            """Return the surviving node for this range, collecting rows.
+
+            The spine-collapsing case loops rather than recurses: under
+            chronological arrival the tree is a long right spine whose
+            left flank finalizes node by node.
+            """
+            while True:
+                value = self.spec.acc(carried, node.value)
+                if hi <= frontier:
+                    # Entire range finalized: emit everything, free it.
+                    emitted.extend(tree._rows(node, lo, hi, carried))
+                    tree._nodes -= self._subtree_size(node)
+                    return None
+                if node.split is None:
+                    if lo < frontier:
+                        emitted.append((value, Interval(lo, frontier)))
+                    return node
+                if node.split <= frontier:
+                    # The whole left child is finalized; hoist the right
+                    # child with this node's value pushed into it.
+                    emitted.extend(tree._rows(node.left, lo, node.split, value))
+                    tree._nodes -= self._subtree_size(node.left) + 1
+                    node.right.value = self.spec.acc(node.value, node.right.value)
+                    node, lo = node.right, node.split
+                    continue
+                node.left = prune(node.left, lo, node.split, value)
+                assert node.left is not None, "split > frontier keeps the left child"
+                return node
+
+        new_root = prune(tree._root, tree.lo, tree.hi, self.spec.v0)
+        assert new_root is not None
+        tree._root = new_root
+        tree.lo = frontier
+        return emitted
+
+    @staticmethod
+    def _subtree_size(node: _AggNode) -> int:
+        size = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            size += 1
+            if current.split is not None:
+                stack.append(current.left)
+                stack.append(current.right)
+        return size
+
+    # ------------------------------------------------------------------
+    def lookup(self, t: Time) -> Any:
+        """Aggregate at *t*; raises KeyError for already-finalized instants."""
+        return self._tree.lookup(t)
+
+    def to_table(self, *, drop_initial: bool = True) -> ConstantIntervalTable:
+        """Finalized output plus the live tree's current contents."""
+        rows = list(self._finalized) + list(self._tree.rows())
+        table = ConstantIntervalTable(rows).coalesce(self.spec.eq)
+        if drop_initial:
+            table = trim_initial(table, self.spec)
+        return table

@@ -1,0 +1,84 @@
+"""The merge-sort algorithm of [MLI00] for MIN/MAX (Figure 23 row).
+
+Divide and conquer over the base table: split the tuples in half,
+recursively compute each half's constant-interval table, and merge the
+two step functions with ``acc`` (= min or max) in linear time.  With the
+recursion depth log n and linear merges the total is O(n log m).  Like
+the other one-shot baselines it supports neither incremental
+maintenance nor lookups without a full recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Tuple
+
+from ..core.intervals import Interval, NEG_INF, POS_INF
+from ..core.results import ConstantIntervalTable, trim_initial
+from ..core.values import spec_for
+
+__all__ = ["compute", "merge_tables"]
+
+
+def merge_tables(left, right, spec) -> List[Tuple[Any, Interval]]:
+    """Linear merge of two sorted constant-interval row lists under acc.
+
+    Both inputs are step functions over sub-ranges of the time line (the
+    value is implicitly ``v0`` outside their rows); the output covers
+    the union of their spans.
+    """
+    acc = spec.acc
+
+    def expanded(rows):
+        """Pad a row list to cover (-inf, inf) with v0 where undefined."""
+        out = []
+        cursor = NEG_INF
+        for value, interval in rows:
+            if cursor < interval.start:
+                out.append((spec.v0, Interval(cursor, interval.start)))
+            out.append((value, interval))
+            cursor = interval.end
+        if cursor < POS_INF:
+            out.append((spec.v0, Interval(cursor, POS_INF)))
+        return out
+
+    a = expanded(left)
+    b = expanded(right)
+    rows: List[Tuple[Any, Interval]] = []
+    i = j = 0
+    cursor = NEG_INF
+    while i < len(a) and j < len(b):
+        va, ia = a[i]
+        vb, ib = b[j]
+        end = min(ia.end, ib.end)
+        if cursor < end:
+            rows.append((acc(va, vb), Interval(cursor, end)))
+            cursor = end
+        if ia.end == end:
+            i += 1
+        if ib.end == end:
+            j += 1
+    merged = ConstantIntervalTable(rows).coalesce(spec.eq)
+    return merged.rows
+
+
+def compute(facts: Iterable, kind) -> ConstantIntervalTable:
+    """Compute an instantaneous MIN/MAX aggregate by divide and conquer."""
+    spec = spec_for(kind)
+    normalized = []
+    for value, interval in facts:
+        if not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        normalized.append((spec.effect(value), interval))
+
+    def solve(chunk) -> List[Tuple[Any, Interval]]:
+        if not chunk:
+            return []
+        if len(chunk) == 1:
+            value, interval = chunk[0]
+            return [(value, interval)]
+        mid = len(chunk) // 2
+        return merge_tables(solve(chunk[:mid]), solve(chunk[mid:]), spec)
+
+    return trim_initial(
+        ConstantIntervalTable(solve(normalized)).coalesce(spec.eq), spec
+    )

@@ -1,0 +1,50 @@
+"""The basic two-scan algorithm of [Tum92] (Figure 23, row "basic").
+
+The first scan of the base table determines the constant intervals of
+the aggregate (from the sorted distinct interval end points).  The
+second scan, for each tuple, adds the tuple's effect to *every* constant
+interval covered by its valid interval.  With n tuples and m constant
+intervals the running time is O(mn): a tuple with a long valid interval
+touches O(m) intervals, which is precisely the behaviour the SB-tree's
+segment-tree feature eliminates.
+
+Because the second scan cannot start before the first finishes, the
+algorithm supports neither incremental computation nor maintenance.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Tuple
+
+from ..core.intervals import Interval
+from ..core.results import ConstantIntervalTable, trim_initial
+from ..core.values import spec_for
+
+__all__ = ["compute"]
+
+
+def compute(facts: Iterable[Tuple[Any, Interval]], kind) -> ConstantIntervalTable:
+    """Compute the instantaneous temporal aggregate in O(mn)."""
+    spec = spec_for(kind)
+    facts = list(facts)
+    if not facts:
+        return ConstantIntervalTable()
+
+    # Scan 1: the constant-interval skeleton.
+    boundaries = sorted({t for _, interval in facts for t in (interval.start, interval.end)})
+    values = [spec.v0] * (len(boundaries) - 1)
+
+    # Scan 2: distribute every tuple over all intervals it covers.
+    for value, interval in facts:
+        effect = spec.effect(value)
+        first = bisect.bisect_left(boundaries, interval.start)
+        last = bisect.bisect_left(boundaries, interval.end)
+        for i in range(first, last):
+            values[i] = spec.acc(values[i], effect)
+
+    rows = [
+        (values[i], Interval(boundaries[i], boundaries[i + 1]))
+        for i in range(len(values))
+    ]
+    return trim_initial(ConstantIntervalTable(rows).coalesce(spec.eq), spec)

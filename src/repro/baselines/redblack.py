@@ -1,0 +1,194 @@
+"""A classic red-black tree, the substrate of the balanced-tree baseline.
+
+[MLI00]'s balanced-tree algorithm for temporal SUM/COUNT/AVG inserts the
+end points of every valid interval into a red-black tree together with
+their (possibly negative) effects on the aggregate, then produces the
+result with one in-order traversal.  This module provides that
+substrate: a by-the-book red-black tree mapping ordered keys to values,
+with in-place value combination for duplicate keys.
+
+Implemented from scratch (CLRS-style insertion with recolouring and
+rotations); deletion is not needed by the baseline and is omitted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+__all__ = ["RedBlackTree"]
+
+_RED = True
+_BLACK = False
+
+
+class _RBNode:
+    __slots__ = ("key", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key: Any, value: Any, parent: Optional["_RBNode"]) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional[_RBNode] = None
+        self.right: Optional[_RBNode] = None
+        self.parent = parent
+        self.color = _RED
+
+
+class RedBlackTree:
+    """An ordered key -> value map with O(log n) insertion.
+
+    ``insert(key, value, combine)`` merges *value* into an existing
+    entry with ``combine(old, new)`` instead of storing duplicates --
+    exactly the endpoint-coalescing step of the balanced-tree algorithm.
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_RBNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        key: Any,
+        value: Any,
+        combine: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> None:
+        """Insert *key* with *value*; merge via *combine* on duplicates."""
+        parent: Optional[_RBNode] = None
+        node = self._root
+        while node is not None:
+            parent = node
+            if key == node.key:
+                if combine is None:
+                    node.value = value
+                else:
+                    node.value = combine(node.value, value)
+                return
+            node = node.left if key < node.key else node.right
+        fresh = _RBNode(key, value, parent)
+        if parent is None:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._rebalance(fresh)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return default
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) pairs in ascending key order."""
+        stack = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    # ------------------------------------------------------------------
+    # CLRS insertion fix-up
+    # ------------------------------------------------------------------
+    def _rotate_left(self, x: _RBNode) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _RBNode) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _rebalance(self, node: _RBNode) -> None:
+        while node.parent is not None and node.parent.color is _RED:
+            parent = node.parent
+            grand = parent.parent
+            assert grand is not None, "red root violates the invariants"
+            if parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color is _RED:
+                    parent.color = uncle.color = _BLACK
+                    grand.color = _RED
+                    node = grand
+                else:
+                    if node is parent.right:
+                        node = parent
+                        self._rotate_left(node)
+                        parent = node.parent
+                    parent.color = _BLACK
+                    grand.color = _RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color is _RED:
+                    parent.color = uncle.color = _BLACK
+                    grand.color = _RED
+                    node = grand
+                else:
+                    if node is parent.left:
+                        node = parent
+                        self._rotate_right(node)
+                        parent = node.parent
+                    parent.color = _BLACK
+                    grand.color = _RED
+                    self._rotate_left(grand)
+        self._root.color = _BLACK
+
+    # ------------------------------------------------------------------
+    # Invariant audit (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> int:
+        """Verify the red-black properties; return the black height."""
+        if self._root is None:
+            return 0
+        if self._root.color is _RED:
+            raise AssertionError("root must be black")
+        return self._check(self._root, None, None)
+
+    def _check(self, node, lo, hi) -> int:
+        if node is None:
+            return 1
+        if lo is not None and not node.key > lo:
+            raise AssertionError("BST order violated")
+        if hi is not None and not node.key < hi:
+            raise AssertionError("BST order violated")
+        if node.color is _RED:
+            for child in (node.left, node.right):
+                if child is not None and child.color is _RED:
+                    raise AssertionError("red node with red child")
+        left_height = self._check(node.left, lo, node.key)
+        right_height = self._check(node.right, node.key, hi)
+        if left_height != right_height:
+            raise AssertionError("unequal black heights")
+        return left_height + (0 if node.color is _RED else 1)

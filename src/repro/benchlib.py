@@ -1,0 +1,122 @@
+"""Benchmark harness helpers.
+
+The paper's evaluation (Figure 23) compares algorithms by asymptotic
+cost: compute time, update time, lookup time.  The benchmarks regenerate
+those comparisons empirically as printed series tables: one row per
+input size (or parameter value), one column per algorithm, plus a
+fitted log-log scaling exponent per column so the O(n^2)-vs-O(n log n)
+and O(n)-vs-O(log n) separations are visible at a glance.
+
+Wall-clock timings are used for the printed series; the accompanying
+pytest assertions rely on deterministic operation counters (node reads,
+rows touched, tree depth) wherever possible, so the suite stays robust
+on noisy machines.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Any, Callable, Dict, List, Sequence
+
+__all__ = [
+    "time_call",
+    "fit_exponent",
+    "format_table",
+    "Series",
+    "geometric_sizes",
+    "scaled",
+]
+
+
+def scaled(n: int) -> int:
+    """Scale a benchmark sweep size by the REPRO_BENCH_SCALE env var."""
+    return n * max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def time_call(fn: Callable[[], Any], *, repeat: int = 1) -> float:
+    """Return the best-of-*repeat* wall-clock seconds for ``fn()``."""
+    best = math.inf
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    ~1 for linear scaling, ~2 for quadratic, ~0 for constant; n log n
+    lands slightly above 1.  Non-positive measurements are clamped to a
+    tiny epsilon so cold-cache zeros do not blow up the fit.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    return sxy / sxx if sxx else 0.0
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table (the printed benchmark series)."""
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.001:
+                return f"{cell:.3e}"
+            return f"{cell:.4f}" if abs(cell) < 1 else f"{cell:.2f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geometric_sizes(base: int, count: int, factor: int = 2) -> List[int]:
+    """``[base, base*factor, ...]`` -- the sweep sizes for scaling fits."""
+    return [base * factor**i for i in range(count)]
+
+
+class Series:
+    """A sweep result: x values plus one named measurement column each."""
+
+    def __init__(self, x_name: str, xs: Sequence[float]) -> None:
+        self.x_name = x_name
+        self.xs = list(xs)
+        self.columns: Dict[str, List[float]] = {}
+
+    def add(self, name: str, ys: Sequence[float]) -> None:
+        if len(ys) != len(self.xs):
+            raise ValueError(f"column {name!r} has {len(ys)} points, expected {len(self.xs)}")
+        self.columns[name] = list(ys)
+
+    def exponent(self, name: str) -> float:
+        return fit_exponent(self.xs, self.columns[name])
+
+    def render(self, *, with_exponents: bool = True) -> str:
+        headers = [self.x_name] + list(self.columns)
+        rows: List[List[Any]] = []
+        for i, x in enumerate(self.xs):
+            rows.append([x] + [self.columns[c][i] for c in self.columns])
+        if with_exponents:
+            rows.append(
+                ["~n^"] + [round(self.exponent(c), 2) for c in self.columns]
+            )
+        return format_table(headers, rows)

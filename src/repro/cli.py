@@ -1,0 +1,338 @@
+"""Command-line interface for SB-tree page files.
+
+Operate on the persistent index files produced by
+:class:`repro.storage.PagedNodeStore`::
+
+    python -m repro build  index.sbt --kind sum --csv facts.csv
+    python -m repro inspect index.sbt
+    python -m repro dump   index.sbt
+    python -m repro lookup index.sbt 19
+    python -m repro range  index.sbt 14 28
+    python -m repro verify index.sbt
+    python -m repro compact index.sbt
+    python -m repro tql "SUM(value) OVER rx AT 19" --table rx=facts.csv
+
+CSV input for ``build`` has one fact per line: ``value,start,end``
+(numbers; a header line is tolerated and skipped).  CSVs for ``tql``
+need a header with at least ``value,start,end``; extra columns become
+payload attributes usable in WHEN/PARTITION BY clauses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional
+
+from .core.intervals import Interval
+from .core.msbtree import MSBTree
+from .core.sbtree import SBTree
+from .core.validate import TreeInvariantError, check_tree
+from .core.values import AggregateKind
+from .storage import PagedNodeStore
+
+__all__ = ["main"]
+
+
+def _number(text: str) -> float:
+    value = float(text)
+    return int(value) if value == int(value) else value
+
+
+def _open_tree(path: str, buffer_capacity: int = 256):
+    store = PagedNodeStore(path, buffer_capacity=buffer_capacity)
+    kind = store.get_meta("kind")
+    if kind in ("min", "max") and store.get_meta("msb") == "1":
+        return store, MSBTree(store=store)
+    return store, SBTree(store=store)
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    store = PagedNodeStore(
+        args.file, args.kind, page_size=args.page_size, buffer_capacity=256
+    )
+    tree_cls = MSBTree if args.msb else SBTree
+    if args.msb:
+        store.set_meta("msb", "1")
+    branching = args.branching or min(
+        store.default_branching_annotated if args.msb else store.default_branching,
+        1024,
+    )
+    leaf_capacity = args.leaf_capacity or min(store.default_leaf_capacity, 1024)
+    tree = tree_cls(
+        args.kind, store, branching=branching, leaf_capacity=leaf_capacity
+    )
+    count = 0
+    with open(args.csv, newline="") as handle:
+        for row in csv.reader(handle):
+            try:
+                value, start, end = (_number(cell) for cell in row[:3])
+            except (ValueError, IndexError):
+                continue  # tolerate header and blank lines
+            tree.insert(value, Interval(start, end))
+            count += 1
+    store.close()
+    print(f"built {args.kind} tree over {count} facts -> {args.file}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    store, tree = _open_tree(args.file)
+    pager = store.pager
+    per_level: List[int] = []
+    interior_fill: List[int] = []
+    leaf_fill: List[int] = []
+
+    def walk(node_id, depth):
+        while len(per_level) <= depth:
+            per_level.append(0)
+        per_level[depth] += 1
+        node = store.read(node_id)
+        if node.is_leaf:
+            leaf_fill.append(node.interval_count)
+        else:
+            interior_fill.append(node.interval_count)
+            for child in node.children:
+                walk(child, depth + 1)
+
+    walk(store.get_root(), 0)
+    print(f"file         : {args.file}")
+    print(f"kind         : {tree.kind.value}")
+    print(f"structure    : {'MSB-tree' if isinstance(tree, MSBTree) else 'SB-tree'}")
+    print(f"branching    : b={tree.b} l={tree.l}")
+    print(f"page size    : {pager.page_size} bytes")
+    print(f"pages        : {pager.page_count} ({pager.page_count * pager.page_size / 1024:.0f} KiB)")
+    print(f"live nodes   : {store.node_count()}")
+    print(f"height       : {len(per_level)}")
+    print(f"nodes/level  : {per_level}")
+    if leaf_fill:
+        print(f"leaf fill    : {sum(leaf_fill) / (len(leaf_fill) * tree.l):.0%}")
+    if interior_fill:
+        print(f"interior fill: {sum(interior_fill) / (len(interior_fill) * tree.b):.0%}")
+    print(f"constant ivls: {len(tree.to_table())}")
+    store.close()
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    store, tree = _open_tree(args.file)
+    table = tree.to_table().finalized(tree.spec).coalesce()
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            table.to_csv(handle)
+        print(f"wrote {len(table)} rows to {args.csv}")
+        store.close()
+        return 0
+    rows = table.rows[: args.limit] if args.limit else table.rows
+    print(f"{'value':>14}  valid")
+    for value, interval in rows:
+        shown = f"{value:.4g}" if isinstance(value, float) else str(value)
+        print(f"{shown:>14}  {interval}")
+    if args.limit and len(table.rows) > args.limit:
+        print(f"... {len(table.rows) - args.limit} more rows")
+    store.close()
+    return 0
+
+
+def cmd_lookup(args: argparse.Namespace) -> int:
+    store, tree = _open_tree(args.file)
+    t = _number(args.instant)
+    if args.window is not None:
+        if not isinstance(tree, MSBTree):
+            print(
+                "error: --window lookups need an MSB-tree file "
+                "(build with --msb), or use a fixed-window tree",
+                file=sys.stderr,
+            )
+            store.close()
+            return 2
+        value = tree.spec.finalize(tree.window_lookup(t, _number(args.window)))
+    else:
+        value = tree.lookup_final(t)
+    print(value)
+    store.close()
+    return 0
+
+
+def cmd_range(args: argparse.Namespace) -> int:
+    store, tree = _open_tree(args.file)
+    window = Interval(_number(args.start), _number(args.end))
+    table = tree.range_query(window).coalesce(tree.spec.eq).finalized(tree.spec)
+    for value, interval in table:
+        shown = f"{value:.4g}" if isinstance(value, float) else str(value)
+        print(f"{shown:>14}  {interval}")
+    store.close()
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    store, tree = _open_tree(args.file)
+    try:
+        check_tree(tree)
+    except TreeInvariantError as exc:
+        print(f"INVALID: {exc}")
+        store.close()
+        return 1
+    print(
+        f"ok: {tree.kind.value} tree, height {tree.height}, "
+        f"{store.node_count()} nodes, all invariants hold"
+    )
+    store.close()
+    return 0
+
+
+def _load_relation_csv(name: str, path: str):
+    """Load a CSV into a relation.
+
+    The first line is a header.  Columns ``value``, ``start`` and
+    ``end`` are required; any further columns become tuple payload
+    attributes (numeric strings are converted).
+    """
+    from .relation import TemporalRelation
+
+    relation = TemporalRelation(name)
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"value", "start", "end"}
+        header = set(reader.fieldnames or [])
+        if not required <= header:
+            raise SystemExit(
+                f"error: {path} needs columns value,start,end (found {sorted(header)})"
+            )
+        for line in reader:
+            payload = {}
+            for key, raw in line.items():
+                if key in required or raw is None:
+                    continue
+                try:
+                    payload[key] = _number(raw)
+                except ValueError:
+                    payload[key] = raw
+            relation.insert(
+                _number(line["value"]),
+                Interval(_number(line["start"]), _number(line["end"])),
+                **payload,
+            )
+    return relation
+
+
+def cmd_tql(args: argparse.Namespace) -> int:
+    from .core.results import ConstantIntervalTable
+    from .tql import TQLError, execute
+
+    relations = {}
+    for spec_text in args.table:
+        name, _, path = spec_text.partition("=")
+        if not path:
+            print(f"error: --table expects name=path, got {spec_text!r}", file=sys.stderr)
+            return 2
+        relations[name] = _load_relation_csv(name, path)
+    try:
+        result = execute(args.statement, relations)
+    except TQLError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def show_table(table, indent=""):
+        for value, interval in table:
+            shown = f"{value:.4g}" if isinstance(value, float) else str(value)
+            print(f"{indent}{shown:>14}  {interval}")
+
+    if isinstance(result, ConstantIntervalTable):
+        show_table(result)
+    elif isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, ConstantIntervalTable):
+                print(f"{key}:")
+                show_table(value, indent="  ")
+            else:
+                print(f"{key}: {value}")
+    else:
+        print(result)
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    store, tree = _open_tree(args.file)
+    before = store.node_count()
+    tree.compact()
+    store.flush()
+    print(f"compacted: {before} -> {store.node_count()} nodes")
+    store.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Inspect and query SB-tree / MSB-tree index files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build an index from a CSV of facts")
+    p_build.add_argument("file")
+    p_build.add_argument("--kind", required=True,
+                         choices=[k.value for k in AggregateKind])
+    p_build.add_argument("--csv", required=True, help="value,start,end per line")
+    p_build.add_argument("--msb", action="store_true",
+                         help="build an MSB-tree (MIN/MAX, windowed lookups)")
+    p_build.add_argument("--page-size", type=int, default=4096)
+    p_build.add_argument("--branching", type=int)
+    p_build.add_argument("--leaf-capacity", type=int)
+    p_build.set_defaults(fn=cmd_build)
+
+    p_inspect = sub.add_parser("inspect", help="show file and tree statistics")
+    p_inspect.add_argument("file")
+    p_inspect.set_defaults(fn=cmd_inspect)
+
+    p_dump = sub.add_parser("dump", help="print the aggregate's constant intervals")
+    p_dump.add_argument("file")
+    p_dump.add_argument("--limit", type=int, default=0)
+    p_dump.add_argument("--csv", help="write value,start,end rows to a CSV file")
+    p_dump.set_defaults(fn=cmd_dump)
+
+    p_lookup = sub.add_parser("lookup", help="aggregate value at an instant")
+    p_lookup.add_argument("file")
+    p_lookup.add_argument("instant")
+    p_lookup.add_argument("--window", help="cumulative window offset (MSB files)")
+    p_lookup.set_defaults(fn=cmd_lookup)
+
+    p_range = sub.add_parser("range", help="aggregate values over [start, end)")
+    p_range.add_argument("file")
+    p_range.add_argument("start")
+    p_range.add_argument("end")
+    p_range.set_defaults(fn=cmd_range)
+
+    p_verify = sub.add_parser("verify", help="audit all structural invariants")
+    p_verify.add_argument("file")
+    p_verify.set_defaults(fn=cmd_verify)
+
+    p_compact = sub.add_parser("compact", help="batch-compact the tree (bmerge)")
+    p_compact.add_argument("file")
+    p_compact.set_defaults(fn=cmd_compact)
+
+    p_tql = sub.add_parser(
+        "tql", help="run a TQL statement over CSV-backed relations"
+    )
+    p_tql.add_argument("statement", help="e.g. \"SUM(value) OVER r AT 19\"")
+    p_tql.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=CSV",
+        help="bind a relation name to a CSV file (repeatable); the CSV "
+        "needs header columns value,start,end (+ payload columns)",
+    )
+    p_tql.set_defaults(fn=cmd_tql)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

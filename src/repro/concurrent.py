@@ -1,0 +1,159 @@
+"""Thread-safe access to SB-trees (the paper's stated future work).
+
+The paper's conclusion: "We also need to design concurrency control
+algorithms for SB-trees and MSB-trees if we want to use them in OLTP
+systems."  This module provides the simplest correct protocol: a fair
+readers-writer lock around whole-tree operations.
+
+Why tree-level locking is the right first step here: unlike a B-tree,
+where an update touches one leaf path and latch coupling localizes
+conflicts, an SB-tree update can *modify values at interior nodes on two
+root-to-leaf paths* (the segment-tree feature), and its compaction can
+restructure nodes far from either path.  Any reader concurrently
+descending through an interior node whose value is being adjusted would
+accumulate a torn sum.  A single reader-writer lock gives linearizable
+lookups and updates with unbounded reader parallelism, which matches
+the paper's warehouse workload (rare batched maintenance, many
+analytical reads).
+
+:class:`ReadWriteLock` is written from scratch (the stdlib has none):
+writer-preferring to keep maintenance latency bounded under read-heavy
+load.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from .core.intervals import Time
+from .core.results import ConstantIntervalTable
+from .core.sbtree import IntervalLike
+
+__all__ = ["ReadWriteLock", "ConcurrentTree"]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Any number of readers may hold the lock together; writers are
+    exclusive.  Arriving writers block new readers, so a steady read
+    stream cannot starve maintenance.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._readers_ok = threading.Condition(self._lock)
+        self._writers_ok = threading.Condition(self._lock)
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._lock:
+            while self._active_writer or self._waiting_writers:
+                self._readers_ok.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._lock:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._writers_ok.notify()
+
+    def acquire_write(self) -> None:
+        with self._lock:
+            self._waiting_writers += 1
+            try:
+                while self._active_writer or self._active_readers:
+                    self._writers_ok.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._active_writer = True
+
+    def release_write(self) -> None:
+        with self._lock:
+            self._active_writer = False
+            self._writers_ok.notify()
+            self._readers_ok.notify_all()
+
+    # ------------------------------------------------------------------
+    class _Guard:
+        def __init__(self, acquire, release):
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc):
+            self._release()
+
+    def read_locked(self) -> "_Guard":
+        """``with lock.read_locked(): ...`` shared-access context."""
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write_locked(self) -> "_Guard":
+        """``with lock.write_locked(): ...`` exclusive-access context."""
+        return self._Guard(self.acquire_write, self.release_write)
+
+
+class ConcurrentTree:
+    """A linearizable wrapper around any tree-like index.
+
+    Works with :class:`~repro.core.sbtree.SBTree`,
+    :class:`~repro.core.msbtree.MSBTree`,
+    :class:`~repro.core.fixed_window.FixedWindowTree` and
+    :class:`~repro.core.dual.DualTreeAggregate` -- the wrapped object
+    only needs the corresponding methods.  Reads run under the shared
+    lock, mutations under the exclusive one.
+    """
+
+    def __init__(self, tree: Any, lock: Optional[ReadWriteLock] = None) -> None:
+        self.tree = tree
+        self.lock = lock if lock is not None else ReadWriteLock()
+
+    # ------------------------------------------------------------------
+    # Reads (shared)
+    # ------------------------------------------------------------------
+    def lookup(self, t: Time) -> Any:
+        with self.lock.read_locked():
+            return self.tree.lookup(t)
+
+    def lookup_final(self, t: Time) -> Any:
+        with self.lock.read_locked():
+            return self.tree.lookup_final(t)
+
+    def range_query(self, interval: IntervalLike) -> ConstantIntervalTable:
+        with self.lock.read_locked():
+            return self.tree.range_query(interval)
+
+    def to_table(self, **kwargs) -> ConstantIntervalTable:
+        with self.lock.read_locked():
+            return self.tree.to_table(**kwargs)
+
+    def window_lookup(self, t: Time, w: Time) -> Any:
+        with self.lock.read_locked():
+            return self.tree.window_lookup(t, w)
+
+    # ------------------------------------------------------------------
+    # Writes (exclusive)
+    # ------------------------------------------------------------------
+    def insert(self, value: Any, interval: IntervalLike) -> None:
+        with self.lock.write_locked():
+            self.tree.insert(value, interval)
+
+    def delete(self, value: Any, interval: IntervalLike) -> None:
+        with self.lock.write_locked():
+            self.tree.delete(value, interval)
+
+    def compact(self) -> None:
+        with self.lock.write_locked():
+            self.tree.compact()
+
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        # Read-only passthrough for introspection (height, spec, ...).
+        return getattr(self.tree, name)

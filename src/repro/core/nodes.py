@@ -1,0 +1,86 @@
+"""SB-tree / MSB-tree node model.
+
+A node holds ``j`` contiguous time intervals (Figures 7 and 8 of the
+paper) represented by ``j - 1`` stored time instants, ``j`` aggregate
+values, and -- for interior nodes -- ``j`` child pointers.  MSB-tree
+interior nodes additionally carry ``j`` "u" values (Section 4.3).
+
+The interval boundaries of a node are *relative*: the outermost start and
+end are inherited from the parent (ultimately from the ±infinite edges of
+the time line), so they are never stored in the node itself.  Algorithms
+thread the inherited ``(lo, hi)`` span through their recursion.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from .intervals import Time
+
+__all__ = ["NodeId", "Node"]
+
+#: Opaque node identifier handed out by a node store.  The in-memory
+#: store uses small integers; the paged store uses page numbers.
+NodeId = int
+
+
+@dataclass
+class Node:
+    """One SB-tree (or MSB-tree) node.
+
+    Invariants (checked by ``repro.core.validate``):
+
+    * ``len(values) == len(times) + 1``
+    * interior nodes: ``len(children) == len(values)``;
+      leaves: ``children == []``
+    * ``times`` is strictly increasing and lies strictly inside the span
+      inherited from the parent
+    * MSB interior nodes: ``len(uvalues) == len(values)``;
+      otherwise ``uvalues is None``
+    """
+
+    node_id: NodeId
+    is_leaf: bool
+    times: List[Time] = field(default_factory=list)
+    values: List[Any] = field(default_factory=list)
+    children: List[NodeId] = field(default_factory=list)
+    uvalues: Optional[List[Any]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def interval_count(self) -> int:
+        """Number of time intervals held by this node."""
+        return len(self.values)
+
+    def find(self, t: Time) -> int:
+        """Return the index ``i`` of the interval containing instant *t*.
+
+        Interval ``i`` spans ``[times[i-1], times[i])`` with the inherited
+        span at the edges, so the containing index is the number of stored
+        instants ``<= t``.
+        """
+        return bisect.bisect_right(self.times, t)
+
+    def bounds(self, i: int, lo: Time, hi: Time):
+        """Return ``(start, end)`` of interval *i* given the inherited span."""
+        start = self.times[i - 1] if i > 0 else lo
+        end = self.times[i] if i < len(self.times) else hi
+        return start, end
+
+    def clone_shell(self, node_id: NodeId) -> "Node":
+        """Return an empty node with the same shape flags under a new id."""
+        return Node(
+            node_id=node_id,
+            is_leaf=self.is_leaf,
+            uvalues=[] if self.uvalues is not None else None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "node"
+        extra = f" u={self.uvalues}" if self.uvalues is not None else ""
+        return (
+            f"<{kind} #{self.node_id} t={self.times} v={self.values}"
+            f"{' c=' + str(self.children) if not self.is_leaf else ''}{extra}>"
+        )

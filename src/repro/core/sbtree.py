@@ -1,0 +1,728 @@
+"""The SB-tree (Section 3 of the paper).
+
+An SB-tree indexes a *temporal aggregate* rather than a base table.  It
+combines:
+
+* **segment-tree value placement** -- the effect of a base tuple whose
+  valid interval fully covers a node interval is recorded *at that
+  interval* and never pushed further down, so tuples with long valid
+  intervals are absorbed in O(h) node touches; and
+* **B-tree balancing** -- nodes are at least half full, splits propagate
+  upward, and underfull nodes borrow from or merge with siblings.
+
+The aggregate value at an instant is the ``acc`` of the values stored
+along the root-to-leaf search path (Section 3.1).  Updates are expressed
+as an *effect* pair ``<v, I>`` applied along at most two root-to-leaf
+paths (Section 3.3); deletions are insertions of a negated effect
+(Section 3.4, SUM/COUNT/AVG only).  Compaction merges adjacent
+equal-valued leaf intervals around the endpoints of each update
+(``imerge``/``nmerge``, Section 3.6); MIN/MAX trees are compacted in
+batch instead (``bmerge``).
+
+All node access goes through a :class:`~repro.core.store.NodeStore`, so
+the same code runs in memory or on disk pages.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple, Union
+
+from .intervals import Interval, NEG_INF, POS_INF, Time, is_finite
+from .nodes import Node, NodeId
+from .results import ConstantIntervalTable, trim_initial
+from .store import MemoryNodeStore, NodeStore
+from .values import AggregateKind, AggregateSpec, spec_for
+
+__all__ = ["SBTree"]
+
+IntervalLike = Union[Interval, Tuple[Time, Time]]
+
+
+def as_interval(interval: IntervalLike) -> Interval:
+    """Accept an :class:`Interval` or a ``(start, end)`` pair."""
+    if isinstance(interval, Interval):
+        return interval
+    start, end = interval
+    return Interval(start, end)
+
+
+class SBTree:
+    """A balanced, store-backed index over one temporal aggregate.
+
+    Parameters
+    ----------
+    kind:
+        Aggregate kind (``AggregateKind`` value, spec, or name string).
+        May be omitted when reopening a store that already holds a tree.
+    store:
+        A :class:`NodeStore`; defaults to a fresh in-memory store.
+    branching:
+        Maximum branching factor ``b`` (intervals per interior node).
+    leaf_capacity:
+        Maximum leaf capacity ``l``; defaults to ``branching``.  The
+        paper notes ``l`` may exceed ``b`` because leaves carry no child
+        pointers.
+
+    Both capacities must be at least 4 so that every node retains at
+    least two intervals, which the compaction procedures rely on.
+    """
+
+    def __init__(
+        self,
+        kind=None,
+        store: Optional[NodeStore] = None,
+        *,
+        branching: int = 32,
+        leaf_capacity: Optional[int] = None,
+    ) -> None:
+        self.store = store if store is not None else MemoryNodeStore()
+        existing_root = self.store.get_root()
+        if existing_root is not None:
+            stored_kind = self.store.get_meta("kind")
+            if stored_kind is None:
+                raise ValueError("store has a root but no aggregate kind metadata")
+            if kind is not None and spec_for(kind).kind.value != stored_kind:
+                raise ValueError(
+                    f"store holds a {stored_kind} tree, not {spec_for(kind).kind}"
+                )
+            self.spec: AggregateSpec = spec_for(stored_kind)
+            self.b = int(self.store.get_meta("branching"))
+            self.l = int(self.store.get_meta("leaf_capacity"))
+            self._root_id: NodeId = existing_root
+            return
+        if kind is None:
+            raise ValueError("an aggregate kind is required for a new tree")
+        self.spec = spec_for(kind)
+        self.b = int(branching)
+        self.l = int(leaf_capacity) if leaf_capacity is not None else self.b
+        if self.b < 4 or self.l < 4:
+            raise ValueError("branching factor and leaf capacity must be >= 4")
+        self._check_store_limits()
+        root = self.store.allocate(is_leaf=True, with_uvalues=False)
+        root.values = [self.spec.v0]
+        self.store.write(root)
+        self.store.set_root(root.node_id)
+        self.store.set_meta("kind", self.spec.kind.value)
+        self.store.set_meta("branching", str(self.b))
+        self.store.set_meta("leaf_capacity", str(self.l))
+        self._root_id = root.node_id
+
+    def _check_store_limits(self) -> None:
+        """Reject b/l that cannot fit the store's pages (if it has pages)."""
+        max_b = getattr(self.store, "default_branching", None)
+        if self._root_has_u():
+            max_b = getattr(self.store, "default_branching_annotated", max_b)
+        max_l = getattr(self.store, "default_leaf_capacity", None)
+        if max_b is not None and self.b > max_b:
+            raise ValueError(
+                f"branching factor {self.b} exceeds the page limit {max_b}"
+            )
+        if max_l is not None and self.l > max_l:
+            raise ValueError(
+                f"leaf capacity {self.l} exceeds the page limit {max_l}"
+            )
+
+    # ------------------------------------------------------------------
+    # Small helpers
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> AggregateKind:
+        return self.spec.kind
+
+    @property
+    def min_leaf(self) -> int:
+        return (self.l + 1) // 2
+
+    @property
+    def min_interior(self) -> int:
+        return (self.b + 1) // 2
+
+    def _capacity(self, node: Node) -> int:
+        return self.l if node.is_leaf else self.b
+
+    def _minimum(self, node: Node) -> int:
+        return self.min_leaf if node.is_leaf else self.min_interior
+
+    def _overflows(self, node: Node) -> bool:
+        return node.interval_count > self._capacity(node)
+
+    def _read(self, node_id: NodeId) -> Node:
+        return self.store.read(node_id)
+
+    def _root(self) -> Node:
+        return self._read(self._root_id)
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a lone root leaf)."""
+        h, node = 1, self._root()
+        while not node.is_leaf:
+            node = self._read(node.children[0])
+            h += 1
+        return h
+
+    def node_count(self) -> int:
+        """Number of live nodes in the tree's store."""
+        return self.store.node_count()
+
+    # Whether updates are followed by endpoint compaction.  Per
+    # Section 3.6 this holds for SUM/COUNT/AVG; MIN/MAX trees are
+    # compacted in batch via :meth:`compact` instead.
+    @property
+    def _auto_compact(self) -> bool:
+        return self.spec.invertible
+
+    # ------------------------------------------------------------------
+    # Lookup (Section 3.1)
+    # ------------------------------------------------------------------
+    def lookup(self, t: Time) -> Any:
+        """Return the internal aggregate value at instant *t* in O(h)."""
+        acc = self.spec.acc
+        node = self._root()
+        result = self.spec.v0
+        while True:
+            i = node.find(t)
+            result = acc(result, node.values[i])
+            if node.is_leaf:
+                return result
+            node = self._read(node.children[i])
+
+    def lookup_final(self, t: Time) -> Any:
+        """Return the user-facing aggregate value at instant *t*."""
+        return self.spec.finalize(self.lookup(t))
+
+    # ------------------------------------------------------------------
+    # Range queries and reconstruction (Section 3.2)
+    # ------------------------------------------------------------------
+    def range_query(self, interval: IntervalLike) -> ConstantIntervalTable:
+        """Return the aggregate's constant intervals clipped to *interval*.
+
+        A depth-first traversal of the leaves intersecting *interval*,
+        accumulating values along each root-to-leaf path: O(h + r) where
+        r is the number of leaves touched.
+        """
+        interval = as_interval(interval)
+        rows = list(
+            self._rangeq(self._root(), NEG_INF, POS_INF, interval, self.spec.v0)
+        )
+        return ConstantIntervalTable(rows)
+
+    def _rangeq(
+        self, node: Node, lo: Time, hi: Time, query: Interval, carried: Any
+    ) -> Iterator[Tuple[Any, Interval]]:
+        acc = self.spec.acc
+        for i in range(node.interval_count):
+            a, b = node.bounds(i, lo, hi)
+            if b <= query.start:
+                continue
+            if a >= query.end:
+                break
+            value = acc(carried, node.values[i])
+            if node.is_leaf:
+                yield value, Interval(max(a, query.start), min(b, query.end))
+            else:
+                child = self._read(node.children[i])
+                yield from self._rangeq(child, a, b, query, value)
+
+    def to_table(
+        self, *, coalesced: bool = True, drop_initial: bool = True
+    ) -> ConstantIntervalTable:
+        """Reconstruct the full aggregate over ``(-inf, +inf)``.
+
+        With ``drop_initial`` the "harmless" leading/trailing ``v0`` rows
+        of Section 3.2 are stripped, matching the paper's result tables.
+        """
+        table = self.range_query(Interval(NEG_INF, POS_INF))
+        if coalesced:
+            table = table.coalesce(self.spec.eq)
+        if drop_initial:
+            table = trim_initial(table, self.spec)
+        return table
+
+    # ------------------------------------------------------------------
+    # Insertion and deletion (Sections 3.3 -- 3.5)
+    # ------------------------------------------------------------------
+    def insert(self, value: Any, interval: IntervalLike) -> None:
+        """Record the insertion of a base tuple with *value* valid over *interval*."""
+        self.insert_effect(self.spec.effect(value), interval)
+
+    def delete(self, value: Any, interval: IntervalLike) -> None:
+        """Record the deletion of a base tuple (SUM/COUNT/AVG only)."""
+        self.insert_effect(self.spec.negated_effect(value), interval)
+
+    def insert_effect(self, effect: Any, interval: IntervalLike) -> None:
+        """Apply a raw effect pair ``<effect, interval>`` (Section 3.3)."""
+        interval = as_interval(interval)
+        root = self._root()
+        self._insert(root, NEG_INF, POS_INF, effect, interval)
+        if self._overflows(root):
+            self._grow_root(root)
+        if self._auto_compact:
+            for t in (interval.start, interval.end):
+                if is_finite(t):
+                    self._imerge_at(t)
+
+    def _insert(self, node: Node, lo: Time, hi: Time, v: Any, query: Interval) -> None:
+        acc, eq = self.spec.acc, self.spec.eq
+        if node.is_leaf:
+            self._apply_to_leaf(node, lo, hi, v, query)
+            self.store.write(node)
+            return
+        i = 0
+        while i < node.interval_count:
+            a, b = node.bounds(i, lo, hi)
+            if b <= query.start:
+                i += 1
+                continue
+            if a >= query.end:
+                break
+            if node.uvalues is not None:
+                # MSB-tree: the interval overlaps the effect, so its
+                # exact-extremum annotation absorbs v (Section 4.3).
+                node.uvalues[i] = acc(v, node.uvalues[i])
+            current = node.values[i]
+            updated = acc(v, current)
+            if eq(updated, current):
+                # The effect cannot change anything at or below this
+                # interval (MIN/MAX pruning; zero-effect for SUM).
+                i += 1
+                continue
+            if query.start <= a and b <= query.end:
+                # Segment-tree case: fully covered, record here and stop.
+                node.values[i] = updated
+                i += 1
+                continue
+            child = self._read(node.children[i])
+            self._insert(child, a, b, v, query)
+            if self._overflows(child):
+                self._split_child(node, i, child)
+                i += 2
+            else:
+                i += 1
+        self.store.write(node)
+
+    def _apply_to_leaf(self, node: Node, lo: Time, hi: Time, v: Any, query: Interval) -> None:
+        """Cut the affected leaf intervals at the effect's endpoints.
+
+        An effect partially covering a leaf interval splits it into up to
+        three pieces, adding at most two intervals to the leaf overall.
+        """
+        acc, eq = self.spec.acc, self.spec.eq
+        s = max(query.start, lo)
+        e = min(query.end, hi)
+        pieces: List[Tuple[Time, Time, Any]] = []
+        for i in range(node.interval_count):
+            a, b = node.bounds(i, lo, hi)
+            old = node.values[i]
+            if b <= s or a >= e:
+                pieces.append((a, b, old))
+                continue
+            updated = acc(v, old)
+            if eq(updated, old):
+                pieces.append((a, b, old))
+                continue
+            cut_lo, cut_hi = max(a, s), min(b, e)
+            if a < cut_lo:
+                pieces.append((a, cut_lo, old))
+            pieces.append((cut_lo, cut_hi, updated))
+            if cut_hi < b:
+                pieces.append((cut_hi, b, old))
+        node.times = [start for start, _, _ in pieces[1:]]
+        node.values = [value for _, _, value in pieces]
+
+    # ------------------------------------------------------------------
+    # Node splitting (Section 3.5)
+    # ------------------------------------------------------------------
+    def _split_child(self, parent: Node, i: int, child: Node) -> Node:
+        """Split overflowing *child* (the i-th child of *parent*) in two."""
+        n = child.interval_count
+        mid = (n + 1) // 2  # the left half keeps ceil(n/2) intervals
+        sibling = self.store.allocate(
+            is_leaf=child.is_leaf, with_uvalues=child.uvalues is not None
+        )
+        separator = child.times[mid - 1]
+        sibling.times = child.times[mid:]
+        sibling.values = child.values[mid:]
+        child.times = child.times[: mid - 1]
+        child.values = child.values[:mid]
+        if not child.is_leaf:
+            sibling.children = child.children[mid:]
+            child.children = child.children[:mid]
+        if child.uvalues is not None:
+            sibling.uvalues = child.uvalues[mid:]
+            child.uvalues = child.uvalues[:mid]
+        parent.times.insert(i, separator)
+        parent.values.insert(i + 1, parent.values[i])
+        parent.children.insert(i + 1, sibling.node_id)
+        if parent.uvalues is not None:
+            # MSB-tree: recompute the exact extremum of both halves from
+            # their u and v annotations (Section 4.3, msplit).
+            parent.uvalues.insert(i + 1, None)
+            parent.uvalues[i] = self._subtree_u(child)
+            parent.uvalues[i + 1] = self._subtree_u(sibling)
+        self.store.write(child)
+        self.store.write(sibling)
+        return sibling
+
+    def _subtree_u(self, node: Node) -> Any:
+        """Aggregate all u and v annotations of *node* (msplit helper)."""
+        acc = self.spec.acc
+        result = self.spec.v0
+        for i, value in enumerate(node.values):
+            result = acc(result, value)
+            if node.uvalues is not None:
+                result = acc(result, node.uvalues[i])
+        return result
+
+    def _grow_root(self, old_root: Node) -> None:
+        """Create a new root above an overflowing one."""
+        new_root = self.store.allocate(
+            is_leaf=False, with_uvalues=old_root.uvalues is not None or self._root_has_u()
+        )
+        new_root.values = [self.spec.v0]
+        new_root.children = [old_root.node_id]
+        if new_root.uvalues is not None:
+            new_root.uvalues = [self._subtree_u(old_root)]
+        self._split_child(new_root, 0, old_root)
+        self.store.write(new_root)
+        self.store.set_root(new_root.node_id)
+        self._root_id = new_root.node_id
+
+    def _root_has_u(self) -> bool:
+        """Whether newly created interior nodes carry u annotations."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Interval and node merging (Section 3.6)
+    # ------------------------------------------------------------------
+    def _imerge_at(self, t: Time) -> None:
+        """Merge the adjacent leaf intervals meeting at boundary *t*, if equal.
+
+        Each stored time instant appears at exactly one node.  When that
+        node is a leaf the two intervals around *t* live side by side;
+        when it is interior, they are the rightmost leaf interval of the
+        left subtree and the leftmost leaf interval of the right subtree,
+        compared through their accumulated lookup values below the
+        common ancestor (including the ancestor's own two interval
+        values, which the two paths do not share).
+        """
+        spec = self.spec
+        path: List[Tuple[Node, int]] = []
+        node = self._root()
+        lo: Time = NEG_INF
+        hi: Time = POS_INF
+        while True:
+            k = bisect.bisect_left(node.times, t)
+            if k < len(node.times) and node.times[k] == t:
+                break
+            if node.is_leaf:
+                return  # t is not a stored boundary; nothing to merge
+            i = node.find(t)
+            path.append((node, i))
+            lo, hi = node.bounds(i, lo, hi)
+            node = self._read(node.children[i])
+
+        if node.is_leaf:
+            if spec.eq(node.values[k], node.values[k + 1]):
+                del node.times[k]
+                del node.values[k + 1]
+                self.store.write(node)
+                if node.interval_count < self._minimum(node) and path:
+                    self._nmerge(node, path)
+            return
+
+        # Interior node: t separates intervals k and k+1.
+        left_acc, _, left_leaf = self._descend_edge(node.children[k], rightmost=True)
+        right_acc, right_path, right_leaf = self._descend_edge(
+            node.children[k + 1], rightmost=False
+        )
+        full_left = spec.acc(node.values[k], left_acc)
+        full_right = spec.acc(node.values[k + 1], right_acc)
+        if not spec.eq(full_left, full_right):
+            return
+        if left_leaf.interval_count > self.min_leaf:
+            # Fold the left leaf's last interval into the right leaf's first.
+            node.times[k] = left_leaf.times[-1]
+            del left_leaf.times[-1]
+            del left_leaf.values[-1]
+            self.store.write(left_leaf)
+            self.store.write(node)
+        else:
+            # Fold the right leaf's first interval into the left leaf's last.
+            node.times[k] = right_leaf.times[0]
+            del right_leaf.times[0]
+            del right_leaf.values[0]
+            self.store.write(right_leaf)
+            self.store.write(node)
+            if right_leaf.interval_count < self._minimum(right_leaf):
+                full_path = path + [(node, k + 1)] + right_path
+                self._nmerge(right_leaf, full_path)
+
+    def _descend_edge(
+        self, child_id: NodeId, rightmost: bool
+    ) -> Tuple[Any, List[Tuple[Node, int]], Node]:
+        """Walk to the leftmost or rightmost leaf below *child_id*.
+
+        Returns the accumulated edge value (the lookup contribution of
+        the subtree, excluding anything above it), the descent path, and
+        the leaf itself.
+        """
+        acc = self.spec.acc
+        accumulated = self.spec.v0
+        entries: List[Tuple[Node, int]] = []
+        node = self._read(child_id)
+        while True:
+            idx = node.interval_count - 1 if rightmost else 0
+            accumulated = acc(accumulated, node.values[idx])
+            if node.is_leaf:
+                return accumulated, entries, node
+            entries.append((node, idx))
+            node = self._read(node.children[idx])
+
+    def _nmerge(self, node: Node, path: List[Tuple[Node, int]]) -> None:
+        """Fix an underfull *node* by borrowing from or merging with a sibling.
+
+        Every transformation preserves the value returned by ``lookup``
+        along every path, by pushing parent interval values down before
+        moving intervals across nodes.
+        """
+        spec = self.spec
+        acc = spec.acc
+        if not path:
+            # node is the root.  An interior root with a single child is
+            # collapsed: its one value is folded into every child value.
+            if not node.is_leaf and node.interval_count == 1:
+                child = self._read(node.children[0])
+                child.values = [acc(node.values[0], v) for v in child.values]
+                self.store.write(child)
+                self.store.free(node.node_id)
+                self.store.set_root(child.node_id)
+                self._root_id = child.node_id
+            return
+
+        parent, k = path[-1]
+        minimum = self._minimum(node)
+        right = (
+            self._read(parent.children[k + 1])
+            if k + 1 < parent.interval_count
+            else None
+        )
+        left = self._read(parent.children[k - 1]) if k > 0 else None
+
+        if right is not None and right.interval_count > self._minimum(right):
+            self._borrow_from_right(parent, k, node, right)
+            return
+        if left is not None and left.interval_count > self._minimum(left):
+            self._borrow_from_left(parent, k, node, left)
+            return
+
+        # Merge with a sibling (prefer the right one when both exist).
+        if right is not None:
+            self._merge_siblings(parent, k, node, right)
+        else:
+            assert left is not None, "non-root node must have a sibling"
+            self._merge_siblings(parent, k - 1, left, node)
+
+        parent_is_root = len(path) == 1
+        if parent_is_root:
+            if parent.interval_count == 1:
+                self._nmerge(parent, [])
+        elif parent.interval_count < self._minimum(parent):
+            self._nmerge(parent, path[:-1])
+
+    def _borrow_from_right(self, parent: Node, k: int, node: Node, right: Node) -> None:
+        acc = self.spec.acc
+        node.values = [acc(parent.values[k], v) for v in node.values]
+        parent.values[k] = self.spec.v0
+        node.times.append(parent.times[k])
+        node.values.append(acc(parent.values[k + 1], right.values[0]))
+        if not node.is_leaf:
+            node.children.append(right.children[0])
+            del right.children[0]
+        parent.times[k] = right.times[0]
+        del right.times[0]
+        del right.values[0]
+        self.store.write(node)
+        self.store.write(right)
+        self.store.write(parent)
+
+    def _borrow_from_left(self, parent: Node, k: int, node: Node, left: Node) -> None:
+        acc = self.spec.acc
+        node.values = [acc(parent.values[k], v) for v in node.values]
+        parent.values[k] = self.spec.v0
+        node.times.insert(0, parent.times[k - 1])
+        node.values.insert(0, acc(parent.values[k - 1], left.values[-1]))
+        if not node.is_leaf:
+            node.children.insert(0, left.children[-1])
+            del left.children[-1]
+        parent.times[k - 1] = left.times[-1]
+        del left.times[-1]
+        del left.values[-1]
+        self.store.write(node)
+        self.store.write(left)
+        self.store.write(parent)
+
+    def _merge_siblings(self, parent: Node, k: int, first: Node, second: Node) -> None:
+        """Merge children k and k+1 of *parent* into the first one."""
+        acc = self.spec.acc
+        merged_values = [acc(parent.values[k], v) for v in first.values]
+        merged_values += [acc(parent.values[k + 1], v) for v in second.values]
+        first.values = merged_values
+        first.times = first.times + [parent.times[k]] + second.times
+        if not first.is_leaf:
+            first.children = first.children + second.children
+        parent.values[k] = self.spec.v0
+        del parent.times[k]
+        del parent.values[k + 1]
+        del parent.children[k + 1]
+        self.store.free(second.node_id)
+        self.store.write(first)
+        self.store.write(parent)
+
+    # ------------------------------------------------------------------
+    # Batch compaction (bmerge, Section 3.6) and bulk loading
+    # ------------------------------------------------------------------
+    def compact(self, *, bulk: bool = False) -> None:
+        """Rebuild the tree from its coalesced constant intervals.
+
+        This is the paper's ``bmerge``: a full reconstruction pass whose
+        coalesced output replaces the tree.  Required periodically for
+        MIN/MAX trees, which perform no per-update merging; a
+        no-op-in-content rebuild for already-compact SUM/COUNT/AVG
+        trees.
+
+        By default the replacement is built by re-inserting each output
+        row, exactly as the paper describes (O(n + m log m)); this
+        reproduces the paper's post-``mbmerge`` tree shapes.  With
+        ``bulk=True`` the replacement is packed bottom-up via
+        :meth:`bulk_load` in O(n + m).
+        """
+        table = self.range_query(Interval(NEG_INF, POS_INF)).coalesce(self.spec.eq)
+        if bulk:
+            self.bulk_load(table)
+            return
+        self._free_subtree(self._root_id)
+        root = self.store.allocate(is_leaf=True, with_uvalues=False)
+        root.values = [self.spec.v0]
+        self.store.write(root)
+        self.store.set_root(root.node_id)
+        self._root_id = root.node_id
+        for value, interval in table:
+            if self.spec.is_initial(value):
+                continue
+            root_node = self._root()
+            self._insert(root_node, NEG_INF, POS_INF, value, interval)
+            if self._overflows(root_node):
+                self._grow_root(root_node)
+
+    def bulk_load(self, table: ConstantIntervalTable) -> None:
+        """Replace the tree's contents with *table*, built bottom-up.
+
+        *table* must be a contiguous step function covering the whole
+        time line (a full, coalesced reconstruction); the existing
+        contents are discarded.  Leaves are packed to capacity with the
+        tail redistributed to respect minimum occupancy, interior levels
+        carry ``v0`` (all value mass sits in the leaves), and MSB
+        annotations are recomputed per level.  Runs in O(m).
+        """
+        rows = table.rows
+        if not rows:
+            rows = [(self.spec.v0, Interval(NEG_INF, POS_INF))]
+        if rows[0][1].start != NEG_INF or rows[-1][1].end != POS_INF:
+            raise ValueError("bulk_load needs a table covering (-inf, inf)")
+        self._free_subtree(self._root_id)
+
+        # Build the leaf level.
+        values = [value for value, _ in rows]
+        boundaries = [interval.end for _, interval in rows[:-1]]
+        leaf_chunks = self._chunk(len(values), self.l, self.min_leaf)
+        level: List[NodeId] = []
+        separators: List[Time] = []
+        position = 0
+        for size in leaf_chunks:
+            node = self.store.allocate(is_leaf=True, with_uvalues=False)
+            node.values = values[position : position + size]
+            node.times = boundaries[position : position + size - 1]
+            self.store.write(node)
+            level.append(node.node_id)
+            if position + size <= len(boundaries):
+                separators.append(boundaries[position + size - 1])
+            position += size
+
+        # Stack interior levels until one node remains.
+        annotate = self._root_has_u()
+        while len(level) > 1:
+            chunks = self._chunk(len(level), self.b, self.min_interior)
+            next_level: List[NodeId] = []
+            next_separators: List[Time] = []
+            position = 0
+            for size in chunks:
+                node = self.store.allocate(is_leaf=False, with_uvalues=annotate)
+                node.children = level[position : position + size]
+                node.values = [self.spec.v0] * size
+                node.times = separators[position : position + size - 1]
+                if annotate:
+                    node.uvalues = [
+                        self._subtree_u(self.store.read(child))
+                        for child in node.children
+                    ]
+                self.store.write(node)
+                next_level.append(node.node_id)
+                if position + size <= len(separators):
+                    next_separators.append(separators[position + size - 1])
+                position += size
+            level, separators = next_level, next_separators
+
+        self.store.set_root(level[0])
+        self._root_id = level[0]
+
+    def retain_after(self, cutoff: Time) -> ConstantIntervalTable:
+        """Archive and drop all aggregate history before *cutoff*.
+
+        The warehouse setting of Section 1: old history may be retired
+        once nobody queries it (indeed the paper notes the base data
+        needed to recompute it may be gone).  Everything before *cutoff*
+        is returned as a coalesced table for archival, and the tree is
+        rebuilt holding ``v0`` there; lookups before *cutoff* afterwards
+        return the initial value.
+        """
+        if not (NEG_INF < cutoff < POS_INF):
+            raise ValueError("cutoff must be a finite instant")
+        full = self.range_query(Interval(NEG_INF, POS_INF)).coalesce(self.spec.eq)
+        archived = trim_initial(full.restrict(Interval(NEG_INF, cutoff)), self.spec)
+        kept = full.restrict(Interval(cutoff, POS_INF))
+        rows = [(self.spec.v0, Interval(NEG_INF, cutoff))] + kept.rows
+        self.bulk_load(ConstantIntervalTable(rows).coalesce(self.spec.eq))
+        return archived
+
+    @staticmethod
+    def _chunk(total: int, capacity: int, minimum: int) -> List[int]:
+        """Split *total* items into chunks of at most *capacity*, each at
+        least *minimum* (except a lone chunk), preferring full chunks."""
+        if total <= capacity:
+            return [total]
+        chunks = []
+        remaining = total
+        while remaining > capacity:
+            take = capacity
+            if 0 < remaining - take < minimum:
+                take = remaining - minimum
+            chunks.append(take)
+            remaining -= take
+        chunks.append(remaining)
+        return chunks
+
+    def _free_subtree(self, node_id: NodeId) -> None:
+        node = self._read(node_id)
+        if not node.is_leaf:
+            for child in node.children:
+                self._free_subtree(child)
+        self.store.free(node_id)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SBTree {self.spec.kind} b={self.b} l={self.l} "
+            f"nodes={self.node_count()}>"
+        )

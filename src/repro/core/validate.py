@@ -1,0 +1,147 @@
+"""Structural invariant checking for SB-trees and MSB-trees.
+
+Used throughout the test suite (and available to users) to audit that a
+tree satisfies every invariant stated in Section 3 of the paper:
+
+* shape: ``len(values) == len(times) + 1``; interior nodes have one
+  child per interval; stored times are strictly increasing and lie
+  strictly inside the span inherited from the parent;
+* balance: every node except the root is at least half full; an
+  interior root has at least two intervals; all leaves share one depth;
+* compactness (SUM/COUNT/AVG only): no two adjacent leaf intervals have
+  equal accumulated lookup values -- the property the per-update
+  ``imerge`` of Section 3.6 maintains;
+* MSB annotation exactness: for every interior interval, the extremum
+  reconstructed from ``u`` plus the value prefix equals the true
+  extremum over that interval, and ``u`` alone never exceeds it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .intervals import Interval, NEG_INF, POS_INF, Time
+from .nodes import Node
+from .sbtree import SBTree
+
+__all__ = ["check_tree", "TreeInvariantError"]
+
+
+class TreeInvariantError(AssertionError):
+    """Raised when a tree violates one of its structural invariants."""
+
+
+def _fail(message: str) -> None:
+    raise TreeInvariantError(message)
+
+
+def check_tree(tree: SBTree, *, check_compact: bool = None) -> None:
+    """Audit every invariant of *tree*; raise :class:`TreeInvariantError`.
+
+    ``check_compact`` defaults to ``True`` for SUM/COUNT/AVG trees
+    (which the paper keeps compact at all times) and ``False`` for
+    MIN/MAX trees (compacted only by explicit ``bmerge``).
+    """
+    if check_compact is None:
+        check_compact = tree.spec.invertible
+    root = tree.store.read(tree.store.get_root())
+    if root.is_leaf:
+        if root.interval_count < 1:
+            _fail("root leaf must hold at least one interval")
+    else:
+        if root.interval_count < 2:
+            _fail("interior root must hold at least two intervals")
+    depths = set()
+    _check_node(tree, root, NEG_INF, POS_INF, is_root=True, depth=1, depths=depths)
+    if len(depths) != 1:
+        _fail(f"leaves at multiple depths: {sorted(depths)}")
+    if check_compact:
+        _check_compactness(tree)
+
+
+def _check_node(
+    tree: SBTree,
+    node: Node,
+    lo: Time,
+    hi: Time,
+    *,
+    is_root: bool,
+    depth: int,
+    depths: set,
+) -> None:
+    j = node.interval_count
+    if len(node.values) != len(node.times) + 1:
+        _fail(f"node {node.node_id}: {len(node.values)} values vs {len(node.times)} times")
+    if not node.is_leaf and len(node.children) != j:
+        _fail(f"node {node.node_id}: {len(node.children)} children vs {j} intervals")
+    if node.is_leaf and node.children:
+        _fail(f"leaf {node.node_id} has children")
+    if node.uvalues is not None and len(node.uvalues) != j:
+        _fail(f"node {node.node_id}: {len(node.uvalues)} u-values vs {j} intervals")
+    if not is_root:
+        if j > tree._capacity(node):
+            _fail(f"node {node.node_id} overflows: {j} > {tree._capacity(node)}")
+        if j < tree._minimum(node):
+            _fail(f"node {node.node_id} underfull: {j} < {tree._minimum(node)}")
+    for prev, cur in zip(node.times, node.times[1:]):
+        if not prev < cur:
+            _fail(f"node {node.node_id}: times not strictly increasing")
+    for t in node.times:
+        if not (lo < t < hi):
+            _fail(f"node {node.node_id}: time {t} outside inherited span ({lo}, {hi})")
+    if node.is_leaf:
+        depths.add(depth)
+        return
+    for i in range(j):
+        a, b = node.bounds(i, lo, hi)
+        child = tree.store.read(node.children[i])
+        _check_node(tree, child, a, b, is_root=False, depth=depth + 1, depths=depths)
+    if node.uvalues is not None:
+        _check_u_annotations(tree, node, lo, hi)
+
+
+def _check_u_annotations(tree: SBTree, node: Node, lo: Time, hi: Time) -> None:
+    """Verify u-exactness locally: acc(v_i, u_i) equals the subtree extremum.
+
+    For each interior interval, the extremum of all contributions stored
+    at or below it equals ``acc(values[i], uvalues[i])``; and ``u``
+    itself never exceeds that extremum.
+    """
+    acc = tree.spec.acc
+    for i in range(node.interval_count):
+        child = tree.store.read(node.children[i])
+        subtree = _subtree_extremum(tree, child)
+        expected = acc(node.values[i], subtree)
+        annotated = acc(node.values[i], node.uvalues[i])
+        if not tree.spec.eq(annotated, expected):
+            _fail(
+                f"node {node.node_id} interval {i}: u annotation {node.uvalues[i]} "
+                f"gives {annotated}, true subtree extremum gives {expected}"
+            )
+
+
+def _subtree_extremum(tree: SBTree, node: Node) -> Any:
+    """Extremum over all leaf-path value accumulations below *node*."""
+    acc = tree.spec.acc
+    if node.is_leaf:
+        result = tree.spec.v0
+        for v in node.values:
+            result = acc(result, v)
+        return result
+    result = tree.spec.v0
+    for i in range(node.interval_count):
+        child = tree.store.read(node.children[i])
+        result = acc(result, acc(node.values[i], _subtree_extremum(tree, child)))
+    return result
+
+
+def _check_compactness(tree: SBTree) -> None:
+    """No two adjacent constant intervals may carry equal lookup values."""
+    table = tree.range_query(Interval(NEG_INF, POS_INF))
+    rows = table.rows
+    for (v1, i1), (v2, i2) in zip(rows, rows[1:]):
+        if tree.spec.eq(v1, v2):
+            _fail(
+                f"adjacent leaf intervals {i1} and {i2} share value {v1}; "
+                "tree is not compact"
+            )

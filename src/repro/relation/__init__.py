@@ -1,0 +1,6 @@
+"""Temporal base tables: tuples, change events, relations."""
+
+from .table import TemporalRelation
+from .tuples import ChangeEvent, ChangeKind, TemporalTuple
+
+__all__ = ["ChangeEvent", "ChangeKind", "TemporalRelation", "TemporalTuple"]

@@ -1,0 +1,51 @@
+"""Temporal tuples and change events.
+
+The warehouse setting of the paper (Section 1, [YW98]/[YW00]): base
+tables hold tuples timestamped with a valid interval, and materialized
+views must be maintained as tuples are inserted and deleted.  This
+module defines the tuple and the change-event record that flows from a
+base table to its subscribed views.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.intervals import Interval
+
+__all__ = ["TemporalTuple", "ChangeKind", "ChangeEvent"]
+
+
+@dataclass(frozen=True)
+class TemporalTuple:
+    """One base-table row: an aggregable value valid over an interval.
+
+    ``payload`` carries any further attributes (e.g. the patient name of
+    the paper's Prescription table); they are opaque to aggregation.
+    """
+
+    tuple_id: int
+    value: Any
+    valid: Interval
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = f" {dict(self.payload)}" if self.payload else ""
+        return f"<#{self.tuple_id} value={self.value} valid={self.valid}{extra}>"
+
+
+class ChangeKind(enum.Enum):
+    """Whether a base-table change adds or removes a tuple."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """A single base-table change, delivered to subscribed views."""
+
+    kind: ChangeKind
+    tuple: TemporalTuple

@@ -1,0 +1,18 @@
+"""Disk substrate: page files, buffer pool, node serialization."""
+
+from .buffer import BufferPool, BufferStats
+from .codec import NodeCodec, NodeEncodingError
+from .pager import DEFAULT_PAGE_SIZE, PageCorruptionError, Pager, PagerStats
+from .store import PagedNodeStore
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "DEFAULT_PAGE_SIZE",
+    "NodeCodec",
+    "NodeEncodingError",
+    "PageCorruptionError",
+    "PagedNodeStore",
+    "Pager",
+    "PagerStats",
+]

@@ -1,0 +1,117 @@
+"""LRU buffer pool with write-back caching over a pager.
+
+Sits between the node store and the page file.  Reads are served from
+the pool when possible (a *hit*); otherwise the page is fetched from the
+pager (a *miss*).  Writes dirty the cached copy; dirty pages reach the
+pager only on eviction or an explicit flush -- standard write-back
+semantics, which is what makes the paper's O(h)-pages-per-update claim
+measurable: repeated touches of the upper tree levels are absorbed by
+the pool.
+
+The pool is internally synchronized: even a logically read-only tree
+operation *mutates* LRU recency state and may trigger an eviction, so
+concurrent readers (e.g. under :class:`repro.concurrent.ConcurrentTree`'s
+shared lock) must not race on the frame table.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict
+
+from .pager import Pager
+
+__all__ = ["BufferPool", "BufferStats"]
+
+
+@dataclass
+class BufferStats:
+    """Cache behaviour counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.dirty_writebacks = 0
+
+
+class _Frame:
+    __slots__ = ("payload", "dirty")
+
+    def __init__(self, payload: bytes, dirty: bool) -> None:
+        self.payload = payload
+        self.dirty = dirty
+
+
+class BufferPool:
+    """A fixed-capacity, least-recently-used page cache."""
+
+    def __init__(self, pager: Pager, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.pager = pager
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def read(self, page_id: int) -> bytes:
+        """Return a page's payload, via the cache."""
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return frame.payload
+            self.stats.misses += 1
+            payload = self.pager.read_page(page_id)
+            self._admit(page_id, _Frame(payload, dirty=False))
+            return payload
+
+    def write(self, page_id: int, payload: bytes) -> None:
+        """Record new contents for a page (write-back: no pager I/O yet)."""
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                frame.payload = payload
+                frame.dirty = True
+                self._frames.move_to_end(page_id)
+                return
+            self._admit(page_id, _Frame(payload, dirty=True))
+
+    def discard(self, page_id: int) -> None:
+        """Drop a page from the pool without writing it back (page freed)."""
+        with self._mutex:
+            self._frames.pop(page_id, None)
+
+    def flush(self) -> None:
+        """Write every dirty frame back to the pager."""
+        with self._mutex:
+            for page_id, frame in self._frames.items():
+                if frame.dirty:
+                    self.pager.write_page(page_id, frame.payload)
+                    self.stats.dirty_writebacks += 1
+                    frame.dirty = False
+
+    # ------------------------------------------------------------------
+    def _admit(self, page_id: int, frame: _Frame) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_id, victim = self._frames.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.pager.write_page(victim_id, victim.payload)
+                self.stats.dirty_writebacks += 1
+        self._frames[page_id] = frame
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,164 @@
+"""Node (de)serialization: SB-tree / MSB-tree nodes on fixed-size pages.
+
+Page payload layout::
+
+    u8   flags        bit 0: leaf, bit 1: carries u-values
+    u8   reserved
+    u16  interval count j
+    f64  times[j-1]
+    val  values[j]     (8 bytes; 16 for AVG's (sum, count) pair)
+    i64  children[j]   (interior nodes only)
+    val  uvalues[j]    (annotated interior nodes only)
+
+Times and numeric values are IEEE doubles (integers up to 2**53 are
+exact; decoded whole numbers are restored to ``int`` for clean equality
+with in-memory trees).  MIN/MAX ``NULL`` is encoded as NaN.
+
+The codec also derives the maximum branching factor ``b`` and leaf
+capacity ``l`` that fit a page -- the quantities the paper sizes its
+trees by.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any, List, Optional, Tuple
+
+from ..core.nodes import Node, NodeId
+from ..core.values import AggregateKind, AggregateSpec, spec_for
+
+__all__ = ["NodeCodec", "NodeEncodingError"]
+
+_HEADER = struct.Struct("<BBH")
+_F64 = struct.Struct("<d")
+_I64 = struct.Struct("<q")
+
+_FLAG_LEAF = 1
+_FLAG_HAS_U = 2
+
+
+class NodeEncodingError(RuntimeError):
+    """Raised when a node cannot be encoded into (or decoded from) a page."""
+
+
+def _restore_int(x: float) -> Any:
+    """Give whole-valued doubles back their int identity."""
+    if x == int(x):
+        return int(x)
+    return x
+
+
+class NodeCodec:
+    """Per-aggregate-kind node serializer with derived page capacities."""
+
+    def __init__(self, spec: AggregateSpec, payload_size: int) -> None:
+        self.spec = spec_for(spec)
+        self.payload_size = payload_size
+        self._value_width = 16 if self.spec.kind is AggregateKind.AVG else 8
+
+    # ------------------------------------------------------------------
+    # Capacity derivation (how many intervals fit on a page)
+    # ------------------------------------------------------------------
+    #: An insertion may leave a node two intervals over capacity for the
+    #: instant before it is split (Section 3.5); since writes serialize
+    #: immediately, the derived capacities reserve room for that.
+    _OVERFLOW_SLACK = 2
+
+    def max_leaf_capacity(self) -> int:
+        """Largest safe l: header + (l+1) times + (l+2) values fit a page."""
+        usable = self.payload_size - _HEADER.size + 8  # +8: only l-1 times
+        return usable // (8 + self._value_width) - self._OVERFLOW_SLACK
+
+    def max_branching(self, with_uvalues: bool) -> int:
+        """Largest safe b for an interior node (optionally u-annotated)."""
+        per_interval = 8 + self._value_width + 8  # time + value + child
+        if with_uvalues:
+            per_interval += self._value_width
+        usable = self.payload_size - _HEADER.size + 8
+        return usable // per_interval - self._OVERFLOW_SLACK
+
+    # ------------------------------------------------------------------
+    # Value encoding
+    # ------------------------------------------------------------------
+    def _encode_value(self, value: Any) -> bytes:
+        if self.spec.kind is AggregateKind.AVG:
+            total, count = value
+            return _F64.pack(float(total)) + _F64.pack(float(count))
+        if value is None:
+            return _F64.pack(math.nan)
+        return _F64.pack(float(value))
+
+    def _decode_value(self, raw: bytes, offset: int) -> Tuple[Any, int]:
+        if self.spec.kind is AggregateKind.AVG:
+            (total,) = _F64.unpack_from(raw, offset)
+            (count,) = _F64.unpack_from(raw, offset + 8)
+            return (_restore_int(total), _restore_int(count)), offset + 16
+        (x,) = _F64.unpack_from(raw, offset)
+        if math.isnan(x):
+            return None, offset + 8
+        return _restore_int(x), offset + 8
+
+    # ------------------------------------------------------------------
+    # Node encoding
+    # ------------------------------------------------------------------
+    def encode(self, node: Node) -> bytes:
+        flags = (_FLAG_LEAF if node.is_leaf else 0) | (
+            _FLAG_HAS_U if node.uvalues is not None else 0
+        )
+        j = node.interval_count
+        if j > 0xFFFF:
+            raise NodeEncodingError("too many intervals for the u16 count field")
+        parts: List[bytes] = [_HEADER.pack(flags, 0, j)]
+        for t in node.times:
+            parts.append(_F64.pack(float(t)))
+        for v in node.values:
+            parts.append(self._encode_value(v))
+        if not node.is_leaf:
+            for c in node.children:
+                parts.append(_I64.pack(c))
+        if node.uvalues is not None:
+            for u in node.uvalues:
+                parts.append(self._encode_value(u))
+        payload = b"".join(parts)
+        if len(payload) > self.payload_size:
+            raise NodeEncodingError(
+                f"node with {j} intervals needs {len(payload)} bytes, page "
+                f"payload is {self.payload_size}"
+            )
+        return payload
+
+    def decode(self, payload: bytes, node_id: NodeId) -> Node:
+        flags, _, j = _HEADER.unpack_from(payload, 0)
+        is_leaf = bool(flags & _FLAG_LEAF)
+        has_u = bool(flags & _FLAG_HAS_U)
+        offset = _HEADER.size
+        times: List[Any] = []
+        for _ in range(max(0, j - 1)):
+            (t,) = _F64.unpack_from(payload, offset)
+            times.append(_restore_int(t))
+            offset += 8
+        values: List[Any] = []
+        for _ in range(j):
+            value, offset = self._decode_value(payload, offset)
+            values.append(value)
+        children: List[NodeId] = []
+        if not is_leaf:
+            for _ in range(j):
+                (c,) = _I64.unpack_from(payload, offset)
+                children.append(c)
+                offset += 8
+        uvalues: Optional[List[Any]] = None
+        if has_u:
+            uvalues = []
+            for _ in range(j):
+                u, offset = self._decode_value(payload, offset)
+                uvalues.append(u)
+        return Node(
+            node_id=node_id,
+            is_leaf=is_leaf,
+            times=times,
+            values=values,
+            children=children,
+            uvalues=uvalues,
+        )

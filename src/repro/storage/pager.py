@@ -1,0 +1,344 @@
+"""File-backed page manager.
+
+The SB-tree is a *disk-based* structure: every node occupies exactly one
+fixed-size page.  The pager owns a single file laid out as::
+
+    page 0          header: magic, version, geometry, root pointer,
+                    free-list head, live-page count, metadata blob
+    pages 1..N-1    node pages (or free pages linked through their
+                    first 8 bytes)
+
+Freed pages are chained into a free list and reused before the file is
+extended.  Physical reads and writes are counted so benchmarks can
+report true page I/O.
+
+With ``journaled=True`` the pager additionally keeps a rollback journal
+(``<path>-journal``): before a page is first overwritten after a
+commit, its pre-image is appended to the journal; :meth:`commit` makes
+the current state durable and clears the journal; reopening a file whose
+journal survived a crash rolls every journaled page back (and truncates
+pages that did not exist at the last commit), so the file always
+reflects a committed state.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["Pager", "PagerStats", "PageCorruptionError", "DEFAULT_PAGE_SIZE"]
+
+DEFAULT_PAGE_SIZE = 4096
+
+_MAGIC = b"SBTRepro"
+_VERSION = 1
+#: magic(8) version(H) page_size(I) page_count(Q) free_head(q) root(q)
+#: live_nodes(Q) meta_len(I)
+_HEADER = struct.Struct("<8sHIQqqQI")
+_FREE_LINK = struct.Struct("<q")
+_CRC = struct.Struct("<I")
+
+#: Sentinel for "no page".
+NO_PAGE = -1
+
+
+class PageCorruptionError(RuntimeError):
+    """Raised when a page fails its checksum on read."""
+
+
+@dataclass
+class PagerStats:
+    """Physical I/O counters."""
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    def reset(self) -> None:
+        self.physical_reads = self.physical_writes = 0
+
+
+class Pager:
+    """Fixed-size page file with a free list and a small metadata area.
+
+    Each data page stores ``page_size - 4`` payload bytes followed by a
+    CRC32 checksum, verified on every read.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        journaled: bool = False,
+    ) -> None:
+        if page_size < 512:
+            raise ValueError("page size must be at least 512 bytes")
+        self.path = os.fspath(path)
+        self.journal_path = self.path + "-journal"
+        self.journaled = journaled
+        self._journaled_pages: set = set()
+        self._journal_file = None
+        self._journal_base_count: Optional[int] = None
+        self.stats = PagerStats()
+        # Reentrant: public methods nest (allocate -> write -> journal).
+        self._mutex = threading.RLock()
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if exists else "w+b")
+        if exists and os.path.exists(self.journal_path):
+            # A crash left an unfinished transaction: roll it back
+            # before trusting anything in the file.  A crash before the
+            # very first commit rolls all the way back to an empty file,
+            # which is then (re)created below.
+            self._rollback_journal()
+            exists = os.path.getsize(self.path) > 0
+        if exists:
+            self._load_header()
+            if page_size != self.page_size:
+                # Geometry comes from the file, not the argument.
+                pass
+        else:
+            self.page_size = page_size
+            # Pin the pre-creation state (zero pages): until the first
+            # commit, rollback erases the file entirely.
+            self.page_count = 0
+            self._ensure_transaction()
+            self.page_count = 1  # the header page
+            self._free_head = NO_PAGE
+            self._root = NO_PAGE
+            self.live_nodes = 0
+            self._meta: Dict[str, str] = {}
+            self._write_header()
+
+    # ------------------------------------------------------------------
+    # Rollback journal
+    # ------------------------------------------------------------------
+    _JOURNAL_HEADER = struct.Struct("<8sIQ")
+    _JOURNAL_MAGIC = b"SBTRjrnl"
+    _JOURNAL_RECORD = struct.Struct("<q")
+
+    def _capture_pre_image(self, page_id: int) -> None:
+        """Append a page's current on-disk bytes to the journal.
+
+        Called before the first overwrite of a page in the current
+        transaction.  Pages created after the last commit are skipped:
+        rollback simply truncates them away.
+        """
+        if not self.journaled or page_id in self._journaled_pages:
+            return
+        self._ensure_transaction()
+        self._journaled_pages.add(page_id)
+        if page_id >= self._journal_base_count:
+            return  # fresh page: nothing to restore
+        self._file.seek(page_id * self.page_size)
+        pre_image = self._file.read(self.page_size)
+        pre_image = pre_image.ljust(self.page_size, b"\x00")
+        self._journal_file.write(self._JOURNAL_RECORD.pack(page_id))
+        self._journal_file.write(pre_image)
+        self._journal_file.flush()
+
+    def _ensure_transaction(self) -> None:
+        """Open the journal and pin the committed page count, once."""
+        if not self.journaled or self._journal_base_count is not None:
+            return
+        self._journal_base_count = self.page_count
+        self._journal_file = open(self.journal_path, "wb")
+        self._journal_file.write(
+            self._JOURNAL_HEADER.pack(
+                self._JOURNAL_MAGIC, self.page_size, self.page_count
+            )
+        )
+
+    def commit(self) -> None:
+        """Make the current state durable and clear the journal."""
+        with self._mutex:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            if self._journal_file is not None:
+                self._journal_file.close()
+                self._journal_file = None
+            if os.path.exists(self.journal_path):
+                os.remove(self.journal_path)
+            self._journaled_pages.clear()
+            self._journal_base_count = None
+
+    def in_transaction(self) -> bool:
+        """Whether uncommitted (journaled) changes exist."""
+        return self._journal_base_count is not None
+
+    def _rollback_journal(self) -> None:
+        """Restore pre-images from a leftover journal, then delete it."""
+        with open(self.journal_path, "rb") as journal:
+            header = journal.read(self._JOURNAL_HEADER.size)
+            if len(header) == self._JOURNAL_HEADER.size:
+                magic, page_size, base_count = self._JOURNAL_HEADER.unpack(header)
+                if magic == self._JOURNAL_MAGIC:
+                    while True:
+                        record = journal.read(self._JOURNAL_RECORD.size)
+                        if len(record) < self._JOURNAL_RECORD.size:
+                            break
+                        (page_id,) = self._JOURNAL_RECORD.unpack(record)
+                        image = journal.read(page_size)
+                        if len(image) < page_size:
+                            break  # torn tail record: ignore
+                        self._file.seek(page_id * page_size)
+                        self._file.write(image)
+                    self._file.truncate(base_count * page_size)
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+        os.remove(self.journal_path)
+
+    # ------------------------------------------------------------------
+    # Header handling
+    # ------------------------------------------------------------------
+    def _load_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise PageCorruptionError("truncated header page")
+        magic, version, page_size, page_count, free_head, root, live, meta_len = (
+            _HEADER.unpack(raw)
+        )
+        if magic != _MAGIC:
+            raise PageCorruptionError(f"bad magic in {self.path!r}")
+        if version != _VERSION:
+            raise PageCorruptionError(f"unsupported format version {version}")
+        self.page_size = page_size
+        self.page_count = page_count
+        self._free_head = free_head
+        self._root = root
+        self.live_nodes = live
+        meta_raw = self._file.read(meta_len).decode("utf-8")
+        self._meta = {}
+        for line in meta_raw.splitlines():
+            key, _, value = line.partition("=")
+            self._meta[key] = value
+
+    def _write_header(self) -> None:
+        meta_raw = "\n".join(f"{k}={v}" for k, v in sorted(self._meta.items()))
+        blob = meta_raw.encode("utf-8")
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            self.page_size,
+            self.page_count,
+            self._free_head,
+            self._root,
+            self.live_nodes,
+            len(blob),
+        )
+        payload = header + blob
+        if len(payload) > self.page_size:
+            raise ValueError("metadata does not fit in the header page")
+        with self._mutex:
+            self._capture_pre_image(0)
+            self._file.seek(0)
+            self._file.write(payload.ljust(self.page_size, b"\x00"))
+
+    # ------------------------------------------------------------------
+    # Root pointer and metadata
+    # ------------------------------------------------------------------
+    def get_root(self) -> Optional[int]:
+        return None if self._root == NO_PAGE else self._root
+
+    def set_root(self, page_id: int) -> None:
+        self._root = page_id
+        self._write_header()
+
+    def get_meta(self, key: str) -> Optional[str]:
+        return self._meta.get(key)
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._meta[key] = value
+        self._write_header()
+
+    # ------------------------------------------------------------------
+    # Page I/O
+    # ------------------------------------------------------------------
+    @property
+    def payload_size(self) -> int:
+        """Usable bytes per page (page size minus the checksum)."""
+        return self.page_size - _CRC.size
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read and checksum-verify one page's payload."""
+        with self._mutex:
+            if not 1 <= page_id < self.page_count:
+                raise ValueError(f"page {page_id} out of range")
+            self._file.seek(page_id * self.page_size)
+            raw = self._file.read(self.page_size)
+            self.stats.physical_reads += 1
+        payload, crc_raw = raw[: self.payload_size], raw[self.payload_size:]
+        (expected,) = _CRC.unpack(crc_raw)
+        if zlib.crc32(payload) != expected:
+            raise PageCorruptionError(f"checksum mismatch on page {page_id}")
+        return payload
+
+    def write_page(self, page_id: int, payload: bytes) -> None:
+        """Write one page's payload, appending its checksum."""
+        if len(payload) > self.payload_size:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{self.payload_size}"
+            )
+        with self._mutex:
+            if not 1 <= page_id < self.page_count:
+                raise ValueError(f"page {page_id} out of range")
+            self._capture_pre_image(page_id)
+            padded = payload.ljust(self.payload_size, b"\x00")
+            self._file.seek(page_id * self.page_size)
+            self._file.write(padded + _CRC.pack(zlib.crc32(padded)))
+            self.stats.physical_writes += 1
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate_page(self) -> int:
+        """Pop a page from the free list, or extend the file."""
+        with self._mutex:
+            # Pin the committed page count before the file can grow, so
+            # a rollback truncates freshly allocated pages away.
+            self._ensure_transaction()
+            if self._free_head != NO_PAGE:
+                page_id = self._free_head
+                payload = self.read_page(page_id)
+                (self._free_head,) = _FREE_LINK.unpack(payload[: _FREE_LINK.size])
+            else:
+                page_id = self.page_count
+                self.page_count += 1
+                self.write_page(page_id, b"")
+            self.live_nodes += 1
+            self._write_header()
+            return page_id
+
+    def free_page(self, page_id: int) -> None:
+        """Push a page onto the free list for reuse."""
+        with self._mutex:
+            self.write_page(page_id, _FREE_LINK.pack(self._free_head))
+            self._free_head = page_id
+            self.live_nodes -= 1
+            self._write_header()
+
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Flush the OS file buffers to stable storage."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Clean shutdown: persist the header and commit any transaction."""
+        if not self._file.closed:
+            self._write_header()
+            if self.journaled:
+                self.commit()
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

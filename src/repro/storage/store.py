@@ -1,0 +1,147 @@
+"""The disk-backed node store: pager + buffer pool + codec.
+
+Implements :class:`repro.core.store.NodeStore` over fixed-size pages, so
+any SB-tree or MSB-tree can be persisted, closed, and reopened.  Every
+logical node access is one buffered page access; physical I/O happens on
+buffer misses and dirty evictions, exactly like a real disk index.
+
+Node ids are page ids, so child pointers serialize directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.nodes import Node, NodeId
+from ..core.store import NodeStore, StoreStats
+from ..core.values import spec_for
+from .buffer import BufferPool
+from .codec import NodeCodec
+from .pager import DEFAULT_PAGE_SIZE, Pager
+
+__all__ = ["PagedNodeStore"]
+
+
+class PagedNodeStore(NodeStore):
+    """A file-backed node store with write-back buffering.
+
+    Parameters
+    ----------
+    path:
+        Page-file path.  An existing file is reopened (its geometry and
+        aggregate kind come from the header); a missing one is created.
+    kind:
+        Aggregate kind; required when creating a new file because the
+        node codec's value width depends on it.
+    page_size:
+        Page size in bytes for a new file (ignored when reopening).
+    buffer_capacity:
+        Number of page frames held by the buffer pool.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        kind=None,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 64,
+        journaled: bool = False,
+    ) -> None:
+        self.pager = Pager(path, page_size=page_size, journaled=journaled)
+        stored_kind = self.pager.get_meta("codec_kind")
+        if stored_kind is not None:
+            kind = stored_kind
+        elif kind is None:
+            raise ValueError("an aggregate kind is required for a new page file")
+        else:
+            self.pager.set_meta("codec_kind", spec_for(kind).kind.value)
+        self.codec = NodeCodec(spec_for(kind), self.pager.payload_size)
+        self.buffer = BufferPool(self.pager, capacity=buffer_capacity)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Page-derived tree geometry (what the paper sizes b and l from)
+    # ------------------------------------------------------------------
+    @property
+    def default_branching(self) -> int:
+        """Maximum interior fanout that fits one page (without u-values)."""
+        return self.codec.max_branching(with_uvalues=False)
+
+    @property
+    def default_branching_annotated(self) -> int:
+        """Maximum interior fanout for u-annotated (MSB) nodes."""
+        return self.codec.max_branching(with_uvalues=True)
+
+    @property
+    def default_leaf_capacity(self) -> int:
+        """Maximum leaf capacity that fits one page."""
+        return self.codec.max_leaf_capacity()
+
+    # ------------------------------------------------------------------
+    # NodeStore interface
+    # ------------------------------------------------------------------
+    def allocate(self, is_leaf: bool, with_uvalues: bool = False) -> Node:
+        page_id = self.pager.allocate_page()
+        self.stats.allocations += 1
+        node = Node(
+            node_id=page_id,
+            is_leaf=is_leaf,
+            uvalues=[] if with_uvalues else None,
+        )
+        self.buffer.write(page_id, self.codec.encode(node))
+        return node
+
+    def read(self, node_id: NodeId) -> Node:
+        self.stats.reads += 1
+        payload = self.buffer.read(node_id)
+        return self.codec.decode(payload, node_id)
+
+    def write(self, node: Node) -> None:
+        self.stats.writes += 1
+        self.buffer.write(node.node_id, self.codec.encode(node))
+
+    def free(self, node_id: NodeId) -> None:
+        self.stats.frees += 1
+        self.buffer.discard(node_id)
+        self.pager.free_page(node_id)
+
+    def get_root(self) -> Optional[NodeId]:
+        return self.pager.get_root()
+
+    def set_root(self, node_id: NodeId) -> None:
+        self.pager.set_root(node_id)
+
+    def get_meta(self, key: str) -> Optional[str]:
+        return self.pager.get_meta(key)
+
+    def set_meta(self, key: str, value: str) -> None:
+        self.pager.set_meta(key, value)
+
+    def node_count(self) -> int:
+        return self.pager.live_nodes
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back all dirty pages and sync the file."""
+        self.buffer.flush()
+        self.pager.sync()
+
+    def commit(self) -> None:
+        """Write back, then commit the pager's transaction (journaled mode).
+
+        After a commit the on-disk state is a durable snapshot: a crash
+        at any later point rolls the file back to it on reopen.
+        """
+        self.buffer.flush()
+        self.pager.commit()
+
+    def close(self) -> None:
+        self.buffer.flush()
+        self.pager.close()
+
+    def __enter__(self) -> "PagedNodeStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,361 @@
+"""TQL: a small textual language for temporal aggregate queries.
+
+The paper motivates temporal aggregates as constructs of temporal query
+languages (TQuel [SGM93], TSQL2 [Sno95]).  TQL is a miniature such
+surface over this package's relations::
+
+    SUM(dosage) OVER prescription
+    AVG(dosage) OVER prescription WINDOW 5 AT 32
+    MAX(dosage) OVER prescription WHEN patient != 'Dan' DURING [10, 50)
+    COUNT(dosage) OVER prescription PARTITION BY patient AT 19
+
+Grammar (case-insensitive keywords)::
+
+    statement  = agg "(" field ")" "OVER" name clause*
+    agg        = SUM | COUNT | AVG | MIN | MAX
+    clause     = "WINDOW" number
+               | "WHEN" condition
+               | "PARTITION" "BY" field
+               | "AT" number
+               | "DURING" "[" number "," number ")"
+    condition  = or-expression over comparisons:
+                 field|literal (= != <> < <= > >=) field|literal,
+                 combined with AND / OR / NOT and parentheses
+
+``field`` is ``value`` (the tuple's aggregated value) or a payload key.
+A statement with ``AT`` returns a scalar (a dict when partitioned); with
+``DURING`` or neither, a constant-interval table (or dict of tables).
+
+Parsing is a hand-written tokenizer plus recursive descent; evaluation
+delegates to :class:`repro.query.TemporalQuery`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .core.intervals import Interval, Time
+from .query import TemporalQuery
+from .relation.table import TemporalRelation
+from .relation.tuples import TemporalTuple
+
+__all__ = ["parse", "execute", "TQLError", "Statement"]
+
+_KEYWORDS = {
+    "SUM", "COUNT", "AVG", "MIN", "MAX",
+    "OVER", "WINDOW", "WHEN", "PARTITION", "BY", "AT", "DURING",
+    "AND", "OR", "NOT",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),\[\)])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+class TQLError(ValueError):
+    """Raised for malformed TQL statements."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise TQLError(f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup
+        if kind != "ws":
+            value = match.group()
+            if kind == "name" and value.upper() in _KEYWORDS:
+                kind, value = "keyword", value.upper()
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    left: Union[str, Any]  # ("field", name) or ("literal", value)
+    op: str
+    right: Union[str, Any]
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # "and" | "or" | "not"
+    operands: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Statement:
+    aggregate: str
+    field: str
+    relation: str
+    window: Optional[Time] = None
+    condition: Optional[Any] = None
+    partition_field: Optional[str] = None
+    at: Optional[Time] = None
+    during: Optional[Tuple[Time, Time]] = None
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise TQLError("unexpected end of statement")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            raise TQLError(
+                f"expected {expected!r}, found {token.text!r} at {token.position}"
+            )
+        return token
+
+    def _number(self) -> Time:
+        token = self._expect("number")
+        value = float(token.text)
+        return int(value) if value == int(value) else value
+
+    # ------------------------------------------------------------------
+    def statement(self) -> Statement:
+        agg = self._next()
+        if agg.kind != "keyword" or agg.text not in ("SUM", "COUNT", "AVG", "MIN", "MAX"):
+            raise TQLError(f"expected an aggregate name, found {agg.text!r}")
+        self._expect("punct", "(")
+        field_name = self._expect("name").text
+        self._expect("punct", ")")
+        self._expect("keyword", "OVER")
+        relation = self._expect("name").text
+
+        window = condition = partition = at = during = None
+        while self._peek() is not None:
+            clause = self._expect("keyword")
+            if clause.text == "WINDOW":
+                if window is not None:
+                    raise TQLError("duplicate WINDOW clause")
+                window = self._number()
+            elif clause.text == "WHEN":
+                if condition is not None:
+                    raise TQLError("duplicate WHEN clause")
+                condition = self._condition()
+            elif clause.text == "PARTITION":
+                self._expect("keyword", "BY")
+                partition = self._expect("name").text
+            elif clause.text == "AT":
+                at = self._number()
+            elif clause.text == "DURING":
+                self._expect("punct", "[")
+                start = self._number()
+                self._expect("punct", ",")
+                end = self._number()
+                self._expect("punct", ")")
+                during = (start, end)
+            else:
+                raise TQLError(f"unexpected clause {clause.text!r}")
+        if at is not None and during is not None:
+            raise TQLError("AT and DURING are mutually exclusive")
+        return Statement(
+            aggregate=agg.text.lower(),
+            field=field_name,
+            relation=relation,
+            window=window,
+            condition=condition,
+            partition_field=partition,
+            at=at,
+            during=during,
+        )
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _condition(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        operands = [left]
+        while self._at_keyword("OR"):
+            self._next()
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return left
+        return BoolOp("or", tuple(operands))
+
+    def _and_expr(self):
+        left = self._not_expr()
+        operands = [left]
+        while self._at_keyword("AND"):
+            self._next()
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return left
+        return BoolOp("and", tuple(operands))
+
+    def _not_expr(self):
+        if self._at_keyword("NOT"):
+            self._next()
+            return BoolOp("not", (self._not_expr(),))
+        return self._primary()
+
+    def _primary(self):
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == "(":
+            self._next()
+            inner = self._or_expr()
+            self._expect("punct", ")")
+            return inner
+        return self._comparison()
+
+    def _operand(self):
+        token = self._next()
+        if token.kind == "name":
+            return ("field", token.text)
+        if token.kind == "number":
+            value = float(token.text)
+            return ("literal", int(value) if value == int(value) else value)
+        if token.kind == "string":
+            raw = token.text[1:-1]
+            return ("literal", raw.replace("\\'", "'").replace("\\\\", "\\"))
+        raise TQLError(f"expected a field or literal, found {token.text!r}")
+
+    def _comparison(self) -> Comparison:
+        left = self._operand()
+        op = self._expect("op").text
+        right = self._operand()
+        return Comparison(left, "!=" if op == "<>" else op, right)
+
+    def _at_keyword(self, name: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "keyword" and token.text == name
+
+
+def parse(text: str) -> Statement:
+    """Parse a TQL statement into its AST, validating the grammar."""
+    parser = _Parser(_tokenize(text))
+    statement = parser.statement()
+    return statement
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _field_value(row: TemporalTuple, name: str) -> Any:
+    if name == "value":
+        return row.value
+    try:
+        return row.payload[name]
+    except KeyError:
+        raise TQLError(f"tuple #{row.tuple_id} has no field {name!r}") from None
+
+
+def _evaluate_operand(row: TemporalTuple, operand) -> Any:
+    kind, payload = operand
+    if kind == "field":
+        return _field_value(row, payload)
+    return payload
+
+
+def _compile_condition(node) -> Callable[[TemporalTuple], bool]:
+    if isinstance(node, Comparison):
+        op = _OPS[node.op]
+        return lambda row: op(
+            _evaluate_operand(row, node.left), _evaluate_operand(row, node.right)
+        )
+    if isinstance(node, BoolOp):
+        compiled = [_compile_condition(child) for child in node.operands]
+        if node.op == "and":
+            return lambda row: all(check(row) for check in compiled)
+        if node.op == "or":
+            return lambda row: any(check(row) for check in compiled)
+        inner = compiled[0]
+        return lambda row: not inner(row)
+    raise TQLError(f"unknown condition node {node!r}")
+
+
+def execute(text: str, relations: Dict[str, TemporalRelation]) -> Any:
+    """Parse and run a TQL statement against the given relations.
+
+    Returns, depending on the statement's result clause:
+
+    * ``AT t`` -- a scalar (or ``{partition_key: scalar}``),
+    * ``DURING [a, b)`` or no result clause -- a
+      :class:`~repro.core.results.ConstantIntervalTable` (or a dict of
+      them when partitioned).
+    """
+    statement = parse(text)
+    try:
+        relation = relations[statement.relation]
+    except KeyError:
+        raise TQLError(f"unknown relation {statement.relation!r}") from None
+
+    query = TemporalQuery(relation).aggregate(statement.aggregate)
+    field_name = statement.field
+    if field_name != "value":
+        query = query.value(lambda row: _field_value(row, field_name))
+    if statement.condition is not None:
+        query = query.where(_compile_condition(statement.condition))
+    if statement.window is not None:
+        query = query.window(statement.window)
+
+    if statement.partition_field is not None:
+        key = statement.partition_field
+        partitioned = query.partition_by(lambda row: _field_value(row, key))
+        if statement.at is not None:
+            return partitioned.at(statement.at)
+        tables = partitioned.tables()
+        if statement.during is not None:
+            window = Interval(*statement.during)
+            return {k: t.restrict(window) for k, t in tables.items()}
+        return tables
+
+    if statement.at is not None:
+        return query.at(statement.at)
+    if statement.during is not None:
+        return query.over(Interval(*statement.during))
+    return query.table()

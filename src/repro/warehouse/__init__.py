@@ -1,0 +1,14 @@
+"""Temporal data warehouse: maintained views and direct materialization."""
+
+from .grouped import GroupedAggregateView
+from .manager import TemporalWarehouse
+from .materialized import MaterializedView
+from .view import ANY_WINDOW, TemporalAggregateView
+
+__all__ = [
+    "ANY_WINDOW",
+    "GroupedAggregateView",
+    "MaterializedView",
+    "TemporalAggregateView",
+    "TemporalWarehouse",
+]

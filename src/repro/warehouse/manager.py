@@ -1,0 +1,165 @@
+"""The temporal data warehouse: base tables plus maintained views.
+
+A small catalog tying the pieces together: named base relations, named
+SB-tree-backed aggregate views over them, and (optionally) a directory
+in which each view's tree pages are persisted via
+:class:`repro.storage.PagedNodeStore`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Union
+
+from ..core.intervals import Time
+from ..core.values import spec_for
+from ..relation.table import TemporalRelation
+from .view import ANY_WINDOW, TemporalAggregateView, _AnyWindow
+
+__all__ = ["TemporalWarehouse"]
+
+
+class TemporalWarehouse:
+    """A catalog of temporal base tables and maintained aggregate views."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._relations: Dict[str, TemporalRelation] = {}
+        self._views: Dict[str, TemporalAggregateView] = {}
+
+    # ------------------------------------------------------------------
+    # Base tables
+    # ------------------------------------------------------------------
+    def create_table(self, name: str) -> TemporalRelation:
+        """Create and register a new base relation."""
+        if name in self._relations:
+            raise ValueError(f"table {name!r} already exists")
+        relation = TemporalRelation(name)
+        self._relations[name] = relation
+        return relation
+
+    def table(self, name: str) -> TemporalRelation:
+        return self._relations[name]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def create_view(
+        self,
+        name: str,
+        over: Union[str, TemporalRelation],
+        kind,
+        *,
+        window: Union[Time, _AnyWindow] = 0,
+        persistent: bool = False,
+        journaled: bool = False,
+        **view_kwargs,
+    ) -> TemporalAggregateView:
+        """Create a maintained aggregate view over a base table.
+
+        With ``persistent`` (requires the warehouse to have a directory)
+        the backing tree pages live in ``<directory>/<name>.sbt`` -- plus
+        ``<name>.ended.sbt`` for ANY_WINDOW SUM/COUNT/AVG views, which
+        need the second tree of Section 4.2.  ``journaled`` additionally
+        gives the page files crash-consistent rollback journals.
+        """
+        if name in self._views:
+            raise ValueError(f"view {name!r} already exists")
+        relation = self.table(over) if isinstance(over, str) else over
+        if journaled and not persistent:
+            raise ValueError("journaled views must be persistent")
+        if persistent:
+            if self.directory is None:
+                raise ValueError("a persistent view needs a warehouse directory")
+            from ..storage import PagedNodeStore
+
+            spec = spec_for(kind)
+            view_kwargs.setdefault(
+                "store",
+                PagedNodeStore(
+                    os.path.join(self.directory, f"{name}.sbt"),
+                    spec,
+                    journaled=journaled,
+                ),
+            )
+            if isinstance(window, _AnyWindow) and spec.invertible:
+                view_kwargs.setdefault(
+                    "ended_store",
+                    PagedNodeStore(
+                        os.path.join(self.directory, f"{name}.ended.sbt"),
+                        spec,
+                        journaled=journaled,
+                    ),
+                )
+        view = TemporalAggregateView(
+            name, relation, kind, window=window, **view_kwargs
+        )
+        self._views[name] = view
+        return view
+
+    def create_grouped_view(
+        self,
+        name: str,
+        over: Union[str, TemporalRelation],
+        kind,
+        *,
+        key_of,
+        window: Union[Time, _AnyWindow] = 0,
+        **view_kwargs,
+    ):
+        """Create a per-group maintained view family (GROUP BY key)."""
+        from .grouped import GroupedAggregateView
+
+        if name in self._views:
+            raise ValueError(f"view {name!r} already exists")
+        relation = self.table(over) if isinstance(over, str) else over
+        view = GroupedAggregateView(
+            name, relation, kind, key_of=key_of, window=window, **view_kwargs
+        )
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> TemporalAggregateView:
+        return self._views[name]
+
+    def drop_view(self, name: str) -> None:
+        """Detach and forget a view (its page files, if any, remain)."""
+        view = self._views.pop(name)
+        view.detach()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stores_of(view):
+        groups = getattr(view, "_groups", None)
+        if groups is not None:  # a grouped view: recurse into each group
+            stores = []
+            for sub_view in groups.values():
+                stores.extend(TemporalWarehouse._stores_of(sub_view))
+            return stores
+        index = view.index
+        dual_current = getattr(index, "current", None)
+        if dual_current is not None:
+            return [dual_current.store, index.ended.store]
+        return [getattr(index, "tree", index).store]
+
+    def checkpoint(self) -> None:
+        """Commit every journaled view store (a durable snapshot)."""
+        for view in self._views.values():
+            for store in self._stores_of(view):
+                commit = getattr(store, "commit", None)
+                if commit is not None:
+                    commit()
+
+    def close(self) -> None:
+        """Flush and close every persistent view store."""
+        for view in self._views.values():
+            for store in self._stores_of(view):
+                store.close()
+
+    def __enter__(self) -> "TemporalWarehouse":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

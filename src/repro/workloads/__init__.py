@@ -1,0 +1,23 @@
+"""Workload generators and reference datasets."""
+
+from .generators import (
+    Fact,
+    Operation,
+    insert_delete_stream,
+    long_interval_mix,
+    ordered,
+    uniform,
+)
+from .prescriptions import PRESCRIPTIONS, Prescription, prescription_facts
+
+__all__ = [
+    "Fact",
+    "Operation",
+    "PRESCRIPTIONS",
+    "Prescription",
+    "insert_delete_stream",
+    "long_interval_mix",
+    "ordered",
+    "prescription_facts",
+    "uniform",
+]

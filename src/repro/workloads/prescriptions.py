@@ -1,0 +1,38 @@
+"""The paper's running example: the ``Prescription`` base table (Figure 1).
+
+Each tuple records a patient, a daily dosage, and the prescription
+period as the tuple's valid interval.  All worked examples, figures and
+golden tests in this package are driven from this table.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from ..core.intervals import Interval
+
+__all__ = ["Prescription", "PRESCRIPTIONS", "prescription_facts"]
+
+
+class Prescription(NamedTuple):
+    """One row of the paper's Figure 1."""
+
+    patient: str
+    dosage: int
+    valid: Interval
+
+
+#: Figure 1 of the paper, in its listed order.
+PRESCRIPTIONS: List[Prescription] = [
+    Prescription("Amy", 2, Interval(10, 40)),
+    Prescription("Ben", 3, Interval(10, 30)),
+    Prescription("Coy", 1, Interval(20, 40)),
+    Prescription("Dan", 2, Interval(5, 15)),
+    Prescription("Eve", 4, Interval(35, 45)),
+    Prescription("Fred", 1, Interval(10, 50)),
+]
+
+
+def prescription_facts():
+    """Return the table as ``(value, interval)`` facts for aggregation."""
+    return [(p.dosage, p.valid) for p in PRESCRIPTIONS]

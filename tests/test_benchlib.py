@@ -1,0 +1,101 @@
+"""Tests for the benchmark harness helpers."""
+
+import math
+
+import pytest
+
+from repro.benchlib import (
+    Series,
+    fit_exponent,
+    format_table,
+    geometric_sizes,
+    scaled,
+    time_call,
+)
+
+
+class TestFitExponent:
+    def test_linear(self):
+        xs = [100, 200, 400, 800]
+        assert fit_exponent(xs, [2 * x for x in xs]) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        xs = [100, 200, 400, 800]
+        assert fit_exponent(xs, [x * x for x in xs]) == pytest.approx(2.0)
+
+    def test_constant(self):
+        xs = [100, 200, 400, 800]
+        assert fit_exponent(xs, [7, 7, 7, 7]) == pytest.approx(0.0)
+
+    def test_logarithmic_is_sublinear(self):
+        xs = [100, 200, 400, 800]
+        got = fit_exponent(xs, [math.log(x) for x in xs])
+        assert 0 < got < 0.5
+
+    def test_zero_measurements_clamped(self):
+        # A cold-cache zero must not produce -inf logs.
+        got = fit_exponent([1, 2, 4], [0.0, 1.0, 2.0])
+        assert math.isfinite(got)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1], [1])
+
+
+class TestFormatTable:
+    def test_alignment_and_values(self):
+        text = format_table(["n", "time"], [[100, 0.5], [2000, 0.0123]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "n" in lines[0] and "time" in lines[0]
+        assert "2000" in lines[2] or "2000" in lines[3]
+
+    def test_small_floats_scientific(self):
+        text = format_table(["x"], [[0.000012]])
+        assert "e-05" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestSeries:
+    def test_render_with_exponents(self):
+        series = Series("n", [10, 20, 40])
+        series.add("linear", [1, 2, 4])
+        series.add("flat", [3, 3, 3])
+        text = series.render()
+        assert "~n^" in text
+        assert series.exponent("linear") == pytest.approx(1.0)
+        assert series.exponent("flat") == pytest.approx(0.0)
+
+    def test_column_length_validated(self):
+        series = Series("n", [1, 2, 3])
+        with pytest.raises(ValueError):
+            series.add("bad", [1, 2])
+
+    def test_render_without_exponents(self):
+        series = Series("w", [0, 5])  # zero x would break a log fit
+        series.add("col", [1, 2])
+        text = series.render(with_exponents=False)
+        assert "~n^" not in text
+
+
+class TestMisc:
+    def test_geometric_sizes(self):
+        assert geometric_sizes(250, 4) == [250, 500, 1000, 2000]
+        assert geometric_sizes(10, 3, factor=3) == [10, 30, 90]
+
+    def test_time_call_returns_positive(self):
+        assert time_call(lambda: sum(range(1000))) > 0
+
+    def test_time_call_best_of(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeat=3)
+        assert len(calls) == 3
+
+    def test_scaled_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert scaled(100) == 100
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "4")
+        assert scaled(100) == 400

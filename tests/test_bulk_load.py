@@ -1,0 +1,123 @@
+"""Tests for bottom-up bulk loading and the rebuilt compact()."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ConstantIntervalTable,
+    Interval,
+    MSBTree,
+    NEG_INF,
+    POS_INF,
+    SBTree,
+    check_tree,
+)
+from repro.core import reference
+from repro.workloads import uniform
+
+times = st.integers(min_value=0, max_value=120)
+values = st.integers(min_value=-9, max_value=9)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(times)
+    return Interval(start, start + draw(st.integers(min_value=1, max_value=60)))
+
+
+facts_lists = st.lists(st.tuples(values, intervals()), min_size=0, max_size=30)
+
+
+def full_table(tree):
+    return tree.range_query(Interval(NEG_INF, POS_INF)).coalesce(tree.spec.eq)
+
+
+class TestBulkLoad:
+    @given(facts=facts_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_contents(self, facts):
+        source = SBTree("sum", branching=4, leaf_capacity=4)
+        for value, interval in facts:
+            source.insert(value, interval)
+        table = full_table(source)
+        target = SBTree("sum", branching=4, leaf_capacity=4)
+        target.bulk_load(table)
+        check_tree(target)
+        assert target.to_table() == source.to_table()
+
+    @given(facts=facts_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_loaded_tree_accepts_updates(self, facts):
+        tree = SBTree("count", branching=4, leaf_capacity=4)
+        for value, interval in facts:
+            tree.insert(value, interval)
+        tree.bulk_load(full_table(tree))
+        tree.insert(1, Interval(50, 90))
+        check_tree(tree)
+        live = facts + [(1, Interval(50, 90))]
+        assert tree.to_table() == reference.instantaneous_table(live, "count")
+
+    def test_empty_table(self):
+        tree = SBTree("sum", branching=4, leaf_capacity=4)
+        tree.insert(1, Interval(0, 10))
+        tree.bulk_load(ConstantIntervalTable())
+        assert tree.node_count() == 1
+        assert tree.to_table().rows == []
+
+    def test_partial_table_rejected(self):
+        tree = SBTree("sum", branching=4, leaf_capacity=4)
+        with pytest.raises(ValueError):
+            tree.bulk_load(ConstantIntervalTable([(1, Interval(0, 10))]))
+
+    def test_msb_annotations_rebuilt(self):
+        facts = [(i % 11, Interval(i * 2, i * 2 + 7)) for i in range(150)]
+        msb = MSBTree("max", branching=4, leaf_capacity=4)
+        for value, interval in facts:
+            msb.insert(value, interval)
+        msb.bulk_load(full_table(msb))
+        check_tree(msb)  # audits u-exactness
+        for t in range(0, 320, 13):
+            for w in (0, 5, 80):
+                assert msb.window_lookup(t, w) == reference.cumulative_value(
+                    facts, "max", t, w
+                )
+
+    def test_packed_leaves_are_near_full(self):
+        tree = SBTree("count", branching=8, leaf_capacity=8)
+        for i in range(400):
+            tree.insert(1, Interval(2 * i, 2 * i + 1))
+        incremental_nodes = tree.node_count()
+        tree.bulk_load(full_table(tree))
+        check_tree(tree)
+        # Bottom-up packing beats incrementally split ~half-full nodes.
+        assert tree.node_count() < incremental_nodes
+
+    def test_chunking_respects_minimums(self):
+        # 9 intervals at l=8 must not leave a 1-interval tail leaf.
+        chunks = SBTree._chunk(9, 8, 4)
+        assert sum(chunks) == 9
+        assert all(4 <= c <= 8 for c in chunks)
+        assert SBTree._chunk(3, 8, 4) == [3]  # lone chunk may be small
+        for total in range(1, 200):
+            chunks = SBTree._chunk(total, 8, 4)
+            assert sum(chunks) == total
+            if len(chunks) > 1:
+                assert all(4 <= c <= 8 for c in chunks)
+
+
+class TestCompactUsesBulkLoad:
+    def test_compact_is_linear_packed(self):
+        facts = uniform(500, horizon=20_000, max_duration=400, seed=5)
+        tree = SBTree("max", branching=8, leaf_capacity=8)
+        for value, interval in facts:
+            tree.insert(value, interval)
+        table_before = tree.to_table()
+        tree.compact()
+        check_tree(tree, check_compact=True)
+        assert tree.to_table() == table_before
+
+    def test_compact_empty_tree(self):
+        tree = SBTree("min", branching=4, leaf_capacity=4)
+        tree.compact()
+        assert tree.node_count() == 1
+        assert tree.lookup(0) is None

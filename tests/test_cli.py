@@ -1,0 +1,204 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def facts_csv(tmp_path):
+    path = tmp_path / "facts.csv"
+    path.write_text(
+        "value,start,end\n"
+        "2,10,40\n"
+        "3,10,30\n"
+        "1,20,40\n"
+        "2,5,15\n"
+        "4,35,45\n"
+        "1,10,50\n"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def sum_index(tmp_path, facts_csv):
+    path = str(tmp_path / "sum.sbt")
+    assert main(["build", path, "--kind", "sum", "--csv", facts_csv]) == 0
+    return path
+
+
+@pytest.fixture()
+def msb_index(tmp_path, facts_csv):
+    path = str(tmp_path / "max.sbt")
+    assert main(["build", path, "--kind", "max", "--csv", facts_csv, "--msb"]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_reports_count(self, tmp_path, facts_csv, capsys):
+        path = str(tmp_path / "t.sbt")
+        main(["build", path, "--kind", "sum", "--csv", facts_csv])
+        out = capsys.readouterr().out
+        assert "6 facts" in out
+
+    def test_header_line_skipped(self, sum_index):
+        # Six data rows, one header: built index answers Figure 3 values.
+        assert main(["lookup", sum_index, "19"]) == 0
+
+    def test_explicit_capacities(self, tmp_path, facts_csv):
+        path = str(tmp_path / "t.sbt")
+        code = main(
+            ["build", path, "--kind", "sum", "--csv", facts_csv,
+             "--branching", "4", "--leaf-capacity", "4"]
+        )
+        assert code == 0
+        assert main(["verify", path]) == 0
+
+
+class TestLookup:
+    def test_figure3_lookup(self, sum_index, capsys):
+        assert main(["lookup", sum_index, "19"]) == 0
+        assert capsys.readouterr().out.strip() == "6"
+
+    def test_windowed_lookup_on_msb(self, msb_index, capsys):
+        assert main(["lookup", msb_index, "50", "--window", "20"]) == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_windowed_lookup_rejected_on_plain_tree(self, sum_index, capsys):
+        assert main(["lookup", sum_index, "50", "--window", "20"]) == 2
+        assert "MSB" in capsys.readouterr().err
+
+
+class TestDumpAndRange:
+    def test_dump_matches_figure3(self, sum_index, capsys):
+        main(["dump", sum_index])
+        out = capsys.readouterr().out
+        assert "[5, 10)" in out
+        assert "[45, 50)" in out
+
+    def test_dump_limit(self, sum_index, capsys):
+        main(["dump", sum_index, "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+    def test_dump_to_csv_roundtrips(self, sum_index, tmp_path, capsys):
+        out_csv = str(tmp_path / "dump.csv")
+        assert main(["dump", sum_index, "--csv", out_csv]) == 0
+        from repro import ConstantIntervalTable
+
+        with open(out_csv) as handle:
+            table = ConstantIntervalTable.from_csv(handle)
+        assert table.value_at(19) == 6
+        # The exported CSV is itself valid `build` input.
+        rebuilt = str(tmp_path / "rebuilt.sbt")
+        assert main(["build", rebuilt, "--kind", "sum", "--csv", out_csv]) == 0
+        assert main(["lookup", rebuilt, "19"]) == 0
+        assert capsys.readouterr().out.strip().endswith("6")
+
+    def test_range_query(self, sum_index, capsys):
+        main(["range", sum_index, "14", "28"])
+        out = capsys.readouterr().out
+        assert "[14, 15)" in out
+        assert "[20, 28)" in out
+
+
+class TestInspectVerifyCompact:
+    def test_inspect_fields(self, sum_index, capsys):
+        assert main(["inspect", sum_index]) == 0
+        out = capsys.readouterr().out
+        for field in ("kind", "branching", "pages", "height", "nodes/level",
+                      "leaf fill"):
+            assert field in out
+        assert "sum" in out
+
+    def test_verify_ok(self, sum_index, capsys):
+        assert main(["verify", sum_index]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_compact(self, msb_index, capsys):
+        assert main(["compact", msb_index]) == 0
+        assert "compacted:" in capsys.readouterr().out
+        assert main(["verify", msb_index]) == 0
+
+    def test_inspect_msb(self, msb_index, capsys):
+        main(["inspect", msb_index])
+        assert "MSB-tree" in capsys.readouterr().out
+
+
+class TestTqlCommand:
+    @pytest.fixture()
+    def rx_csv(self, tmp_path):
+        path = tmp_path / "rx.csv"
+        path.write_text(
+            "value,start,end,patient\n"
+            "2,10,40,Amy\n"
+            "3,10,30,Ben\n"
+            "1,20,40,Coy\n"
+            "2,5,15,Dan\n"
+            "4,35,45,Eve\n"
+            "1,10,50,Fred\n"
+        )
+        return str(path)
+
+    def test_scalar_result(self, rx_csv, capsys):
+        code = main(["tql", "SUM(value) OVER rx AT 19", "--table", f"rx={rx_csv}"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "6"
+
+    def test_table_result(self, rx_csv, capsys):
+        main(["tql", "SUM(value) OVER rx DURING [14, 28)", "--table", f"rx={rx_csv}"])
+        out = capsys.readouterr().out
+        assert "[15, 20)" in out
+        assert "[20, 28)" in out
+
+    def test_payload_condition(self, rx_csv, capsys):
+        main(
+            ["tql", "SUM(value) OVER rx WHEN patient != 'Fred' AT 19",
+             "--table", f"rx={rx_csv}"]
+        )
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_partitioned_result(self, rx_csv, capsys):
+        main(
+            ["tql", "COUNT(value) OVER rx PARTITION BY patient AT 19",
+             "--table", f"rx={rx_csv}"]
+        )
+        out = capsys.readouterr().out
+        assert "Amy: 1" in out
+        assert "Dan: 0" in out
+
+    def test_bad_binding(self, rx_csv, capsys):
+        assert main(["tql", "SUM(value) OVER rx AT 1", "--table", "nonsense"]) == 2
+        assert "name=path" in capsys.readouterr().err
+
+    def test_tql_error_reported(self, rx_csv, capsys):
+        code = main(
+            ["tql", "SUM(value) OVER missing AT 1", "--table", f"rx={rx_csv}"]
+        )
+        assert code == 2
+        assert "unknown relation" in capsys.readouterr().err
+
+    def test_missing_columns(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit):
+            main(["tql", "SUM(value) OVER r AT 1", "--table", f"r={bad}"])
+
+
+class TestEntryPoint:
+    def test_module_invocation(self, sum_index):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lookup", sum_index, "19"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert result.stdout.strip() == "6"
+
+    def test_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,228 @@
+"""Tests for the concurrency layer: the RW lock and the tree wrapper."""
+
+import threading
+import time
+
+import pytest
+
+from repro import Interval, SBTree, check_tree
+from repro.concurrent import ConcurrentTree, ReadWriteLock
+from repro.core import reference
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(3, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all three readers inside together
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        writer_in = threading.Event()
+        release_writer = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                release_writer.wait(timeout=5)
+                order.append("writer-done")
+
+        def reader():
+            writer_in.wait(timeout=5)
+            with lock.read_locked():
+                order.append("reader")
+
+        wt = threading.Thread(target=writer)
+        rt = threading.Thread(target=reader)
+        wt.start()
+        rt.start()
+        time.sleep(0.05)  # give the reader a chance to (wrongly) slip in
+        release_writer.set()
+        wt.join(timeout=5)
+        rt.join(timeout=5)
+        assert order == ["writer-done", "reader"]
+
+    def test_writers_mutually_exclusive(self):
+        lock = ReadWriteLock()
+        counter = {"value": 0, "max_concurrent": 0, "current": 0}
+        guard = threading.Lock()
+
+        def writer():
+            for _ in range(200):
+                with lock.write_locked():
+                    with guard:
+                        counter["current"] += 1
+                        counter["max_concurrent"] = max(
+                            counter["max_concurrent"], counter["current"]
+                        )
+                    counter["value"] += 1
+                    with guard:
+                        counter["current"] -= 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert counter["value"] == 800
+        assert counter["max_concurrent"] == 1
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        events = []
+        reader_in = threading.Event()
+        release_first_reader = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                reader_in.set()
+                release_first_reader.wait(timeout=5)
+
+        def writer():
+            reader_in.wait(timeout=5)
+            with lock.write_locked():
+                events.append("writer")
+
+        def late_reader():
+            time.sleep(0.05)  # arrive after the writer is queued
+            with lock.read_locked():
+                events.append("late-reader")
+
+        threads = [
+            threading.Thread(target=first_reader),
+            threading.Thread(target=writer),
+            threading.Thread(target=late_reader),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)
+        release_first_reader.set()
+        for t in threads:
+            t.join(timeout=5)
+        # Writer preference: the queued writer goes before the late reader.
+        assert events == ["writer", "late-reader"]
+
+
+class TestConcurrentTree:
+    def test_passthrough_attributes(self):
+        wrapped = ConcurrentTree(SBTree("sum", branching=4, leaf_capacity=4))
+        assert wrapped.kind.value == "sum"
+        assert wrapped.height == 1
+
+    def test_stress_writers_and_readers(self):
+        """Interleaved threads; the final tree equals the oracle and
+        every concurrent read observed a structurally sane value."""
+        tree = ConcurrentTree(SBTree("count", branching=4, leaf_capacity=4))
+        n_writers, per_writer = 4, 60
+        all_facts = [
+            [
+                (1, Interval(w * 1000 + i * 7, w * 1000 + i * 7 + 30))
+                for i in range(per_writer)
+            ]
+            for w in range(n_writers)
+        ]
+        stop_reading = threading.Event()
+        read_errors = []
+
+        def writer(facts):
+            for value, interval in facts:
+                tree.insert(value, interval)
+
+        def reader():
+            while not stop_reading.is_set():
+                value = tree.lookup(1500)
+                if not isinstance(value, int) or value < 0:
+                    read_errors.append(value)
+                tree.range_query(Interval(0, 4000))
+
+        writers = [threading.Thread(target=writer, args=(f,)) for f in all_facts]
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join(timeout=30)
+        stop_reading.set()
+        for t in readers:
+            t.join(timeout=30)
+
+        assert not read_errors
+        flat = [fact for facts in all_facts for fact in facts]
+        assert tree.to_table() == reference.instantaneous_table(flat, "count")
+        check_tree(tree.tree)
+
+    def test_stress_mixed_insert_delete(self):
+        tree = ConcurrentTree(SBTree("sum", branching=4, leaf_capacity=4))
+        barrier = threading.Barrier(3, timeout=10)
+
+        def churn(offset):
+            barrier.wait()
+            for i in range(80):
+                interval = Interval(offset + i * 3, offset + i * 3 + 40)
+                tree.insert(2, interval)
+                tree.delete(2, interval)
+
+        threads = [threading.Thread(target=churn, args=(k * 500,)) for k in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        # Everything inserted was deleted: the tree must be empty again.
+        assert tree.to_table().rows == []
+        assert tree.tree.node_count() == 1
+
+    def test_window_lookup_under_lock(self):
+        from repro import MSBTree
+
+        msb = ConcurrentTree(MSBTree("max", branching=4, leaf_capacity=4))
+        msb.insert(5, Interval(0, 10))
+        assert msb.window_lookup(15, 10) == 5
+
+    def test_concurrent_access_to_paged_store(self, tmp_path):
+        """The wrapper serializes all access, so even the (unsynchronized)
+        paged store is safe behind it."""
+        from repro.storage import PagedNodeStore
+
+        with PagedNodeStore(str(tmp_path / "c.sbt"), "count", buffer_capacity=8) as store:
+            tree = ConcurrentTree(SBTree("count", store, branching=6, leaf_capacity=6))
+            barrier = threading.Barrier(4, timeout=10)
+
+            def work(offset):
+                barrier.wait()
+                for i in range(50):
+                    tree.insert(1, Interval(offset + i * 2, offset + i * 2 + 9))
+                    tree.lookup(offset + i)
+
+            threads = [threading.Thread(target=work, args=(k * 200,)) for k in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert tree.lookup(1) in range(0, 10)  # sane value
+            check_tree(tree.tree)
+            facts = []
+            for k in range(4):
+                facts += [
+                    (1, Interval(k * 200 + i * 2, k * 200 + i * 2 + 9))
+                    for i in range(50)
+                ]
+            assert tree.to_table() == reference.instantaneous_table(facts, "count")
+
+    def test_shared_lock_across_trees(self):
+        """A dual-tree pair can share one lock for atomic updates."""
+        from repro import DualTreeAggregate
+
+        lock = ReadWriteLock()
+        dual = ConcurrentTree(DualTreeAggregate("sum", branching=4, leaf_capacity=4), lock)
+        dual.insert(3, Interval(0, 10))
+        assert dual.window_lookup(12, 5) == 3

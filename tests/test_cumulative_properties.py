@@ -1,0 +1,168 @@
+"""Property tests for cumulative (moving-window) aggregates.
+
+Three computation routes must agree with the oracle and each other:
+
+* a :class:`FixedWindowTree` built for the queried offset (Section 4.1),
+* the :class:`DualTreeAggregate` pair for SUM/COUNT/AVG (Section 4.2),
+* the :class:`MSBTree` ``mlookup`` for MIN/MAX (Section 4.3).
+
+This cross-agreement is also the regression pin for the Figure 21
+erratum documented in DESIGN.md.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    DualTreeAggregate,
+    FixedWindowTree,
+    Interval,
+    MSBTree,
+    check_tree,
+)
+from repro.core import reference
+
+times = st.integers(min_value=0, max_value=100)
+values = st.integers(min_value=-9, max_value=9)
+offsets = st.integers(min_value=0, max_value=40)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(times)
+    length = draw(st.integers(min_value=1, max_value=50))
+    return Interval(start, start + length)
+
+
+facts_lists = st.lists(st.tuples(values, intervals()), min_size=0, max_size=20)
+
+
+@pytest.mark.parametrize("kind", ("sum", "count", "avg", "min", "max"))
+@given(facts=facts_lists, w=offsets, t=times)
+@settings(max_examples=50, deadline=None)
+def test_fixed_window_lookup_matches_oracle(kind, facts, w, t):
+    tree = FixedWindowTree(kind, window=w, branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        tree.insert(value, interval)
+    assert tree.lookup(t) == reference.cumulative_value(facts, kind, t, w)
+
+
+@pytest.mark.parametrize("kind", ("sum", "count", "avg"))
+@given(facts=facts_lists, w=offsets, t=times)
+@settings(max_examples=50, deadline=None)
+def test_dual_tree_lookup_matches_oracle(kind, facts, w, t):
+    dual = DualTreeAggregate(kind, branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        dual.insert(value, interval)
+    check_tree(dual.current)
+    check_tree(dual.ended)
+    assert dual.window_lookup(t, w) == reference.cumulative_value(facts, kind, t, w)
+
+
+@pytest.mark.parametrize("kind", ("sum", "avg"))
+@given(facts=facts_lists, w=offsets)
+@settings(max_examples=30, deadline=None)
+def test_dual_tree_table_matches_oracle(kind, facts, w):
+    dual = DualTreeAggregate(kind, branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        dual.insert(value, interval)
+    assert dual.window_table(w) == reference.cumulative_table(facts, kind, w)
+
+
+@given(facts=facts_lists, w=offsets)
+@settings(max_examples=30, deadline=None)
+def test_dual_tree_with_deletions(facts, w):
+    """Insert everything, delete every third fact, compare with oracle."""
+    dual = DualTreeAggregate("sum", branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        dual.insert(value, interval)
+    deleted = facts[::3]
+    for value, interval in deleted:
+        dual.delete(value, interval)
+    live = [f for i, f in enumerate(facts) if i % 3 != 0]
+    assert dual.window_table(w) == reference.cumulative_table(live, "sum", w)
+
+
+@pytest.mark.parametrize("kind", ("min", "max"))
+@given(facts=facts_lists, w=offsets, t=times)
+@settings(max_examples=50, deadline=None)
+def test_msb_window_lookup_matches_oracle(kind, facts, w, t):
+    msb = MSBTree(kind, branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        msb.insert(value, interval)
+    check_tree(msb)
+    assert msb.window_lookup(t, w) == reference.cumulative_value(facts, kind, t, w)
+
+
+@pytest.mark.parametrize("kind", ("min", "max"))
+@given(facts=facts_lists, w=offsets, t=times)
+@settings(max_examples=25, deadline=None)
+def test_msb_lookup_survives_mbmerge(kind, facts, w, t):
+    msb = MSBTree(kind, branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        msb.insert(value, interval)
+    msb.mbmerge()
+    check_tree(msb, check_compact=True)
+    assert msb.window_lookup(t, w) == reference.cumulative_value(facts, kind, t, w)
+
+
+@given(facts=facts_lists, w=offsets)
+@settings(max_examples=25, deadline=None)
+def test_msb_window_query_matches_pointwise(facts, w):
+    msb = MSBTree("max", branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        msb.insert(value, interval)
+    window = Interval(0, 160)
+    table = msb.window_query(window, w)
+    for t in range(0, 160, 7):
+        assert table.value_at(t) == reference.cumulative_value(facts, "max", t, w)
+
+
+@pytest.mark.parametrize("kind", ("sum", "avg"))
+@given(facts=facts_lists, t=times, w=offsets)
+@settings(max_examples=30, deadline=None)
+def test_fixed_window_and_dual_tree_agree(kind, facts, t, w):
+    """The Figure 21 erratum pin: both routes must agree everywhere."""
+    fixed = FixedWindowTree(kind, window=w, branching=4, leaf_capacity=4)
+    dual = DualTreeAggregate(kind, branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        fixed.insert(value, interval)
+        dual.insert(value, interval)
+    assert fixed.lookup(t) == dual.window_lookup(t, w)
+
+
+@given(facts=facts_lists, t=times, w=offsets)
+@settings(max_examples=30, deadline=None)
+def test_fixed_window_and_msb_agree(facts, t, w):
+    fixed = FixedWindowTree("min", window=w, branching=4, leaf_capacity=4)
+    msb = MSBTree("min", branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        fixed.insert(value, interval)
+        msb.insert(value, interval)
+    assert fixed.lookup(t) == msb.window_lookup(t, w)
+
+
+def test_figure20_counterexample():
+    """Figure 20: instantaneous SUMs equal, cumulative SUMs differ.
+
+    R1 = {<1,[10,20)>, <1,[20,30)>} and R2 = {<1,[10,30)>} have the same
+    instantaneous SUM but different cumulative SUMs for w = 10, so no
+    single instantaneous index can answer cumulative SUM queries.
+    """
+    r1 = [(1, Interval(10, 20)), (1, Interval(20, 30))]
+    r2 = [(1, Interval(10, 30))]
+    assert reference.instantaneous_table(r1, "sum") == reference.instantaneous_table(
+        r2, "sum"
+    )
+    d1 = DualTreeAggregate("sum", branching=4, leaf_capacity=4)
+    d2 = DualTreeAggregate("sum", branching=4, leaf_capacity=4)
+    for value, interval in r1:
+        d1.insert(value, interval)
+    for value, interval in r2:
+        d2.insert(value, interval)
+    # Identical instantaneous contents...
+    assert d1.current.to_table() == d2.current.to_table()
+    # ...but different cumulative results, resolved by the T' trees.
+    assert d1.window_table(10) != d2.window_table(10)
+    assert d1.window_lookup(25, 10) == 2  # both R1 tuples overlap [15, 25]
+    assert d2.window_lookup(25, 10) == 1

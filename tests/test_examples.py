@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run cleanly."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_exist():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should print something"
+
+
+def test_quickstart_reproduces_figure3():
+    result = run_example("quickstart.py")
+    # The Figure 3 rows appear in the printed SumDosage table.
+    for fragment in ("2  [5, 10)", "8  [10, 15)", "1  [45, 50)"):
+        assert fragment in result.stdout
+    assert "lookup(SumDosage, 19) = 6" in result.stdout
+
+
+def test_warehouse_example_shows_advantage():
+    result = run_example("warehouse_dosage.py")
+    assert "Both representations agree: True" in result.stdout
+    assert "advantage" in result.stdout
+
+
+def test_monitoring_example_reports_flat_reads():
+    result = run_example("moving_window_monitoring.py")
+    assert "MSB-tree node reads" in result.stdout

@@ -1,0 +1,110 @@
+"""Tests for grouped (GROUP BY) maintained views."""
+
+import pytest
+
+from repro import Interval
+from repro.relation import TemporalRelation
+from repro.warehouse import ANY_WINDOW, GroupedAggregateView
+from repro.workloads import PRESCRIPTIONS
+
+
+@pytest.fixture()
+def setup():
+    rel = TemporalRelation("prescription")
+    view = GroupedAggregateView(
+        "DosageByPatient", rel, "sum",
+        key_of=lambda row: row.payload["patient"],
+        branching=4, leaf_capacity=4,
+    )
+    rows = {}
+    for p in PRESCRIPTIONS:
+        rows[p.patient] = rel.insert(p.dosage, p.valid, patient=p.patient)
+    return rel, view, rows
+
+
+class TestGroupedView:
+    def test_per_group_values(self, setup):
+        _, view, _ = setup
+        assert view.value_at("Amy", 19) == 2
+        assert view.value_at("Fred", 19) == 1
+        assert view.value_at("Dan", 19) == 0  # ended at 15
+
+    def test_unknown_key_is_empty_group(self, setup):
+        _, view, _ = setup
+        assert view.value_at("Nobody", 19) == 0
+
+    def test_values_at_covers_all_groups(self, setup):
+        _, view, _ = setup
+        values = view.values_at(19)
+        assert set(values) == {p.patient for p in PRESCRIPTIONS}
+        assert values["Ben"] == 3
+
+    def test_group_table(self, setup):
+        _, view, _ = setup
+        table = view.table("Amy")
+        assert [(v, (i.start, i.end)) for v, i in table] == [(2, (10, 40))]
+
+    def test_incremental_updates(self, setup):
+        rel, view, rows = setup
+        rel.insert(5, Interval(15, 45), patient="Amy")  # second Amy tuple
+        assert view.value_at("Amy", 19) == 7
+        rel.delete(rows["Amy"])
+        assert view.value_at("Amy", 19) == 5
+
+    def test_replay_on_creation(self):
+        rel = TemporalRelation("r")
+        for p in PRESCRIPTIONS:
+            rel.insert(p.dosage, p.valid, patient=p.patient)
+        view = GroupedAggregateView(
+            "late", rel, "count",
+            key_of=lambda row: row.payload["patient"],
+            branching=4, leaf_capacity=4,
+        )
+        assert view.value_at("Amy", 19) == 1
+
+    def test_detach(self, setup):
+        rel, view, _ = setup
+        view.detach()
+        rel.insert(9, Interval(0, 100), patient="Amy")
+        assert view.value_at("Amy", 19) == 2  # unchanged
+
+    def test_min_group_rejects_deletion_atomically(self):
+        rel = TemporalRelation("r")
+        view = GroupedAggregateView(
+            "worst", rel, "max",
+            key_of=lambda row: row.payload["host"],
+            branching=4, leaf_capacity=4,
+        )
+        row = rel.insert(10, Interval(0, 50), host="a")
+        with pytest.raises(ValueError):
+            rel.delete(row)
+        # The veto fired before anything mutated.
+        assert len(rel) == 1
+        assert view.value_at("a", 10) == 10
+
+    def test_any_window_groups(self):
+        rel = TemporalRelation("r")
+        view = GroupedAggregateView(
+            "cum", rel, "max",
+            key_of=lambda row: row.payload["host"],
+            window=ANY_WINDOW,
+            branching=4, leaf_capacity=4,
+        )
+        rel.insert(7, Interval(0, 10), host="a")
+        rel.insert(3, Interval(20, 30), host="a")
+        rel.insert(9, Interval(0, 10), host="b")
+        assert view.value_at("a", 25, 20) == 7  # window [5,25] catches both
+        assert view.value_at("a", 25, 5) == 3
+        assert view.value_at("b", 25, 20) == 9
+
+    def test_matches_partitioned_query(self, setup):
+        rel, view, _ = setup
+        from repro.query import TemporalQuery
+
+        expected = (
+            TemporalQuery(rel)
+            .aggregate("sum")
+            .partition_by(lambda row: row.payload["patient"])
+            .at(19)
+        )
+        assert view.values_at(19) == expected

@@ -1,0 +1,130 @@
+"""Unit tests for the interval algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Interval, NEG_INF, POS_INF
+from repro.core.intervals import coalesce_pairs, is_finite
+
+
+class TestConstruction:
+    def test_valid(self):
+        i = Interval(5, 10)
+        assert i.start == 5 and i.end == 10
+
+    @pytest.mark.parametrize("start,end", [(5, 5), (10, 5), (0, 0)])
+    def test_empty_or_inverted_rejected(self, start, end):
+        with pytest.raises(ValueError):
+            Interval(start, end)
+
+    def test_unbounded(self):
+        assert Interval(NEG_INF, 5).start == -math.inf
+        assert Interval(5, POS_INF).end == math.inf
+        assert Interval(NEG_INF, POS_INF).length == math.inf
+
+    def test_is_finite(self):
+        assert is_finite(0) and is_finite(-5.5)
+        assert not is_finite(NEG_INF) and not is_finite(POS_INF)
+
+    def test_is_bounded(self):
+        assert Interval(1, 2).is_bounded
+        assert not Interval(NEG_INF, 2).is_bounded
+
+
+class TestPredicates:
+    def test_contains_half_open(self):
+        i = Interval(5, 10)
+        assert i.contains(5)
+        assert i.contains(9)
+        assert not i.contains(10)
+        assert not i.contains(4)
+        assert 7 in i
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(5, 15))
+        assert not Interval(0, 10).overlaps(Interval(10, 15))  # touching
+        assert Interval(0, 100).overlaps(Interval(40, 50))
+
+    def test_covers(self):
+        assert Interval(0, 10).covers(Interval(0, 10))
+        assert Interval(0, 10).covers(Interval(3, 7))
+        assert not Interval(0, 10).covers(Interval(3, 11))
+
+    def test_meets(self):
+        assert Interval(0, 5).meets(Interval(5, 9))
+        assert not Interval(0, 5).meets(Interval(6, 9))
+
+    def test_window_overlap_is_closed_on_both_ends(self):
+        # [5, 15) vs closed [15, 20]: 15 not in the tuple interval.
+        assert not Interval(5, 15).overlaps_window(15, 20)
+        # [5, 15) vs closed [14, 20]: instant 14 is shared.
+        assert Interval(5, 15).overlaps_window(14, 20)
+        # [20, 25) vs closed [10, 20]: instant 20 is shared.
+        assert Interval(20, 25).overlaps_window(10, 20)
+
+    def test_within_window(self):
+        assert Interval(5, 10).within_window(5, 10)
+        assert not Interval(5, 11).within_window(5, 10)
+
+
+class TestCombinators:
+    def test_intersection(self):
+        assert Interval(0, 10).intersection(Interval(5, 15)) == Interval(5, 10)
+        assert Interval(0, 10).intersection(Interval(10, 15)) is None
+
+    def test_shifted_and_extended(self):
+        assert Interval(5, 10).shifted(3) == Interval(8, 13)
+        assert Interval(5, 10).extended(4) == Interval(5, 14)
+        with pytest.raises(ValueError):
+            Interval(5, 10).extended(-1)
+
+    def test_extend_infinite_end(self):
+        assert Interval(5, POS_INF).extended(4) == Interval(5, POS_INF)
+
+
+class TestStr:
+    def test_finite(self):
+        assert str(Interval(5, 10)) == "[5, 10)"
+
+    def test_unbounded(self):
+        assert str(Interval(NEG_INF, 10)) == "(-inf, 10)"
+        assert str(Interval(5, POS_INF)) == "[5, inf)"
+
+
+@given(
+    a=st.integers(-100, 100),
+    b=st.integers(-100, 100),
+    c=st.integers(-100, 100),
+    d=st.integers(-100, 100),
+)
+def test_overlap_symmetry_and_intersection_consistency(a, b, c, d):
+    if not (a < b and c < d):
+        return
+    x, y = Interval(a, b), Interval(c, d)
+    assert x.overlaps(y) == y.overlaps(x)
+    assert (x.intersection(y) is not None) == x.overlaps(y)
+    if x.overlaps(y):
+        assert x.intersection(y) == y.intersection(x)
+
+
+class TestCoalescePairs:
+    def test_merges_touching_equal(self):
+        pairs = [(1, Interval(0, 5)), (1, Interval(5, 10)), (2, Interval(10, 12))]
+        assert list(coalesce_pairs(pairs)) == [
+            (1, Interval(0, 10)),
+            (2, Interval(10, 12)),
+        ]
+
+    def test_keeps_gapped_equal(self):
+        pairs = [(1, Interval(0, 5)), (1, Interval(6, 10))]
+        assert list(coalesce_pairs(pairs)) == pairs
+
+    def test_custom_equality(self):
+        pairs = [((1, 2), Interval(0, 5)), ((1.0, 2.0), Interval(5, 10))]
+        merged = list(coalesce_pairs(pairs, equal=lambda a, b: a == b))
+        assert len(merged) == 1
+
+    def test_empty(self):
+        assert list(coalesce_pairs([])) == []

@@ -1,0 +1,180 @@
+"""Crash-consistency tests for the pager's rollback journal.
+
+Crashes are simulated by abandoning a pager/store mid-transaction
+(without close/commit) and reopening the files: recovery must roll the
+page file back to the last committed snapshot, bit for bit.
+"""
+
+import os
+
+import pytest
+
+from repro import Interval, SBTree, check_tree
+from repro.storage import PagedNodeStore, Pager
+
+
+class TestPagerJournal:
+    def test_journal_created_and_cleared(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        pager = Pager(path, page_size=512, journaled=True)
+        pid = pager.allocate_page()
+        pager.commit()
+        assert not os.path.exists(pager.journal_path)
+        pager.write_page(pid, b"second")
+        assert os.path.exists(pager.journal_path)
+        assert pager.in_transaction()
+        pager.commit()
+        assert not os.path.exists(pager.journal_path)
+        assert not pager.in_transaction()
+        pager.close()
+
+    def test_uncommitted_write_rolled_back(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        pager = Pager(path, page_size=512, journaled=True)
+        pid = pager.allocate_page()
+        pager.write_page(pid, b"committed")
+        pager.commit()
+        pager.write_page(pid, b"uncommitted")
+        pager._file.flush()  # data hit the file, but no commit
+        pager._file.close()  # simulated crash (no close() bookkeeping)
+
+        recovered = Pager(path, journaled=True)
+        assert recovered.read_page(pid).rstrip(b"\x00") == b"committed"
+        recovered.close()
+
+    def test_new_pages_truncated_on_rollback(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        pager = Pager(path, page_size=512, journaled=True)
+        pager.allocate_page()
+        pager.commit()
+        committed_pages = pager.page_count
+        for _ in range(5):
+            pager.allocate_page()
+        pager._file.flush()
+        pager._file.close()  # crash with 5 uncommitted new pages
+
+        recovered = Pager(path, journaled=True)
+        assert recovered.page_count == committed_pages
+        assert os.path.getsize(path) == committed_pages * 512
+        recovered.close()
+
+    def test_header_changes_rolled_back(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        pager = Pager(path, page_size=512, journaled=True)
+        pid = pager.allocate_page()
+        pager.set_root(pid)
+        pager.set_meta("kind", "sum")
+        pager.commit()
+        pager.set_meta("kind", "avg")  # uncommitted header change
+        pager._file.flush()
+        pager._file.close()
+
+        recovered = Pager(path, journaled=True)
+        assert recovered.get_meta("kind") == "sum"
+        assert recovered.get_root() == pid
+        recovered.close()
+
+    def test_torn_journal_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        pager = Pager(path, page_size=512, journaled=True)
+        a = pager.allocate_page()
+        b = pager.allocate_page()
+        pager.write_page(a, b"A1")
+        pager.write_page(b, b"B1")
+        pager.commit()
+        pager.write_page(a, b"A2")
+        pager.write_page(b, b"B2")
+        pager._file.flush()
+        if pager._journal_file is not None:
+            pager._journal_file.flush()
+        pager._file.close()
+        # Tear the journal: chop the last record in half.
+        size = os.path.getsize(pager.journal_path)
+        with open(pager.journal_path, "r+b") as j:
+            j.truncate(size - 200)
+
+        recovered = Pager(path, journaled=True)
+        # The complete record (page a) must be restored.
+        assert recovered.read_page(a).rstrip(b"\x00") == b"A1"
+        recovered.close()
+
+    def test_clean_close_commits(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        pager = Pager(path, page_size=512, journaled=True)
+        pid = pager.allocate_page()
+        pager.write_page(pid, b"final")
+        pager.close()  # clean shutdown commits
+        assert not os.path.exists(path + "-journal")
+        with Pager(path, journaled=True) as reopened:
+            assert reopened.read_page(pid).rstrip(b"\x00") == b"final"
+
+    def test_unjournaled_pager_never_journals(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        with Pager(path, page_size=512) as pager:
+            pid = pager.allocate_page()
+            pager.write_page(pid, b"x")
+            assert not os.path.exists(path + "-journal")
+
+
+class TestStoreCrashRecovery:
+    def build_store(self, path):
+        store = PagedNodeStore(
+            path, "sum", page_size=1024, buffer_capacity=16, journaled=True
+        )
+        tree = SBTree("sum", store, branching=6, leaf_capacity=6)
+        return store, tree
+
+    def test_tree_rolls_back_to_committed_snapshot(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        store, tree = self.build_store(path)
+        committed_facts = [(i % 5 + 1, Interval(i * 4, i * 4 + 20)) for i in range(40)]
+        for value, interval in committed_facts:
+            tree.insert(value, interval)
+        store.commit()
+        committed_table = tree.to_table()
+
+        # More uncommitted work, then a crash.
+        for i in range(40, 80):
+            tree.insert(2, Interval(i * 4, i * 4 + 20))
+        store.buffer.flush()  # dirty pages reach the file...
+        store.pager._file.flush()
+        store.pager._file.close()  # ...but the transaction never commits
+
+        with PagedNodeStore(path, journaled=True) as recovered_store:
+            recovered = SBTree(store=recovered_store)
+            assert recovered.to_table() == committed_table
+            check_tree(recovered)
+            # The recovered tree is fully usable.
+            recovered.insert(9, Interval(0, 5))
+            assert recovered.lookup(1) == committed_table.value_at(1) + 9
+
+    def test_crash_before_any_commit_leaves_empty_tree(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        store, tree = self.build_store(path)
+        store.commit()  # commit the empty tree
+        for i in range(30):
+            tree.insert(1, Interval(i, i + 10))
+        store.buffer.flush()
+        store.pager._file.flush()
+        store.pager._file.close()
+
+        with PagedNodeStore(path, journaled=True) as recovered_store:
+            recovered = SBTree(store=recovered_store)
+            assert recovered.to_table().rows == []
+
+    def test_multiple_commit_points(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        store, tree = self.build_store(path)
+        tree.insert(1, Interval(0, 10))
+        store.commit()
+        tree.insert(2, Interval(5, 15))
+        store.commit()
+        snapshot = tree.to_table()
+        tree.insert(3, Interval(7, 12))  # never committed
+        store.buffer.flush()
+        store.pager._file.flush()
+        store.pager._file.close()
+
+        with PagedNodeStore(path, journaled=True) as recovered_store:
+            recovered = SBTree(store=recovered_store)
+            assert recovered.to_table() == snapshot

@@ -1,0 +1,132 @@
+"""Property tests for the node model and page codec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.nodes import Node
+from repro.core.values import spec_for
+from repro.storage import NodeCodec
+
+finite_times = st.integers(min_value=-(2**40), max_value=2**40)
+numbers = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(
+        min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestNodeModel:
+    def test_find_uses_half_open_semantics(self):
+        node = Node(1, True, times=[10, 20, 30], values=[0, 1, 2, 3])
+        assert node.find(9) == 0
+        assert node.find(10) == 1
+        assert node.find(19) == 1
+        assert node.find(20) == 2
+        assert node.find(30) == 3
+        assert node.find(1_000) == 3
+
+    @given(times=st.lists(finite_times, unique=True, min_size=1, max_size=30))
+    def test_find_is_consistent_with_bounds(self, times):
+        times = sorted(times)
+        node = Node(1, True, times=list(times), values=[0] * (len(times) + 1))
+        lo, hi = -math.inf, math.inf
+        for probe in times + [t + 1 for t in times] + [times[0] - 5]:
+            i = node.find(probe)
+            start, end = node.bounds(i, lo, hi)
+            assert start <= probe < end
+
+    def test_bounds_edges_inherit_span(self):
+        node = Node(1, True, times=[10], values=[0, 1])
+        assert node.bounds(0, -50, 99) == (-50, 10)
+        assert node.bounds(1, -50, 99) == (10, 99)
+
+    def test_interval_count(self):
+        node = Node(1, True, times=[1, 2], values=[0, 0, 0])
+        assert node.interval_count == 3
+
+    def test_clone_shell_keeps_shape_flags(self):
+        interior = Node(1, False, uvalues=[1])
+        clone = interior.clone_shell(9)
+        assert clone.node_id == 9
+        assert not clone.is_leaf
+        assert clone.uvalues == []
+        leaf = Node(2, True)
+        assert leaf.clone_shell(3).uvalues is None
+
+
+@st.composite
+def leaf_nodes(draw, value_strategy, allow_null=False):
+    times = sorted(draw(st.lists(finite_times, unique=True, max_size=20)))
+    count = len(times) + 1
+    values = []
+    for _ in range(count):
+        if allow_null and draw(st.booleans()):
+            values.append(None)
+        else:
+            values.append(draw(value_strategy))
+    return Node(7, True, times=times, values=values)
+
+
+class TestCodecProperties:
+    @pytest.mark.parametrize("kind", ["sum", "count"])
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_numeric_leaf_roundtrip(self, kind, data):
+        node = data.draw(leaf_nodes(numbers))
+        codec = NodeCodec(spec_for(kind), payload_size=4092)
+        decoded = codec.decode(codec.encode(node), 7)
+        assert decoded.times == node.times
+        assert decoded.values == node.values
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_leaf_roundtrip_with_nulls(self, data):
+        node = data.draw(leaf_nodes(numbers, allow_null=True))
+        codec = NodeCodec(spec_for("max"), payload_size=4092)
+        decoded = codec.decode(codec.encode(node), 7)
+        assert decoded.values == node.values
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_avg_pair_roundtrip(self, data):
+        pairs = st.tuples(numbers, st.integers(min_value=-(2**30), max_value=2**30))
+        node = data.draw(leaf_nodes(pairs))
+        codec = NodeCodec(spec_for("avg"), payload_size=8188)
+        decoded = codec.decode(codec.encode(node), 7)
+        assert decoded.values == node.values
+
+    @given(
+        children=st.lists(
+            st.integers(min_value=1, max_value=2**40), min_size=1, max_size=20
+        ),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interior_roundtrip(self, children, seed):
+        count = len(children)
+        node = Node(
+            3,
+            False,
+            times=list(range(count - 1)),
+            values=[seed + i for i in range(count)],
+            children=children,
+            uvalues=[seed - i for i in range(count)],
+        )
+        codec = NodeCodec(spec_for("max"), payload_size=4092)
+        decoded = codec.decode(codec.encode(node), 3)
+        assert decoded.children == children
+        assert decoded.uvalues == node.uvalues
+        assert decoded.times == node.times
+
+    def test_whole_floats_restore_to_int(self):
+        codec = NodeCodec(spec_for("sum"), payload_size=4092)
+        node = Node(1, True, times=[2.0], values=[3.0, 4.5])
+        decoded = codec.decode(codec.encode(node), 1)
+        assert decoded.times == [2]
+        assert isinstance(decoded.times[0], int)
+        assert decoded.values == [3, 4.5]
+        assert isinstance(decoded.values[0], int)
+        assert isinstance(decoded.values[1], float)

@@ -1,0 +1,77 @@
+"""Tests for parallel bucket aggregation and parallel index building."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import pytest
+
+from repro import Interval, SBTree, check_tree
+from repro.core import reference
+from repro.parallel import parallel_build, parallel_compute
+from repro.workloads import prescription_facts, uniform
+
+FACTS = uniform(300, horizon=10_000, max_duration=800, seed=9)
+
+
+class TestParallelCompute:
+    def test_sequential_matches_oracle(self):
+        got = parallel_compute(FACTS, "sum", num_buckets=8)
+        assert got == reference.instantaneous_table(FACTS, "sum")
+
+    def test_thread_pool_matches_oracle(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            got = parallel_compute(FACTS, "sum", num_buckets=8, executor=pool)
+        assert got == reference.instantaneous_table(FACTS, "sum")
+
+    def test_process_pool_matches_oracle(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            got = parallel_compute(FACTS, "avg", num_buckets=4, executor=pool)
+        assert got == reference.instantaneous_table(FACTS, "avg")
+
+    def test_minmax_route(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            got = parallel_compute(FACTS, "max", num_buckets=8, executor=pool)
+        assert got == reference.instantaneous_table(FACTS, "max")
+
+    def test_empty_input(self):
+        assert parallel_compute([], "sum").rows == []
+
+    @pytest.mark.parametrize("nb", [1, 2, 7, 32])
+    def test_bucket_count_invariance(self, nb):
+        got = parallel_compute(FACTS, "count", num_buckets=nb)
+        assert got == reference.instantaneous_table(FACTS, "count")
+
+
+class TestParallelBuild:
+    def test_built_index_answers_queries(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            tree = parallel_build(
+                FACTS, "sum", num_buckets=8, executor=pool,
+                branching=16, leaf_capacity=16,
+            )
+        check_tree(tree)
+        assert tree.to_table() == reference.instantaneous_table(FACTS, "sum")
+        for t in (100, 5_000, 9_000):
+            assert tree.lookup(t) == reference.instantaneous_value(FACTS, "sum", t)
+
+    def test_built_index_is_maintainable(self):
+        tree = parallel_build(
+            prescription_facts(), "sum", num_buckets=2,
+            branching=4, leaf_capacity=4,
+        )
+        assert tree.lookup(19) == 6
+        tree.insert(5, Interval(15, 45))
+        assert tree.lookup(19) == 11
+        tree.delete(5, Interval(15, 45))
+        assert tree.lookup(19) == 6
+        check_tree(tree)
+
+    def test_empty_build(self):
+        tree = parallel_build([], "sum", branching=4, leaf_capacity=4)
+        assert tree.to_table().rows == []
+
+    def test_equivalent_to_incremental_build(self):
+        incremental = SBTree("sum", branching=16, leaf_capacity=16)
+        for value, interval in FACTS:
+            incremental.insert(value, interval)
+        built = parallel_build(FACTS, "sum", branching=16, leaf_capacity=16)
+        assert built.to_table() == incremental.to_table()

@@ -1,0 +1,217 @@
+"""Tests for the temporal query layer."""
+
+import pytest
+
+from repro import Interval
+from repro.core import reference
+from repro.query import TemporalQuery
+from repro.relation import TemporalRelation
+from repro.workloads import PRESCRIPTIONS, prescription_facts
+
+
+@pytest.fixture()
+def prescriptions():
+    rel = TemporalRelation("prescription")
+    for p in PRESCRIPTIONS:
+        rel.insert(p.dosage, p.valid, patient=p.patient)
+    return rel
+
+
+def rows(table):
+    return [(value, (interval.start, interval.end)) for value, interval in table]
+
+
+class TestBasicQueries:
+    def test_sum_table_is_figure3(self, prescriptions):
+        table = TemporalQuery(prescriptions).aggregate("sum").table()
+        assert rows(table) == [
+            (2, (5, 10)),
+            (8, (10, 15)),
+            (6, (15, 20)),
+            (7, (20, 30)),
+            (4, (30, 35)),
+            (8, (35, 40)),
+            (5, (40, 45)),
+            (1, (45, 50)),
+        ]
+
+    def test_at_instant(self, prescriptions):
+        q = TemporalQuery(prescriptions).aggregate("sum")
+        assert q.at(19) == 6
+        assert q.at(1000) == 0
+
+    def test_avg_finalized(self, prescriptions):
+        q = TemporalQuery(prescriptions).aggregate("avg")
+        assert q.at(32) == pytest.approx(4 / 3)
+
+    def test_min_max(self, prescriptions):
+        assert TemporalQuery(prescriptions).aggregate("max").at(37) == 4
+        assert TemporalQuery(prescriptions).aggregate("min").at(37) == 1
+
+    def test_missing_aggregate_raises(self, prescriptions):
+        with pytest.raises(ValueError):
+            TemporalQuery(prescriptions).table()
+
+    def test_over_interval(self, prescriptions):
+        q = TemporalQuery(prescriptions).aggregate("sum")
+        got = q.over(Interval(14, 28))
+        assert rows(got) == [(8, (14, 15)), (6, (15, 20)), (7, (20, 28))]
+
+    def test_over_pads_gaps_with_initial(self, prescriptions):
+        q = TemporalQuery(prescriptions).aggregate("sum")
+        got = q.over(Interval(0, 8))
+        assert rows(got) == [(0, (0, 5)), (2, (5, 8))]
+
+
+class TestFilters:
+    def test_where_filters_tuples(self, prescriptions):
+        q = (
+            TemporalQuery(prescriptions)
+            .where(lambda row: row.payload["patient"] != "Fred")
+            .aggregate("sum")
+        )
+        assert q.at(19) == 5  # Amy + Ben, without Fred's 1
+
+    def test_where_conjunction(self, prescriptions):
+        # At t=12 the candidates are Ben (dosage 3) and Dan (dosage 2);
+        # Amy is excluded by name, Fred by dosage.
+        q = (
+            TemporalQuery(prescriptions)
+            .where(lambda row: row.value >= 2)
+            .where(lambda row: row.payload["patient"] != "Amy")
+            .aggregate("count")
+        )
+        assert q.at(12) == 2
+
+    def test_where_conjunction_matches_manual_filter(self, prescriptions):
+        live = [
+            p for p in PRESCRIPTIONS
+            if p.dosage >= 2 and p.patient != "Amy" and p.valid.contains(12)
+        ]
+        q = (
+            TemporalQuery(prescriptions)
+            .where(lambda row: row.value >= 2)
+            .where(lambda row: row.payload["patient"] != "Amy")
+            .aggregate("count")
+        )
+        assert q.at(12) == len(live)
+
+    def test_value_extractor(self, prescriptions):
+        q = (
+            TemporalQuery(prescriptions)
+            .value(lambda row: row.value * 10)
+            .aggregate("sum")
+        )
+        assert q.at(19) == 60
+
+    def test_builders_do_not_mutate(self, prescriptions):
+        base = TemporalQuery(prescriptions).aggregate("sum")
+        filtered = base.where(lambda row: row.value > 2)
+        assert base.at(19) == 6
+        assert filtered.at(19) == 3  # only Ben
+
+
+class TestCumulativeQueries:
+    def test_window_table_is_figure5(self, prescriptions):
+        q = TemporalQuery(prescriptions).aggregate("avg").window(5)
+        assert rows(q.table()) == [
+            (2.00, (5, 20)),
+            (1.75, (20, 35)),
+            (2.00, (35, 45)),
+            (2.50, (45, 50)),
+            (1.00, (50, 55)),
+        ]
+
+    def test_window_at_matches_oracle(self, prescriptions):
+        q = TemporalQuery(prescriptions).aggregate("max").window(20)
+        for t in (5, 30, 50, 64, 65, 69):
+            expected = reference.cumulative_value(
+                prescription_facts(), "max", t, 20
+            )
+            assert q.at(t) == expected
+
+    def test_negative_window_rejected(self, prescriptions):
+        with pytest.raises(ValueError):
+            TemporalQuery(prescriptions).aggregate("sum").window(-1)
+
+
+class TestPartitionedQueries:
+    def test_per_patient_tables(self, prescriptions):
+        per_patient = (
+            TemporalQuery(prescriptions)
+            .aggregate("sum")
+            .partition_by(lambda row: row.payload["patient"])
+            .tables()
+        )
+        assert set(per_patient) == {p.patient for p in PRESCRIPTIONS}
+        assert rows(per_patient["Amy"]) == [(2, (10, 40))]
+        assert rows(per_patient["Fred"]) == [(1, (10, 50))]
+
+    def test_partition_at_instant(self, prescriptions):
+        values = (
+            TemporalQuery(prescriptions)
+            .aggregate("count")
+            .partition_by(lambda row: row.payload["patient"])
+            .at(19)
+        )
+        assert values["Amy"] == 1
+        assert values["Dan"] == 0  # Dan's prescription ended at 15
+
+    def test_partition_respects_filter(self, prescriptions):
+        per_patient = (
+            TemporalQuery(prescriptions)
+            .where(lambda row: row.value >= 2)
+            .aggregate("sum")
+            .partition_by(lambda row: row.payload["patient"])
+            .tables()
+        )
+        assert "Fred" not in per_patient  # dosage 1 filtered out
+        assert "Amy" in per_patient
+
+
+class TestMaterialization:
+    def test_materialized_view_tracks_changes(self, prescriptions):
+        view = (
+            TemporalQuery(prescriptions)
+            .aggregate("sum")
+            .materialize("SumDosage", branching=4, leaf_capacity=4)
+        )
+        assert view.value_at(19) == 6
+        prescriptions.insert(5, Interval(15, 45), patient="Gill")
+        assert view.value_at(19) == 11
+
+    def test_materialized_view_respects_filter(self, prescriptions):
+        view = (
+            TemporalQuery(prescriptions)
+            .where(lambda row: row.payload["patient"] != "Fred")
+            .aggregate("sum")
+            .materialize("NoFred", branching=4, leaf_capacity=4)
+        )
+        assert view.value_at(19) == 5
+        # Matching and non-matching updates.
+        prescriptions.insert(7, Interval(0, 100), patient="Fred")  # filtered
+        assert view.value_at(19) == 5
+        gill = prescriptions.insert(5, Interval(15, 45), patient="Gill")
+        assert view.value_at(19) == 10
+        prescriptions.delete(gill)
+        assert view.value_at(19) == 5
+
+    def test_materialized_window_view(self, prescriptions):
+        view = (
+            TemporalQuery(prescriptions)
+            .aggregate("avg")
+            .window(5)
+            .materialize("AvgDosage5", branching=4, leaf_capacity=4)
+        )
+        assert view.value_at(32) == pytest.approx(1.75)
+
+    def test_query_and_view_agree_after_churn(self, prescriptions):
+        query = TemporalQuery(prescriptions).aggregate("sum")
+        view = query.materialize("v", branching=4, leaf_capacity=4)
+        inserted = [
+            prescriptions.insert(i % 5 + 1, Interval(i * 2, i * 2 + 30))
+            for i in range(40)
+        ]
+        for row in inserted[::3]:
+            prescriptions.delete(row)
+        assert view.table() == query.table()

@@ -1,0 +1,87 @@
+"""Tests for temporal relations and change streams."""
+
+import pytest
+
+from repro import Interval
+from repro.relation import ChangeKind, TemporalRelation, TemporalTuple
+
+
+class TestTemporalRelation:
+    def test_insert_assigns_ids_and_stores(self):
+        rel = TemporalRelation("prescription")
+        row = rel.insert(2, Interval(10, 40), patient="Amy")
+        assert row.tuple_id == 1
+        assert row.payload["patient"] == "Amy"
+        assert len(rel) == 1
+        assert rel.get(1) is row
+
+    def test_interval_tuples_accepted(self):
+        rel = TemporalRelation("r")
+        row = rel.insert(5, (1, 9))
+        assert row.valid == Interval(1, 9)
+
+    def test_delete_by_id_and_by_row(self):
+        rel = TemporalRelation("r")
+        a = rel.insert(1, Interval(0, 10))
+        b = rel.insert(2, Interval(5, 15))
+        rel.delete(a.tuple_id)
+        rel.delete(b)
+        assert len(rel) == 0
+
+    def test_delete_unknown_raises(self):
+        rel = TemporalRelation("r")
+        with pytest.raises(KeyError):
+            rel.delete(99)
+
+    def test_scan_valid_at(self):
+        rel = TemporalRelation("r")
+        rel.insert(1, Interval(0, 10))
+        rel.insert(2, Interval(5, 15))
+        rel.insert(3, Interval(20, 30))
+        assert sorted(row.value for row in rel.scan(valid_at=7)) == [1, 2]
+        assert [row.value for row in rel.scan(valid_at=25)] == [3]
+
+    def test_facts(self):
+        rel = TemporalRelation("r")
+        rel.insert(1, Interval(0, 10))
+        assert rel.facts() == [(1, Interval(0, 10))]
+
+    def test_subscribers_receive_events(self):
+        rel = TemporalRelation("r")
+        events = []
+        rel.subscribe(events.append)
+        row = rel.insert(1, Interval(0, 10))
+        rel.delete(row)
+        assert [e.kind for e in events] == [ChangeKind.INSERT, ChangeKind.DELETE]
+        assert events[0].tuple is row
+
+    def test_replay_on_subscribe(self):
+        rel = TemporalRelation("r")
+        rel.insert(1, Interval(0, 10))
+        rel.insert(2, Interval(5, 15))
+        events = []
+        rel.subscribe(events.append, replay=True)
+        assert len(events) == 2
+        assert all(e.kind is ChangeKind.INSERT for e in events)
+
+    def test_no_replay_option(self):
+        rel = TemporalRelation("r")
+        rel.insert(1, Interval(0, 10))
+        events = []
+        rel.subscribe(events.append, replay=False)
+        assert events == []
+        rel.insert(2, Interval(1, 2))
+        assert len(events) == 1
+
+    def test_unsubscribe(self):
+        rel = TemporalRelation("r")
+        events = []
+        rel.subscribe(events.append, replay=False)
+        rel.unsubscribe(events.append)
+        rel.insert(1, Interval(0, 10))
+        assert events == []
+
+    def test_tuples_are_immutable(self):
+        row = TemporalTuple(1, 5, Interval(0, 10))
+        with pytest.raises(AttributeError):
+            row.value = 6

@@ -1,0 +1,143 @@
+"""Property-based tests: SB-trees against the brute-force oracle.
+
+Random insert/delete workloads are replayed into an SB-tree and the
+simple reference implementation; lookups, range queries and full
+reconstructions must agree, and every structural invariant of
+Section 3 must hold after every operation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Interval, SBTree, check_tree
+from repro.core import reference
+
+INVERTIBLE = ("sum", "count", "avg")
+ALL_KINDS = ("sum", "count", "avg", "min", "max")
+
+times = st.integers(min_value=0, max_value=120)
+values = st.integers(min_value=-9, max_value=9)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(times)
+    length = draw(st.integers(min_value=1, max_value=60))
+    return Interval(start, start + length)
+
+
+@st.composite
+def workloads(draw, with_deletes: bool):
+    """A sequence of facts to insert, and which of them to later delete."""
+    facts = draw(st.lists(st.tuples(values, intervals()), min_size=0, max_size=24))
+    if not with_deletes or not facts:
+        return facts, []
+    delete_indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(facts) - 1),
+            unique=True,
+            max_size=len(facts),
+        )
+    )
+    return facts, delete_indices
+
+
+def apply_workload(kind, facts, delete_indices, b=4, l=4):
+    tree = SBTree(kind, branching=b, leaf_capacity=l)
+    for value, interval in facts:
+        tree.insert(value, interval)
+    for i in delete_indices:
+        value, interval = facts[i]
+        tree.delete(value, interval)
+    live = [f for i, f in enumerate(facts) if i not in set(delete_indices)]
+    return tree, live
+
+
+@pytest.mark.parametrize("kind", INVERTIBLE)
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_insert_delete_matches_oracle(kind, data):
+    facts, deletes = data.draw(workloads(with_deletes=True))
+    tree, live = apply_workload(kind, facts, deletes)
+    check_tree(tree)
+    assert tree.to_table() == reference.instantaneous_table(live, kind)
+
+
+@pytest.mark.parametrize("kind", ("min", "max"))
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_min_max_insert_matches_oracle(kind, data):
+    facts, _ = data.draw(workloads(with_deletes=False))
+    tree, live = apply_workload(kind, facts, [])
+    check_tree(tree)  # compactness not required for MIN/MAX
+    tree.compact()
+    check_tree(tree, check_compact=True)
+    assert tree.to_table() == reference.instantaneous_table(live, kind)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@given(data=st.data(), t=times)
+@settings(max_examples=40, deadline=None)
+def test_lookup_matches_oracle(kind, data, t):
+    facts, _ = data.draw(workloads(with_deletes=False))
+    tree, live = apply_workload(kind, facts, [])
+    assert tree.lookup(t) == reference.instantaneous_value(live, kind, t)
+
+
+@pytest.mark.parametrize("kind", INVERTIBLE)
+@given(data=st.data(), window=intervals())
+@settings(max_examples=40, deadline=None)
+def test_range_query_matches_oracle(kind, data, window):
+    facts, deletes = data.draw(workloads(with_deletes=True))
+    tree, live = apply_workload(kind, facts, deletes)
+    got = tree.range_query(window).coalesce(tree.spec.eq)
+    want = (
+        reference.instantaneous_table(live, kind, drop_initial=False)
+        .restrict(window)
+        .coalesce()
+    )
+    assert got == want
+
+
+@pytest.mark.parametrize("b,l", [(4, 4), (4, 6), (6, 4), (8, 8), (5, 7)])
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_branching_factors_do_not_change_results(b, l, data):
+    facts, deletes = data.draw(workloads(with_deletes=True))
+    tree, live = apply_workload("sum", facts, deletes, b=b, l=l)
+    check_tree(tree)
+    assert tree.to_table() == reference.instantaneous_table(live, "sum")
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_full_roundtrip_returns_to_empty(data):
+    facts, _ = data.draw(workloads(with_deletes=False))
+    tree = SBTree("sum", branching=4, leaf_capacity=4)
+    for value, interval in facts:
+        tree.insert(value, interval)
+    for value, interval in reversed(facts):
+        tree.delete(value, interval)
+    check_tree(tree)
+    assert tree.to_table().rows == []
+    assert tree.node_count() == 1
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_interleaved_insert_delete(data):
+    """Deletes interleaved with inserts, validated step by step."""
+    ops = data.draw(
+        st.lists(st.tuples(values, intervals()), min_size=1, max_size=16)
+    )
+    tree = SBTree("count", branching=4, leaf_capacity=4)
+    live = []
+    for i, (value, interval) in enumerate(ops):
+        if i % 3 == 2 and live:
+            victim = live.pop(i % len(live))
+            tree.delete(victim[0], victim[1])
+        else:
+            tree.insert(value, interval)
+            live.append((value, interval))
+        check_tree(tree)
+        assert tree.to_table() == reference.instantaneous_table(live, "count")

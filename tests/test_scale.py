@@ -1,0 +1,108 @@
+"""Moderate-scale soak tests: tens of thousands of tuples.
+
+These stay within a few seconds each but exercise genuinely deep trees,
+large page files and long maintenance streams -- the regime the paper's
+warehouse argument targets.
+"""
+
+import random
+
+import pytest
+
+from repro import DualTreeAggregate, Interval, MSBTree, SBTree, check_tree
+from repro.core import reference
+from repro.storage import PagedNodeStore
+from repro.workloads import uniform
+
+N = 30_000
+HORIZON = 1_000_000
+FACTS = uniform(N, horizon=HORIZON, max_duration=5_000, seed=123)
+
+
+@pytest.fixture(scope="module")
+def big_tree():
+    tree = SBTree("sum", branching=64, leaf_capacity=64)
+    for value, interval in FACTS:
+        tree.insert(value, interval)
+    return tree
+
+
+class TestScale:
+    def test_structure_at_scale(self, big_tree):
+        check_tree(big_tree)
+        assert big_tree.height <= 4  # log_32(~60k boundaries)
+
+    def test_sampled_lookups_match_oracle(self, big_tree):
+        rng = random.Random(7)
+        for _ in range(60):
+            t = rng.randrange(HORIZON)
+            assert big_tree.lookup(t) == reference.instantaneous_value(
+                FACTS, "sum", t
+            )
+
+    def test_range_query_at_scale(self, big_tree):
+        window = Interval(HORIZON // 2, HORIZON // 2 + 20_000)
+        table = big_tree.range_query(window).coalesce(big_tree.spec.eq)
+        rng = random.Random(11)
+        for _ in range(20):
+            t = rng.randrange(window.start, window.end)
+            assert table.value_at(t) == reference.instantaneous_value(
+                FACTS, "sum", t
+            )
+
+    def test_update_cost_independent_of_size(self, big_tree):
+        snapshot = big_tree.store.stats.snapshot()
+        big_tree.insert(1, Interval(10, HORIZON - 10))
+        reads = (big_tree.store.stats - snapshot).reads
+        assert reads <= 8 * big_tree.height
+        big_tree.delete(1, Interval(10, HORIZON - 10))
+
+    def test_disk_tree_at_scale(self, tmp_path):
+        sample = FACTS[:10_000]
+        with PagedNodeStore(
+            str(tmp_path / "big.sbt"), "sum", buffer_capacity=64
+        ) as store:
+            tree = SBTree(
+                "sum",
+                store,
+                branching=store.default_branching,
+                leaf_capacity=store.default_leaf_capacity,
+            )
+            for value, interval in sample:
+                tree.insert(value, interval)
+            assert tree.height <= 3
+            rng = random.Random(13)
+            for _ in range(25):
+                t = rng.randrange(HORIZON)
+                assert tree.lookup(t) == reference.instantaneous_value(
+                    sample, "sum", t
+                )
+
+    def test_msb_at_scale(self):
+        sample = [(abs(v) % 100, i) for v, i in FACTS[:10_000]]
+        msb = MSBTree("max", branching=64, leaf_capacity=64)
+        for value, interval in sample:
+            msb.insert(value, interval)
+        rng = random.Random(17)
+        for _ in range(25):
+            t = rng.randrange(HORIZON)
+            w = rng.choice([0, 1_000, 100_000])
+            assert msb.window_lookup(t, w) == reference.cumulative_value(
+                sample, "max", t, w
+            )
+
+    def test_dual_at_scale_with_deletes(self):
+        sample = FACTS[:8_000]
+        dual = DualTreeAggregate("sum", branching=64, leaf_capacity=64)
+        for value, interval in sample:
+            dual.insert(value, interval)
+        for value, interval in sample[::2]:
+            dual.delete(value, interval)
+        live = [f for i, f in enumerate(sample) if i % 2 == 1]
+        rng = random.Random(19)
+        for _ in range(20):
+            t = rng.randrange(HORIZON)
+            w = rng.choice([0, 10_000])
+            assert dual.window_lookup(t, w) == reference.cumulative_value(
+                live, "sum", t, w
+            )

@@ -1,0 +1,113 @@
+"""Stateful (model-based) testing with hypothesis.
+
+A rule-based state machine drives random interleavings of inserts,
+deletes, lookups, range queries and compactions against an SB-tree (and
+a parallel MSB-tree), with a plain list of live facts as the model.
+Hypothesis explores operation orderings and shrinks failures to minimal
+sequences.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro import Interval, MSBTree, SBTree, check_tree
+from repro.core import reference
+
+times = st.integers(min_value=0, max_value=200)
+values = st.integers(min_value=-9, max_value=9)
+lengths = st.integers(min_value=1, max_value=120)
+
+
+class SBTreeMachine(RuleBasedStateMachine):
+    """SUM tree with deletions, validated against the fact-list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = SBTree("sum", branching=4, leaf_capacity=4)
+        self.model = []
+
+    @rule(value=values, start=times, length=lengths)
+    def insert(self, value, start, length):
+        interval = Interval(start, start + length)
+        self.tree.insert(value, interval)
+        self.model.append((value, interval))
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        value, interval = self.model.pop(index)
+        self.tree.delete(value, interval)
+
+    @rule(t=times)
+    def lookup_matches_model(self, t):
+        assert self.tree.lookup(t) == reference.instantaneous_value(
+            self.model, "sum", t
+        )
+
+    @rule(start=times, length=lengths)
+    def range_query_matches_model(self, start, length):
+        window = Interval(start, start + length)
+        got = self.tree.range_query(window).coalesce(self.tree.spec.eq)
+        want = (
+            reference.instantaneous_table(self.model, "sum", drop_initial=False)
+            .restrict(window)
+            .coalesce()
+        )
+        assert got == want
+
+    @rule()
+    def compact_in_place(self):
+        before = self.tree.to_table()
+        self.tree.compact()
+        assert self.tree.to_table() == before
+
+    @rule()
+    def bulk_reload(self):
+        before = self.tree.to_table()
+        self.tree.compact(bulk=True)
+        assert self.tree.to_table() == before
+
+    @invariant()
+    def structure_is_sound(self):
+        check_tree(self.tree)
+
+
+class MSBTreeMachine(RuleBasedStateMachine):
+    """MAX MSB-tree (insert-only), window lookups against the model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = MSBTree("max", branching=4, leaf_capacity=4)
+        self.model = []
+
+    @rule(value=values, start=times, length=lengths)
+    def insert(self, value, start, length):
+        interval = Interval(start, start + length)
+        self.tree.insert(value, interval)
+        self.model.append((value, interval))
+
+    @rule(t=times, w=st.integers(min_value=0, max_value=100))
+    def window_lookup_matches_model(self, t, w):
+        assert self.tree.window_lookup(t, w) == reference.cumulative_value(
+            self.model, "max", t, w
+        )
+
+    @rule()
+    def mbmerge(self):
+        self.tree.mbmerge()
+
+    @invariant()
+    def structure_and_annotations_sound(self):
+        check_tree(self.tree)
+
+
+TestSBTreeMachine = SBTreeMachine.TestCase
+TestSBTreeMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestMSBTreeMachine = MSBTreeMachine.TestCase
+TestMSBTreeMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

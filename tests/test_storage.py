@@ -1,0 +1,369 @@
+"""Tests for the disk substrate: pager, buffer pool, codec, paged store."""
+
+import struct
+
+import pytest
+
+from repro import Interval, MSBTree, SBTree, check_tree
+from repro.core import reference
+from repro.core.nodes import Node
+from repro.core.values import spec_for
+from repro.storage import (
+    BufferPool,
+    NodeCodec,
+    NodeEncodingError,
+    PageCorruptionError,
+    PagedNodeStore,
+    Pager,
+)
+from repro.workloads import PRESCRIPTIONS
+
+
+# ----------------------------------------------------------------------
+# Pager
+# ----------------------------------------------------------------------
+class TestPager:
+    def test_create_and_reopen(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        with Pager(path, page_size=1024) as pager:
+            pid = pager.allocate_page()
+            pager.write_page(pid, b"hello world")
+            pager.set_root(pid)
+            pager.set_meta("kind", "sum")
+        with Pager(path) as pager:
+            assert pager.page_size == 1024
+            assert pager.get_root() == pid
+            assert pager.get_meta("kind") == "sum"
+            assert pager.read_page(pid).rstrip(b"\x00") == b"hello world"
+
+    def test_free_list_reuses_pages(self, tmp_path):
+        with Pager(str(tmp_path / "t.sbt")) as pager:
+            a = pager.allocate_page()
+            b = pager.allocate_page()
+            count = pager.page_count
+            pager.free_page(a)
+            pager.free_page(b)
+            # LIFO reuse: most recently freed first.
+            assert pager.allocate_page() == b
+            assert pager.allocate_page() == a
+            assert pager.page_count == count
+
+    def test_live_node_count(self, tmp_path):
+        with Pager(str(tmp_path / "t.sbt")) as pager:
+            assert pager.live_nodes == 0
+            a = pager.allocate_page()
+            pager.allocate_page()
+            assert pager.live_nodes == 2
+            pager.free_page(a)
+            assert pager.live_nodes == 1
+
+    def test_checksum_detects_corruption(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        with Pager(path, page_size=512) as pager:
+            pid = pager.allocate_page()
+            pager.write_page(pid, b"payload")
+        with open(path, "r+b") as f:
+            f.seek(pid * 512 + 3)
+            f.write(b"\xff")
+        with Pager(path) as pager:
+            with pytest.raises(PageCorruptionError):
+                pager.read_page(pid)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        with open(path, "wb") as f:
+            f.write(b"NOTMAGIC" + b"\x00" * 600)
+        with pytest.raises(PageCorruptionError):
+            Pager(path)
+
+    def test_out_of_range_page(self, tmp_path):
+        with Pager(str(tmp_path / "t.sbt")) as pager:
+            with pytest.raises(ValueError):
+                pager.read_page(99)
+            with pytest.raises(ValueError):
+                pager.read_page(0)  # the header page is not a data page
+
+    def test_oversized_payload_rejected(self, tmp_path):
+        with Pager(str(tmp_path / "t.sbt"), page_size=512) as pager:
+            pid = pager.allocate_page()
+            with pytest.raises(ValueError):
+                pager.write_page(pid, b"x" * 600)
+
+    def test_io_counters(self, tmp_path):
+        with Pager(str(tmp_path / "t.sbt")) as pager:
+            pid = pager.allocate_page()
+            pager.stats.reset()
+            pager.write_page(pid, b"abc")
+            pager.read_page(pid)
+            assert pager.stats.physical_writes == 1
+            assert pager.stats.physical_reads == 1
+
+
+# ----------------------------------------------------------------------
+# Buffer pool
+# ----------------------------------------------------------------------
+class TestBufferPool:
+    def make(self, tmp_path, capacity):
+        pager = Pager(str(tmp_path / "t.sbt"), page_size=512)
+        return pager, BufferPool(pager, capacity=capacity)
+
+    def test_hit_and_miss_accounting(self, tmp_path):
+        pager, pool = self.make(tmp_path, capacity=4)
+        pid = pager.allocate_page()
+        pager.write_page(pid, b"x")
+        pool.read(pid)
+        pool.read(pid)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+
+    def test_write_back_is_deferred(self, tmp_path):
+        pager, pool = self.make(tmp_path, capacity=4)
+        pid = pager.allocate_page()
+        pager.stats.reset()
+        pool.write(pid, b"dirty")
+        assert pager.stats.physical_writes == 0
+        pool.flush()
+        assert pager.stats.physical_writes == 1
+        assert pager.read_page(pid).rstrip(b"\x00") == b"dirty"
+
+    def test_eviction_writes_back_dirty_pages(self, tmp_path):
+        pager, pool = self.make(tmp_path, capacity=2)
+        pids = [pager.allocate_page() for _ in range(3)]
+        pager.stats.reset()
+        for i, pid in enumerate(pids):
+            pool.write(pid, b"p%d" % i)
+        assert pool.stats.evictions == 1
+        assert pool.stats.dirty_writebacks == 1
+        assert len(pool) == 2
+        # The evicted page must be durable.
+        assert pager.read_page(pids[0]).rstrip(b"\x00") == b"p0"
+
+    def test_lru_order(self, tmp_path):
+        pager, pool = self.make(tmp_path, capacity=2)
+        a, b, c = (pager.allocate_page() for _ in range(3))
+        pool.write(a, b"a")
+        pool.write(b, b"b")
+        pool.read(a)  # refresh a; b becomes the LRU victim
+        pool.write(c, b"c")
+        assert pager.read_page(b).rstrip(b"\x00") == b"b"  # b was evicted
+        pager.stats.reset()
+        pool.read(a)  # still cached
+        assert pager.stats.physical_reads == 0
+
+    def test_discard_drops_without_writeback(self, tmp_path):
+        pager, pool = self.make(tmp_path, capacity=4)
+        pid = pager.allocate_page()
+        pager.write_page(pid, b"old")
+        pager.stats.reset()
+        pool.write(pid, b"new")
+        pool.discard(pid)
+        pool.flush()
+        assert pager.stats.physical_writes == 0
+
+    def test_capacity_validation(self, tmp_path):
+        pager, _ = self.make(tmp_path, capacity=1)
+        with pytest.raises(ValueError):
+            BufferPool(pager, capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+class TestNodeCodec:
+    @pytest.mark.parametrize("kind", ["sum", "count", "min", "max"])
+    def test_leaf_roundtrip(self, kind):
+        codec = NodeCodec(spec_for(kind), payload_size=4092)
+        node = Node(
+            node_id=7, is_leaf=True, times=[5, 10, 20], values=[0, 2, 8, None if kind in ("min", "max") else 6]
+        )
+        decoded = codec.decode(codec.encode(node), 7)
+        assert decoded.is_leaf
+        assert decoded.times == node.times
+        assert decoded.values == node.values
+        assert decoded.children == []
+        assert decoded.uvalues is None
+
+    def test_interior_roundtrip(self):
+        codec = NodeCodec(spec_for("sum"), payload_size=4092)
+        node = Node(
+            node_id=3,
+            is_leaf=False,
+            times=[15, 30, 45],
+            values=[0, 1, 0, 0],
+            children=[11, 12, 13, 14],
+        )
+        decoded = codec.decode(codec.encode(node), 3)
+        assert not decoded.is_leaf
+        assert decoded.children == node.children
+        assert decoded.values == node.values
+
+    def test_avg_pair_roundtrip(self):
+        codec = NodeCodec(spec_for("avg"), payload_size=4092)
+        node = Node(node_id=1, is_leaf=True, times=[10], values=[(2, 1), (8, 4)])
+        decoded = codec.decode(codec.encode(node), 1)
+        assert decoded.values == [(2, 1), (8, 4)]
+
+    def test_msb_uvalues_roundtrip(self):
+        codec = NodeCodec(spec_for("max"), payload_size=4092)
+        node = Node(
+            node_id=2,
+            is_leaf=False,
+            times=[30],
+            values=[None, 4],
+            children=[5, 6],
+            uvalues=[3, None],
+        )
+        decoded = codec.decode(codec.encode(node), 2)
+        assert decoded.uvalues == [3, None]
+        assert decoded.values == [None, 4]
+
+    def test_float_values_survive(self):
+        codec = NodeCodec(spec_for("sum"), payload_size=4092)
+        node = Node(node_id=1, is_leaf=True, times=[1.5], values=[0.25, -3.75])
+        decoded = codec.decode(codec.encode(node), 1)
+        assert decoded.times == [1.5]
+        assert decoded.values == [0.25, -3.75]
+
+    def test_capacity_bounds_include_overflow_slack(self):
+        # A node may transiently hold capacity+2 intervals right before
+        # a split (Section 3.5); that state must still fit the page.
+        codec = NodeCodec(spec_for("sum"), payload_size=4092)
+        l = codec.max_leaf_capacity()
+        node = Node(
+            node_id=1,
+            is_leaf=True,
+            times=list(range(l + 1)),
+            values=[1] * (l + 2),
+        )
+        codec.encode(node)  # capacity + 2: must fit
+        node.times.append(l + 2)
+        node.values.append(1)
+        with pytest.raises(NodeEncodingError):
+            codec.encode(node)
+
+    def test_avg_nodes_have_smaller_fanout(self):
+        sum_codec = NodeCodec(spec_for("sum"), payload_size=4092)
+        avg_codec = NodeCodec(spec_for("avg"), payload_size=4092)
+        assert avg_codec.max_branching(False) < sum_codec.max_branching(False)
+
+    def test_annotated_nodes_have_smaller_fanout(self):
+        # Section 4.3: MSB-trees have a smaller maximum branching factor.
+        codec = NodeCodec(spec_for("max"), payload_size=4092)
+        assert codec.max_branching(True) < codec.max_branching(False)
+
+
+# ----------------------------------------------------------------------
+# Paged node store end-to-end
+# ----------------------------------------------------------------------
+class TestPagedNodeStore:
+    def build(self, store, kind="sum"):
+        tree = SBTree(kind, store, branching=8, leaf_capacity=8)
+        for p in PRESCRIPTIONS:
+            tree.insert(p.dosage, p.valid)
+        return tree
+
+    def test_tree_on_disk_matches_memory(self, tmp_path):
+        store = PagedNodeStore(str(tmp_path / "t.sbt"), "sum")
+        disk_tree = self.build(store)
+        expected = SBTree("sum", branching=8, leaf_capacity=8)
+        for p in PRESCRIPTIONS:
+            expected.insert(p.dosage, p.valid)
+        assert disk_tree.to_table() == expected.to_table()
+        check_tree(disk_tree)
+        store.close()
+
+    def test_close_and_reopen(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        store = PagedNodeStore(path, "sum")
+        tree = self.build(store)
+        expected = tree.to_table()
+        store.close()
+        reopened = PagedNodeStore(path)
+        tree2 = SBTree(store=reopened)
+        assert tree2.kind.value == "sum"
+        assert tree2.b == 8 and tree2.l == 8
+        assert tree2.to_table() == expected
+        assert tree2.lookup(19) == 6
+        reopened.close()
+
+    def test_updates_after_reopen(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        with PagedNodeStore(path, "sum") as store:
+            self.build(store)
+        with PagedNodeStore(path) as store:
+            tree = SBTree(store=store)
+            tree.insert(5, Interval(15, 45))
+            assert tree.lookup(19) == 11
+            check_tree(tree)
+
+    def test_msb_tree_on_disk(self, tmp_path):
+        with PagedNodeStore(str(tmp_path / "m.sbt"), "max") as store:
+            msb = MSBTree("max", store, branching=4, leaf_capacity=4)
+            for p in PRESCRIPTIONS:
+                msb.insert(p.dosage, p.valid)
+            assert msb.window_lookup(50, 20) == 4
+            check_tree(msb)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        with PagedNodeStore(path, "sum") as store:
+            self.build(store)
+        with PagedNodeStore(path) as store:
+            with pytest.raises(ValueError):
+                SBTree("max", store)
+
+    def test_page_derived_capacities(self, tmp_path):
+        with PagedNodeStore(str(tmp_path / "t.sbt"), "sum", page_size=4096) as store:
+            # ~4 KiB pages hold hundreds of intervals, per the paper's
+            # "b and l are on the order of hundreds" remark.
+            assert store.default_branching > 100
+            assert store.default_leaf_capacity > store.default_branching
+            assert store.default_branching_annotated < store.default_branching
+
+    def test_buffer_pool_absorbs_io(self, tmp_path):
+        with PagedNodeStore(
+            str(tmp_path / "t.sbt"), "sum", buffer_capacity=128
+        ) as store:
+            tree = self.build(store)
+            store.pager.stats.reset()
+            for _ in range(50):
+                tree.lookup(19)
+            # All lookups served from the pool: zero physical reads.
+            assert store.pager.stats.physical_reads == 0
+
+    def test_random_workload_on_disk_matches_oracle(self, tmp_path):
+        import random
+
+        rng = random.Random(42)
+        facts = []
+        with PagedNodeStore(
+            str(tmp_path / "t.sbt"), "count", buffer_capacity=8
+        ) as store:
+            tree = SBTree("count", store, branching=4, leaf_capacity=4)
+            for _ in range(120):
+                start = rng.randrange(0, 300)
+                interval = Interval(start, start + rng.randrange(1, 80))
+                facts.append((1, interval))
+                tree.insert(1, interval)
+            for victim in facts[::4]:
+                tree.delete(victim[0], victim[1])
+            live = [f for i, f in enumerate(facts) if i % 4 != 0]
+            assert tree.to_table() == reference.instantaneous_table(live, "count")
+            check_tree(tree)
+
+    def test_freed_pages_are_reused(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        with PagedNodeStore(path, "sum") as store:
+            tree = SBTree("sum", store, branching=4, leaf_capacity=4)
+            for p in PRESCRIPTIONS:
+                tree.insert(p.dosage, p.valid)
+            grown = store.pager.page_count
+            for p in reversed(PRESCRIPTIONS):
+                tree.delete(p.dosage, p.valid)
+            assert store.node_count() == 1
+            tree2 = SBTree("sum", branching=4, leaf_capacity=4)
+            # Re-inserting must not grow the file: pages come off the
+            # free list.
+            for p in PRESCRIPTIONS:
+                tree.insert(p.dosage, p.valid)
+            assert store.pager.page_count == grown

@@ -1,0 +1,171 @@
+"""Tests for the TQL mini-language: tokenizer, parser, evaluation."""
+
+import pytest
+
+from repro import Interval
+from repro.relation import TemporalRelation
+from repro.tql import Statement, TQLError, execute, parse
+from repro.workloads import PRESCRIPTIONS
+
+
+@pytest.fixture()
+def relations():
+    rel = TemporalRelation("prescription")
+    for p in PRESCRIPTIONS:
+        rel.insert(p.dosage, p.valid, patient=p.patient)
+    return {"prescription": rel}
+
+
+def rows(table):
+    return [(value, (interval.start, interval.end)) for value, interval in table]
+
+
+class TestParser:
+    def test_minimal_statement(self):
+        got = parse("SUM(value) OVER prescription")
+        assert got == Statement("sum", "value", "prescription")
+
+    def test_case_insensitive_keywords(self):
+        got = parse("sum(dosage) over prescription window 5 at 32")
+        assert got.aggregate == "sum"
+        assert got.field == "dosage"
+        assert got.window == 5
+        assert got.at == 32
+
+    def test_during_clause(self):
+        got = parse("MAX(value) OVER r DURING [14, 28)")
+        assert got.during == (14, 28)
+
+    def test_partition_clause(self):
+        got = parse("COUNT(value) OVER r PARTITION BY patient")
+        assert got.partition_field == "patient"
+
+    def test_when_condition_parsed(self):
+        got = parse("SUM(value) OVER r WHEN patient != 'Dan' AND value >= 2")
+        assert got.condition is not None
+
+    def test_float_and_negative_numbers(self):
+        got = parse("SUM(value) OVER r WINDOW 2.5 AT -10")
+        assert got.window == 2.5
+        assert got.at == -10
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "MEDIAN(value) OVER r",
+            "SUM value OVER r",
+            "SUM(value) r",
+            "SUM(value) OVER r AT 1 DURING [0, 5)",
+            "SUM(value) OVER r WINDOW",
+            "SUM(value) OVER r WHEN value >",
+            "SUM(value) OVER r WINDOW 1 WINDOW 2",
+            "SUM(value) OVER r BOGUS 3",
+            "SUM(value) OVER r WHEN value ~ 3",
+        ],
+    )
+    def test_malformed_statements(self, bad):
+        with pytest.raises(TQLError):
+            parse(bad)
+
+    def test_not_and_parentheses(self):
+        got = parse("SUM(value) OVER r WHEN NOT (a = 1 OR b = 2)")
+        assert got.condition.op == "not"
+
+
+class TestExecution:
+    def test_full_table_is_figure3(self, relations):
+        table = execute("SUM(value) OVER prescription", relations)
+        assert rows(table)[0] == (2, (5, 10))
+        assert rows(table)[-1] == (1, (45, 50))
+
+    def test_at_instant(self, relations):
+        assert execute("SUM(value) OVER prescription AT 19", relations) == 6
+
+    def test_payload_field_aggregation(self, relations):
+        # Aggregate the dosage via its payload name... dosage is the
+        # value column here, so use a payload-based filter instead.
+        got = execute(
+            "SUM(value) OVER prescription WHEN patient = 'Amy' AT 19", relations
+        )
+        assert got == 2
+
+    def test_during_range(self, relations):
+        table = execute("SUM(value) OVER prescription DURING [14, 28)", relations)
+        assert rows(table) == [(8, (14, 15)), (6, (15, 20)), (7, (20, 28))]
+
+    def test_window_clause(self, relations):
+        got = execute("AVG(value) OVER prescription WINDOW 5 AT 32", relations)
+        assert got == pytest.approx(1.75)
+
+    def test_condition_combinators(self, relations):
+        got = execute(
+            "COUNT(value) OVER prescription "
+            "WHEN value >= 2 AND NOT patient = 'Amy' AT 12",
+            relations,
+        )
+        assert got == 2  # Ben and Dan
+
+    def test_or_condition(self, relations):
+        got = execute(
+            "COUNT(value) OVER prescription "
+            "WHEN patient = 'Amy' OR patient = 'Fred' AT 19",
+            relations,
+        )
+        assert got == 2
+
+    def test_partitioned_at(self, relations):
+        got = execute(
+            "COUNT(value) OVER prescription PARTITION BY patient AT 19", relations
+        )
+        assert got["Amy"] == 1
+        assert got["Dan"] == 0
+
+    def test_partitioned_tables(self, relations):
+        got = execute(
+            "SUM(value) OVER prescription PARTITION BY patient", relations
+        )
+        assert rows(got["Amy"]) == [(2, (10, 40))]
+
+    def test_partitioned_during(self, relations):
+        got = execute(
+            "SUM(value) OVER prescription PARTITION BY patient DURING [10, 20)",
+            relations,
+        )
+        assert rows(got["Amy"]) == [(2, (10, 20))]
+
+    def test_min_max(self, relations):
+        assert execute("MAX(value) OVER prescription AT 37", relations) == 4
+        assert execute("MIN(value) OVER prescription AT 37", relations) == 1
+
+    def test_unknown_relation(self, relations):
+        with pytest.raises(TQLError, match="unknown relation"):
+            execute("SUM(value) OVER nothere", relations)
+
+    def test_unknown_field_in_condition(self, relations):
+        with pytest.raises(TQLError, match="no field"):
+            execute("SUM(value) OVER prescription WHEN bogus = 1 AT 0", relations)
+
+    def test_string_escapes(self, relations):
+        rel = relations["prescription"]
+        rel.insert(9, Interval(0, 5), patient="O'Neil")
+        got = execute(
+            "SUM(value) OVER prescription WHEN patient = 'O\\'Neil' AT 2",
+            relations,
+        )
+        assert got == 9
+
+    def test_results_match_query_layer(self, relations):
+        from repro.query import TemporalQuery
+
+        text = execute(
+            "AVG(value) OVER prescription WHEN value >= 2 WINDOW 5", relations
+        )
+        api = (
+            TemporalQuery(relations["prescription"])
+            .where(lambda row: row.value >= 2)
+            .aggregate("avg")
+            .window(5)
+            .table()
+        )
+        assert text == api

@@ -1,0 +1,133 @@
+"""Tests for the invariant auditor itself: it must catch corruption."""
+
+import pytest
+
+from repro import Interval, MSBTree, SBTree, check_tree
+from repro.core.validate import TreeInvariantError
+from repro.workloads import PRESCRIPTIONS
+
+
+def build(kind="sum"):
+    tree = SBTree(kind, branching=4, leaf_capacity=4)
+    for p in PRESCRIPTIONS:
+        tree.insert(p.dosage, p.valid)
+    return tree
+
+
+def corrupt(tree, mutate):
+    """Apply *mutate* to the root node and write it back."""
+    root = tree.store.read(tree.store.get_root())
+    mutate(root, tree)
+    tree.store.write(root)
+
+
+class TestStructuralChecks:
+    def test_healthy_tree_passes(self):
+        check_tree(build())
+
+    def test_value_count_mismatch(self):
+        tree = build()
+        corrupt(tree, lambda root, t: root.values.append(0))
+        with pytest.raises(TreeInvariantError, match="values"):
+            check_tree(tree)
+
+    def test_child_count_mismatch(self):
+        tree = build()
+        corrupt(tree, lambda root, t: root.children.pop())
+        with pytest.raises(TreeInvariantError):
+            check_tree(tree)
+
+    def test_unsorted_times(self):
+        tree = build()
+
+        def swap(root, t):
+            root.times[0], root.times[1] = root.times[1], root.times[0]
+
+        corrupt(tree, swap)
+        with pytest.raises(TreeInvariantError, match="increasing"):
+            check_tree(tree)
+
+    def test_time_outside_inherited_span(self):
+        tree = build()
+        root = tree.store.read(tree.store.get_root())
+        child = tree.store.read(root.children[0])
+        # Keep times ascending but push the last one past the inherited
+        # upper bound (the parent's first separator).
+        child.times[-1] = root.times[0] + 1
+        tree.store.write(child)
+        with pytest.raises(TreeInvariantError, match="span"):
+            check_tree(tree)
+
+    def test_underfull_leaf(self):
+        tree = build()
+        root = tree.store.read(tree.store.get_root())
+        child = tree.store.read(root.children[2])  # has 3 intervals
+        del child.times[:]  # leave a single interval: below ceil(l/2)=2
+        del child.values[1:]
+        tree.store.write(child)
+        with pytest.raises(TreeInvariantError, match="underfull"):
+            check_tree(tree)
+
+    def test_overflowing_leaf(self):
+        tree = build()
+        root = tree.store.read(tree.store.get_root())
+        child = tree.store.read(root.children[0])
+        lo = -10
+        for k in range(6):
+            child.times.insert(0, lo + k * 0.1)
+            child.values.insert(0, k)
+        tree.store.write(child)
+        with pytest.raises(TreeInvariantError, match="overflow"):
+            check_tree(tree)
+
+    def test_interior_root_needs_two_intervals(self):
+        tree = build()
+        root = tree.store.read(tree.store.get_root())
+        root.times = []
+        root.values = root.values[:1]
+        root.children = root.children[:1]
+        tree.store.write(root)
+        with pytest.raises(TreeInvariantError, match="root"):
+            check_tree(tree)
+
+
+class TestCompactnessCheck:
+    def test_adjacent_equal_leaf_values_flagged(self):
+        tree = build()
+        root = tree.store.read(tree.store.get_root())
+        leaf = tree.store.read(root.children[0])
+        leaf.values[1] = leaf.values[2]  # duplicate adjacent value
+        tree.store.write(leaf)
+        with pytest.raises(TreeInvariantError, match="compact"):
+            check_tree(tree)
+
+    def test_min_max_skips_compactness_by_default(self):
+        tree = SBTree("max", branching=4, leaf_capacity=4)
+        tree.insert(5, Interval(0, 10))
+        tree.insert(5, Interval(10, 20))  # adjacent equal MAX: allowed
+        check_tree(tree)
+        with pytest.raises(TreeInvariantError):
+            check_tree(tree, check_compact=True)
+
+
+class TestUAnnotationCheck:
+    def test_understated_u_flagged(self):
+        msb = MSBTree("max", branching=4, leaf_capacity=4)
+        for i in range(40):
+            msb.insert(i, Interval(i * 3, i * 3 + 10))
+        root = msb.store.read(msb.store.get_root())
+        # Understate: pretend the subtree's max is lower than it is.
+        root.uvalues[-1] = -999
+        msb.store.write(root)
+        with pytest.raises(TreeInvariantError, match="annotation"):
+            check_tree(msb)
+
+    def test_overstated_u_flagged(self):
+        msb = MSBTree("max", branching=4, leaf_capacity=4)
+        for i in range(40):
+            msb.insert(i % 6, Interval(i * 3, i * 3 + 10))
+        root = msb.store.read(msb.store.get_root())
+        root.uvalues[0] = 999
+        msb.store.write(root)
+        with pytest.raises(TreeInvariantError, match="annotation"):
+            check_tree(msb)

@@ -1,0 +1,116 @@
+"""Unit tests for the aggregate value algebra (acc, diff, v0, effects)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import AggregateKind, spec_for
+from repro.core.values import AggregateSpec
+
+small = st.integers(-1000, 1000)
+
+
+class TestSpecLookup:
+    def test_by_enum_string_and_spec(self):
+        spec = spec_for(AggregateKind.SUM)
+        assert spec_for("sum") is spec
+        assert spec_for("SUM") is spec
+        assert spec_for(spec) is spec
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            spec_for("median")
+
+    @pytest.mark.parametrize(
+        "kind,v0",
+        [("sum", 0), ("count", 0), ("avg", (0, 0)), ("min", None), ("max", None)],
+    )
+    def test_initial_values(self, kind, v0):
+        spec = spec_for(kind)
+        assert spec.v0 == v0
+        assert spec.is_initial(v0)
+
+
+class TestAcc:
+    @given(x=small, y=small)
+    def test_sum(self, x, y):
+        assert spec_for("sum").acc(x, y) == x + y
+
+    @given(x=small, y=small)
+    def test_min_max(self, x, y):
+        assert spec_for("min").acc(x, y) == min(x, y)
+        assert spec_for("max").acc(x, y) == max(x, y)
+
+    @given(x=small)
+    def test_null_identity(self, x):
+        for kind in ("min", "max"):
+            spec = spec_for(kind)
+            assert spec.acc(None, x) == x
+            assert spec.acc(x, None) == x
+            assert spec.acc(None, None) is None
+
+    @given(a=small, b=small, c=small, d=small)
+    def test_avg_pairs(self, a, b, c, d):
+        assert spec_for("avg").acc((a, b), (c, d)) == (a + c, b + d)
+
+    @given(x=small, y=small, z=small)
+    def test_acc_associative(self, x, y, z):
+        for kind in ("sum", "min", "max"):
+            acc = spec_for(kind).acc
+            assert acc(acc(x, y), z) == acc(x, acc(y, z))
+
+
+class TestDiffAndInversion:
+    @given(x=small, y=small)
+    def test_diff_inverts_acc(self, x, y):
+        for kind in ("sum", "count"):
+            spec = spec_for(kind)
+            assert spec.diff(spec.acc(x, y), y) == x
+
+    @given(a=small, b=small, c=small, d=small)
+    def test_avg_diff(self, a, b, c, d):
+        spec = spec_for("avg")
+        assert spec.diff(spec.acc((a, b), (c, d)), (c, d)) == (a, b)
+
+    def test_min_max_not_invertible(self):
+        for kind in ("min", "max"):
+            spec = spec_for(kind)
+            assert spec.diff is None
+            assert not spec.invertible
+            with pytest.raises(ValueError):
+                spec.negated_effect(5)
+
+
+class TestEffects:
+    def test_effect_shapes(self):
+        assert spec_for("sum").effect(7) == 7
+        assert spec_for("count").effect(7) == 1
+        assert spec_for("avg").effect(7) == (7, 1)
+        assert spec_for("min").effect(7) == 7
+        assert spec_for("max").effect(7) == 7
+
+    def test_negated_effects(self):
+        assert spec_for("sum").negated_effect(7) == -7
+        assert spec_for("count").negated_effect(7) == -1
+        assert spec_for("avg").negated_effect(7) == (-7, -1)
+
+    @given(x=small)
+    def test_effect_plus_negation_is_initial(self, x):
+        for kind in ("sum", "count", "avg"):
+            spec = spec_for(kind)
+            assert spec.is_initial(spec.acc(spec.effect(x), spec.negated_effect(x)))
+
+
+class TestFinalize:
+    def test_avg_quotient(self):
+        spec = spec_for("avg")
+        assert spec.finalize((7, 4)) == pytest.approx(1.75)
+        assert spec.finalize((0, 0)) is None
+
+    def test_passthrough(self):
+        assert spec_for("sum").finalize(5) == 5
+        assert spec_for("min").finalize(None) is None
+
+    def test_specs_are_frozen(self):
+        spec = spec_for("sum")
+        with pytest.raises(AttributeError):
+            spec.v0 = 1

@@ -1,0 +1,75 @@
+"""Tests for the synthetic workload generators."""
+
+from collections import Counter
+
+from repro import Interval
+from repro.workloads import (
+    insert_delete_stream,
+    long_interval_mix,
+    ordered,
+    uniform,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        assert uniform(50, seed=7) == uniform(50, seed=7)
+        assert ordered(50, k=3, seed=7) == ordered(50, k=3, seed=7)
+        assert long_interval_mix(50, seed=7) == long_interval_mix(50, seed=7)
+        assert insert_delete_stream(50, seed=7) == insert_delete_stream(50, seed=7)
+
+    def test_different_seed_different_workload(self):
+        assert uniform(50, seed=1) != uniform(50, seed=2)
+
+
+class TestUniform:
+    def test_shape(self):
+        facts = uniform(100, horizon=1000, max_duration=50, seed=0)
+        assert len(facts) == 100
+        for value, interval in facts:
+            assert isinstance(interval, Interval)
+            assert 0 <= interval.start < 1000
+            assert 1 <= interval.length <= 50
+
+
+class TestLongIntervalMix:
+    def test_contains_long_spanners(self):
+        facts = long_interval_mix(
+            400, horizon=10_000, short_duration=50, long_fraction=0.1, seed=1
+        )
+        long_count = sum(1 for _, i in facts if i.length > 5_000)
+        short_count = sum(1 for _, i in facts if i.length <= 50)
+        assert long_count > 10
+        assert short_count > 300
+
+
+class TestOrdered:
+    def test_k0_is_sorted(self):
+        facts = ordered(200, k=0, seed=3)
+        starts = [i.start for _, i in facts]
+        assert starts == sorted(starts)
+
+    def test_k_bounded_disorder(self):
+        k = 5
+        facts = ordered(200, k=k, seed=3)
+        starts = [i.start for _, i in facts]
+        ranks = {s: r for r, s in enumerate(sorted(starts))}
+        assert all(abs(ranks[s] - pos) <= k for pos, s in enumerate(starts))
+
+
+class TestInsertDeleteStream:
+    def test_deletes_only_live_tuples(self):
+        ops = insert_delete_stream(300, delete_fraction=0.4, seed=5)
+        live = Counter()
+        for op in ops:
+            key = (op.value, op.interval)
+            if op.is_insert:
+                live[key] += 1
+            else:
+                assert live[key] > 0, "deleted a tuple that is not live"
+                live[key] -= 1
+
+    def test_mix_ratio(self):
+        ops = insert_delete_stream(1000, delete_fraction=0.3, seed=5)
+        deletes = sum(1 for op in ops if not op.is_insert)
+        assert 150 < deletes < 450
