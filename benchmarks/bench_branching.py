@@ -36,7 +36,7 @@ def test_branching_sweep(report):
     series.add("nodes", nodes)
     series.add("build s", build_times)
     series.add("reads/lookup", lookup_reads)
-    report("Ablation / branching factor sweep", series.render(with_exponents=False))
+    report("Ablation / branching factor sweep", series.render(with_exponents=False), series=series)
     assert heights[-1] < heights[0]
     assert lookup_reads[-1] < lookup_reads[0]
     # Same logical contents at every fanout.

@@ -74,7 +74,7 @@ def test_minmax_bmerge_compacts(report):
     series.add("nodes before", before_nodes)
     series.add("nodes after bmerge", after_nodes)
     series.add("bmerge seconds", bmerge_times)
-    report("Section 3.6 / bmerge compaction of a MAX tree", series.render())
+    report("Section 3.6 / bmerge compaction of a MAX tree", series.render(), series=series)
     # Uncompacted size grows with n; compacted size tracks m ~ 1.
     assert series.exponent("nodes before") > 0.4
     assert after_nodes[-1] <= 2
@@ -121,7 +121,7 @@ def test_bulk_vs_insert_rebuild(report):
     series.add("bulk rebuild s", bulk_times)
     series.add("insert nodes", insert_nodes)
     series.add("bulk nodes", bulk_nodes)
-    report("Ablation / bmerge rebuild strategy", series.render(with_exponents=False))
+    report("Ablation / bmerge rebuild strategy", series.render(with_exponents=False), series=series)
     assert all(b <= i for b, i in zip(bulk_nodes, insert_nodes))
     assert bulk_times[-1] < insert_times[-1]
 

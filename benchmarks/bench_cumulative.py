@@ -63,6 +63,7 @@ def test_dual_tree_vs_fixed_window_lookup(report):
     report(
         "Section 4.2 / dual trees vs dedicated fixed-window trees",
         series.render(with_exponents=False),
+        series=series,
     )
     # A small constant factor, not asymptotic: every ratio stays modest.
     assert all(r < 12 for r in series.columns["dual/fixed ratio"])
@@ -112,7 +113,7 @@ def test_msb_mlookup_beats_rangeq_for_wide_windows(report):
     series.add("mlookup s/lookup", ml_times)
     series.add("rangeq node reads", rq_reads)
     series.add("mlookup node reads", ml_reads)
-    report("Section 4.3 / MSB-tree mlookup vs SB-tree rangeq", series.render())
+    report("Section 4.3 / MSB-tree mlookup vs SB-tree rangeq", series.render(), series=series)
     # rangeq cost grows with the window; mlookup stays flat and wins big
     # at the widest window.
     assert rq_reads[-1] > 3 * rq_reads[0]
@@ -137,7 +138,7 @@ def test_cumulative_maintenance_cost(report):
     series.add("SB-tree s/insert", single_t)
     series.add("dual-trees s/insert", dual_t)
     series.add("MSB-tree s/insert", msb_t)
-    report("Section 4 / cumulative maintenance cost per insert", series.render())
+    report("Section 4 / cumulative maintenance cost per insert", series.render(), series=series)
     # All stay ~O(log n): no column's exponent approaches linear.
     for column in series.columns:
         assert series.exponent(column) < 0.5, column

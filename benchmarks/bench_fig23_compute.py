@@ -72,7 +72,7 @@ def test_compute_time_series_sum(report):
             tables[(name, n)] = algo(facts, "sum")
             times.append(time_call(lambda: algo(facts, "sum"), repeat=3))
         series.add(name, times)
-    report("Figure 23 / compute time (SUM, uniform workload)", series.render())
+    report("Figure 23 / compute time (SUM, uniform workload)", series.render(), series=series)
     # Correctness: every algorithm computed the same aggregate.
     for n in SIZES:
         expected = tables[("endpoint-sort", n)]
@@ -103,7 +103,7 @@ def test_compute_time_series_minmax(report):
             tables[(name, n)] = algo(facts, "max")
             times.append(time_call(lambda: algo(facts, "max"), repeat=3))
         series.add(name, times)
-    report("Figure 23 / compute time (MAX, uniform workload)", series.render())
+    report("Figure 23 / compute time (MAX, uniform workload)", series.render(), series=series)
     for n in SIZES:
         expected = tables[("merge-sort", n)]
         for name in algos:
@@ -136,7 +136,7 @@ def test_aggregation_tree_quadratic_on_ordered_input(report):
         heights.append(sb.height)
     series.add("aggr-tree depth", depths)
     series.add("SB-tree height", heights)
-    report("Figure 23 / ordered-input degeneration", series.render())
+    report("Figure 23 / ordered-input degeneration", series.render(), series=series)
     assert depths[-1] > SIZES[-1] / 4, "aggregation tree should degenerate"
     assert heights[-1] <= 4, "SB-tree must stay balanced"
     assert series.exponent("aggr-tree depth") > 0.9

@@ -63,7 +63,7 @@ def test_update_time_series(report):
     series.add("view rows touched", view_rows)
     series.add("SB-tree node reads", sb_reads)
     series.add("aggr-tree depth", agg_depths)
-    report("Figure 23 / update time", series.render())
+    report("Figure 23 / update time", series.render(), series=series)
     # The materialized view's long-interval update cost is linear in m...
     assert series.exponent("view rows touched") > 0.8
     # ...while the SB-tree's stays logarithmic (near-flat).
@@ -93,7 +93,7 @@ def test_lookup_time_series(report):
     series.add("aggr-tree s/lookup", agg_times)
     series.add("SB-tree reads/lookup", sb_reads)
     series.add("aggr-tree worst steps", agg_steps)
-    report("Figure 23 / lookup time", series.render())
+    report("Figure 23 / lookup time", series.render(), series=series)
     assert series.exponent("SB-tree reads/lookup") < 0.3
     assert series.exponent("aggr-tree worst steps") > 0.8
     # Both answered correctly, of course.

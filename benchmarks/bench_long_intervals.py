@@ -56,7 +56,7 @@ def test_insert_cost_flat_in_interval_length(report):
     series.add("view rows touched", view_rows)
     series.add("SB-tree s/op", sb_times)
     series.add("view s/op", view_times)
-    report("Section 3.3 / insert cost vs valid-interval length", series.render())
+    report("Section 3.3 / insert cost vs valid-interval length", series.render(), series=series)
     # SB-tree cost is flat in the interval length...
     assert series.exponent("SB-tree node reads") < 0.25
     # ...the direct view's is essentially linear in covered intervals.

@@ -69,7 +69,7 @@ def test_build_time_under_ordered_arrival(report):
         )
     for name, times in results.items():
         series.add(name, times)
-    report("Section 2 / build time under ordered arrival", series.render())
+    report("Section 2 / build time under ordered arrival", series.render(), series=series)
     # The plain aggregation tree is superlinear; the SB-tree near-linear.
     assert series.exponent("aggr-tree") > series.exponent("SB-tree") + 0.25
 

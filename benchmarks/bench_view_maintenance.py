@@ -53,6 +53,7 @@ def test_mixed_stream_maintenance(report):
     report(
         "Section 1 / direct view maintenance vs SB-tree (long-interval sweep)",
         series.render(with_exponents=False),
+        series=series,
     )
     # With 30% long intervals the direct view touches orders of
     # magnitude more rows than the SB-tree touches nodes.

@@ -70,6 +70,7 @@ def test_throughput_vs_view_count(report):
     report(
         "Warehouse / maintenance throughput vs view count",
         series.render(with_exponents=False),
+        series=series,
     )
     # Cost grows roughly linearly in the number of views: the marginal
     # cost of the tenth view is in the same ballpark as the first's.

@@ -8,12 +8,18 @@ and ``--benchmark-only`` runs alike.
 
 Set ``REPRO_BENCH_SCALE`` (default 1) to scale every sweep size up or
 down, e.g. ``REPRO_BENCH_SCALE=4`` for slower, higher-resolution runs.
+
+When a benchmark passes its :class:`repro.benchlib.Series` to the
+``report`` fixture (``report(title, text, series=series)``), a
+machine-readable ``BENCH_<slug>.json`` companion is written next to the
+text report.
 """
 
 import os
-import re
 
 import pytest
+
+from repro.benchlib import Series, slugify, write_bench_json
 
 _REPORTS = []
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -23,12 +29,13 @@ _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 def report():
     """Record a named series report (printed in the terminal summary)."""
 
-    def _record(title: str, text: str) -> None:
+    def _record(title: str, text: str, series: Series = None) -> None:
         _REPORTS.append((title, text))
         os.makedirs(_RESULTS_DIR, exist_ok=True)
-        slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
-        with open(os.path.join(_RESULTS_DIR, f"{slug}.txt"), "w") as f:
+        with open(os.path.join(_RESULTS_DIR, f"{slugify(title)}.txt"), "w") as f:
             f.write(text + "\n")
+        if series is not None:
+            write_bench_json(_RESULTS_DIR, title, series)
 
     return _record
 

@@ -36,6 +36,7 @@ from .core import (
     check_tree,
     spec_for,
 )
+from . import obs
 from .concurrent import ConcurrentTree, ReadWriteLock
 from .query import TemporalQuery
 
@@ -60,6 +61,7 @@ __all__ = [
     "TemporalQuery",
     "TreeInvariantError",
     "check_tree",
+    "obs",
     "spec_for",
     "__version__",
 ]

@@ -15,10 +15,12 @@ on noisy machines.
 
 from __future__ import annotations
 
+import json
 import math
 import os
+import re
 import time
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 __all__ = [
     "time_call",
@@ -27,6 +29,8 @@ __all__ = [
     "Series",
     "geometric_sizes",
     "scaled",
+    "slugify",
+    "write_bench_json",
 ]
 
 
@@ -94,6 +98,11 @@ def geometric_sizes(base: int, count: int, factor: int = 2) -> List[int]:
     return [base * factor**i for i in range(count)]
 
 
+def slugify(title: str) -> str:
+    """Filesystem-safe slug for a benchmark title."""
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+
+
 class Series:
     """A sweep result: x values plus one named measurement column each."""
 
@@ -110,6 +119,40 @@ class Series:
     def exponent(self, name: str) -> float:
         return fit_exponent(self.xs, self.columns[name])
 
+    def _safe_exponent(self, name: str) -> Optional[float]:
+        try:
+            return round(self.exponent(name), 4)
+        except (ValueError, ZeroDivisionError):
+            return None
+
+    def to_records(self, title: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Flat machine-readable records: one per (x, column) data point."""
+        records = []
+        for name, ys in self.columns.items():
+            for x, y in zip(self.xs, ys):
+                record: Dict[str, Any] = {
+                    "x_name": self.x_name,
+                    "x": x,
+                    "series": name,
+                    "value": y,
+                }
+                if title is not None:
+                    record["benchmark"] = title
+                records.append(record)
+        return records
+
+    def to_dict(self, title: Optional[str] = None) -> Dict[str, Any]:
+        """Structured form of the whole sweep, exponents included."""
+        payload: Dict[str, Any] = {
+            "x_name": self.x_name,
+            "xs": self.xs,
+            "columns": dict(self.columns),
+            "exponents": {name: self._safe_exponent(name) for name in self.columns},
+        }
+        if title is not None:
+            payload["title"] = title
+        return payload
+
     def render(self, *, with_exponents: bool = True) -> str:
         headers = [self.x_name] + list(self.columns)
         rows: List[List[Any]] = []
@@ -120,3 +163,23 @@ class Series:
                 ["~n^"] + [round(self.exponent(c), 2) for c in self.columns]
             )
         return format_table(headers, rows)
+
+
+def write_bench_json(directory: str, title: str, series: Series) -> str:
+    """Write a benchmark sweep as ``BENCH_<slug>.json`` under *directory*.
+
+    The file carries both the structured sweep (``series``) and the flat
+    per-point ``records`` list, so downstream tooling can pick whichever
+    shape is easier to ingest.  Returns the path written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{slugify(title)}.json")
+    payload = {
+        "title": title,
+        "series": series.to_dict(),
+        "records": series.to_records(title),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -10,7 +10,14 @@ Operate on the persistent index files produced by
     python -m repro range  index.sbt 14 28
     python -m repro verify index.sbt
     python -m repro compact index.sbt
+    python -m repro stats  index.sbt --lookups 200
     python -m repro tql "SUM(value) OVER rx AT 19" --table rx=facts.csv
+
+Every subcommand accepts ``--trace FILE`` (plus ``--trace-sample``) to
+record one JSON line per tree operation -- pages read, buffer
+hits/misses, physical I/Os, wall time -- via :mod:`repro.obs`;
+``stats`` runs a probe workload and prints the per-operation metrics
+table.
 
 CSV input for ``build`` has one fact per line: ``value,start,end``
 (numbers; a header line is tolerated and skipped).  CSVs for ``tql``
@@ -22,10 +29,12 @@ from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 from typing import List, Optional
 
-from .core.intervals import Interval
+from . import obs
+from .core.intervals import Interval, is_finite
 from .core.msbtree import MSBTree
 from .core.sbtree import SBTree
 from .core.validate import TreeInvariantError, check_tree
@@ -41,6 +50,10 @@ def _number(text: str) -> float:
 
 
 def _open_tree(path: str, buffer_capacity: int = 256):
+    # Opening a missing path would create an empty page file; querying
+    # commands must fail cleanly instead.
+    if not os.path.exists(path):
+        raise SystemExit(f"error: no such index file: {path}")
     store = PagedNodeStore(path, buffer_capacity=buffer_capacity)
     kind = store.get_meta("kind")
     if kind in ("min", "max") and store.get_meta("msb") == "1":
@@ -253,6 +266,56 @@ def cmd_tql(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Probe an index file and print per-operation metrics.
+
+    Runs ``--lookups`` point lookups spread over the indexed span (cold
+    buffer first, then warm), plus a handful of range queries, all under
+    :mod:`repro.obs`, then prints the per-op table: count, wall-time
+    percentiles, logical node reads, buffer hits/misses, physical page
+    I/Os -- the paper's Figure-23 quantities, per operation.
+    """
+    was_enabled = obs.is_enabled()
+    registry = obs.get_registry() if was_enabled else obs.enable(obs.MetricsRegistry())
+    store, tree = _open_tree(args.file, buffer_capacity=args.buffer)
+
+    # The probe span: the uppermost node's separators bound the data
+    # span well enough, without a full-tree scan polluting the metrics.
+    node = tree._root()
+    while not node.times and not node.is_leaf:
+        node = tree._read(node.children[0])
+    finite = [t for t in node.times if is_finite(t)]
+    lo, hi = (min(finite), max(finite)) if finite else (0, 1)
+    span = (hi - lo) or 1
+    probes = [lo + span * i / max(1, args.lookups - 1) for i in range(args.lookups)]
+
+    for t in probes:
+        tree.lookup(t)
+    for i in range(args.ranges):
+        start = lo + span * i / max(1, args.ranges)
+        tree.range_query(Interval(start, min(hi, start + span / 10)))
+    if isinstance(tree, MSBTree):
+        for t in probes[:: max(1, len(probes) // 16)]:
+            tree.window_lookup(t, span / 8)
+
+    print(f"file   : {args.file}")
+    print(f"kind   : {tree.kind.value}  height: {tree.height}  "
+          f"nodes: {store.node_count()}  buffer: {args.buffer} frames")
+    print()
+    print(registry.render())
+    print()
+    bs, ps = store.buffer.stats, store.pager.stats
+    print(
+        f"totals : buffer hits={bs.hits} misses={bs.misses} "
+        f"evictions={bs.evictions} hit-rate={bs.hit_rate:.1%} | "
+        f"physical reads={ps.physical_reads} writes={ps.physical_writes}"
+    )
+    store.close()
+    if not was_enabled:
+        obs.disable()
+    return 0
+
+
 def cmd_compact(args: argparse.Namespace) -> int:
     store, tree = _open_tree(args.file)
     before = store.node_count()
@@ -268,9 +331,26 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Inspect and query SB-tree / MSB-tree index files.",
     )
+    # Options shared by every subcommand (repro.obs tracing).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="append one JSON line per tree operation (wall time, node "
+        "reads, buffer hits/misses, physical I/Os) to FILE",
+    )
+    common.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="keep this fraction of trace records (deterministic sampling)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_build = sub.add_parser("build", help="build an index from a CSV of facts")
+    p_build = sub.add_parser(
+        "build", parents=[common], help="build an index from a CSV of facts"
+    )
     p_build.add_argument("file")
     p_build.add_argument("--kind", required=True,
                          choices=[k.value for k in AggregateKind])
@@ -282,38 +362,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--leaf-capacity", type=int)
     p_build.set_defaults(fn=cmd_build)
 
-    p_inspect = sub.add_parser("inspect", help="show file and tree statistics")
+    p_inspect = sub.add_parser("inspect", parents=[common], help="show file and tree statistics")
     p_inspect.add_argument("file")
     p_inspect.set_defaults(fn=cmd_inspect)
 
-    p_dump = sub.add_parser("dump", help="print the aggregate's constant intervals")
+    p_dump = sub.add_parser("dump", parents=[common], help="print the aggregate's constant intervals")
     p_dump.add_argument("file")
     p_dump.add_argument("--limit", type=int, default=0)
     p_dump.add_argument("--csv", help="write value,start,end rows to a CSV file")
     p_dump.set_defaults(fn=cmd_dump)
 
-    p_lookup = sub.add_parser("lookup", help="aggregate value at an instant")
+    p_lookup = sub.add_parser("lookup", parents=[common], help="aggregate value at an instant")
     p_lookup.add_argument("file")
     p_lookup.add_argument("instant")
     p_lookup.add_argument("--window", help="cumulative window offset (MSB files)")
     p_lookup.set_defaults(fn=cmd_lookup)
 
-    p_range = sub.add_parser("range", help="aggregate values over [start, end)")
+    p_range = sub.add_parser("range", parents=[common], help="aggregate values over [start, end)")
     p_range.add_argument("file")
     p_range.add_argument("start")
     p_range.add_argument("end")
     p_range.set_defaults(fn=cmd_range)
 
-    p_verify = sub.add_parser("verify", help="audit all structural invariants")
+    p_verify = sub.add_parser("verify", parents=[common], help="audit all structural invariants")
     p_verify.add_argument("file")
     p_verify.set_defaults(fn=cmd_verify)
 
-    p_compact = sub.add_parser("compact", help="batch-compact the tree (bmerge)")
+    p_compact = sub.add_parser("compact", parents=[common], help="batch-compact the tree (bmerge)")
     p_compact.add_argument("file")
     p_compact.set_defaults(fn=cmd_compact)
 
+    p_stats = sub.add_parser(
+        "stats", parents=[common],
+        help="probe the index and print per-operation I/O and latency metrics",
+    )
+    p_stats.add_argument("file")
+    p_stats.add_argument(
+        "--lookups", type=int, default=100,
+        help="number of point lookups to probe with (default 100)",
+    )
+    p_stats.add_argument(
+        "--ranges", type=int, default=8,
+        help="number of range queries to probe with (default 8)",
+    )
+    p_stats.add_argument(
+        "--buffer", type=int, default=64,
+        help="buffer pool frames for the probe run (default 64)",
+    )
+    p_stats.set_defaults(fn=cmd_stats)
+
     p_tql = sub.add_parser(
-        "tql", help="run a TQL statement over CSV-backed relations"
+        "tql", parents=[common],
+        help="run a TQL statement over CSV-backed relations",
     )
     p_tql.add_argument("statement", help="e.g. \"SUM(value) OVER r AT 19\"")
     p_tql.add_argument(
@@ -331,6 +431,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        try:
+            sink = obs.TraceSink(trace_path, sample=args.trace_sample)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot open trace sink: {exc}")
+        obs.enable(obs.MetricsRegistry(), sink)
+        try:
+            return args.fn(args)
+        finally:
+            obs.disable(close_sink=True)
     return args.fn(args)
 
 

@@ -24,8 +24,10 @@ load.
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional
+import time
+from typing import Any, Callable, Optional
 
+from . import obs
 from .core.intervals import Time
 from .core.results import ConstantIntervalTable
 from .core.sbtree import IntervalLike
@@ -115,45 +117,78 @@ class ConcurrentTree:
         self.tree = tree
         self.lock = lock if lock is not None else ReadWriteLock()
 
+    def _guarded(
+        self, guard: Any, op: str, fn: Callable, *args: Any, **kwargs: Any
+    ) -> Any:
+        """Run ``fn`` under ``guard``; when observability is on, attribute
+        the per-op I/O deltas *and* the time spent waiting for the lock."""
+        if not obs.ENABLED:
+            with guard:
+                return fn(*args, **kwargs)
+        requested = time.perf_counter()
+        with guard:
+            waited_us = (time.perf_counter() - requested) * 1e6
+            with obs.Op(
+                op,
+                obs.stores_of(self.tree),
+                subject=type(self.tree).__name__,
+                lock_wait_us=waited_us,
+            ):
+                return fn(*args, **kwargs)
+
     # ------------------------------------------------------------------
     # Reads (shared)
     # ------------------------------------------------------------------
     def lookup(self, t: Time) -> Any:
-        with self.lock.read_locked():
-            return self.tree.lookup(t)
+        return self._guarded(self.lock.read_locked(), "lookup", self.tree.lookup, t)
 
     def lookup_final(self, t: Time) -> Any:
-        with self.lock.read_locked():
-            return self.tree.lookup_final(t)
+        return self._guarded(
+            self.lock.read_locked(), "lookup", self.tree.lookup_final, t
+        )
 
     def range_query(self, interval: IntervalLike) -> ConstantIntervalTable:
-        with self.lock.read_locked():
-            return self.tree.range_query(interval)
+        return self._guarded(
+            self.lock.read_locked(), "range_query", self.tree.range_query, interval
+        )
 
     def to_table(self, **kwargs) -> ConstantIntervalTable:
-        with self.lock.read_locked():
-            return self.tree.to_table(**kwargs)
+        return self._guarded(
+            self.lock.read_locked(), "range_query", self.tree.to_table, **kwargs
+        )
 
     def window_lookup(self, t: Time, w: Time) -> Any:
-        with self.lock.read_locked():
-            return self.tree.window_lookup(t, w)
+        return self._guarded(
+            self.lock.read_locked(), "mlookup", self.tree.window_lookup, t, w
+        )
 
     # ------------------------------------------------------------------
     # Writes (exclusive)
     # ------------------------------------------------------------------
     def insert(self, value: Any, interval: IntervalLike) -> None:
-        with self.lock.write_locked():
-            self.tree.insert(value, interval)
+        return self._guarded(
+            self.lock.write_locked(), "insert", self.tree.insert, value, interval
+        )
 
     def delete(self, value: Any, interval: IntervalLike) -> None:
-        with self.lock.write_locked():
-            self.tree.delete(value, interval)
+        return self._guarded(
+            self.lock.write_locked(), "delete", self.tree.delete, value, interval
+        )
 
     def compact(self) -> None:
-        with self.lock.write_locked():
-            self.tree.compact()
+        return self._guarded(self.lock.write_locked(), "compact", self.tree.compact)
 
     # ------------------------------------------------------------------
     def __getattr__(self, name: str) -> Any:
         # Read-only passthrough for introspection (height, spec, ...).
-        return getattr(self.tree, name)
+        # Guard against infinite recursion when ``self.tree`` does not
+        # exist yet: ``copy.copy`` / ``pickle`` probe dunder methods on a
+        # blank instance *before* ``__init__`` runs, and a plain
+        # ``self.tree`` here would re-enter ``__getattr__`` forever.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        try:
+            tree = object.__getattribute__(self, "tree")
+        except AttributeError:
+            raise AttributeError(name) from None
+        return getattr(tree, name)

@@ -30,12 +30,15 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..obs import observed
 from .intervals import Interval, NEG_INF, POS_INF, Time, is_finite
 from .results import ConstantIntervalTable, merge_step_functions, trim_initial
 from .sbtree import IntervalLike, SBTree, as_interval
 from .store import NodeStore
 
 __all__ = ["DualTreeAggregate"]
+
+_both_stores = lambda self: (self.current.store, self.ended.store)  # noqa: E731
 
 
 class DualTreeAggregate:
@@ -68,6 +71,7 @@ class DualTreeAggregate:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    @observed("insert", stores=_both_stores)
     def insert(self, value: Any, interval: IntervalLike) -> None:
         """Record a base-table insertion in both trees."""
         interval = as_interval(interval)
@@ -77,6 +81,7 @@ class DualTreeAggregate:
             # The tuple counts as "ended" from its end instant onward.
             self.ended.insert_effect(effect, Interval(interval.end, POS_INF))
 
+    @observed("delete", stores=_both_stores)
     def delete(self, value: Any, interval: IntervalLike) -> None:
         """Record a base-table deletion in both trees."""
         interval = as_interval(interval)
@@ -88,6 +93,7 @@ class DualTreeAggregate:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @observed("window_lookup", stores=_both_stores)
     def window_lookup(self, t: Time, w: Time) -> Any:
         """Cumulative value at instant *t* with offset *w* (internal form)."""
         if w < 0:
@@ -104,6 +110,7 @@ class DualTreeAggregate:
         """Instantaneous value at *t* (the ``w == 0`` special case)."""
         return self.current.lookup(t)
 
+    @observed("window_query", stores=_both_stores)
     def window_query(self, interval: IntervalLike, w: Time) -> ConstantIntervalTable:
         """Constant intervals of the cumulative aggregate over *interval*.
 

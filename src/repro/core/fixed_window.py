@@ -15,12 +15,15 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..obs import observed
 from .intervals import Interval, POS_INF, Time
 from .results import ConstantIntervalTable
 from .sbtree import IntervalLike, SBTree, as_interval
 from .store import NodeStore
 
 __all__ = ["FixedWindowTree"]
+
+_inner_store = lambda self: self.tree.store  # noqa: E731 - obs accessor
 
 
 class FixedWindowTree:
@@ -56,24 +59,28 @@ class FixedWindowTree:
             return interval
         return interval.extended(self.window)
 
+    @observed("insert", stores=_inner_store)
     def insert(self, value: Any, interval: IntervalLike) -> None:
         """Record a base-table insertion."""
         self.tree.insert_effect(self.spec.effect(value), self._stretched(interval))
 
+    @observed("delete", stores=_inner_store)
     def delete(self, value: Any, interval: IntervalLike) -> None:
         """Record a base-table deletion (SUM/COUNT/AVG only)."""
         self.tree.insert_effect(
             self.spec.negated_effect(value), self._stretched(interval)
         )
 
+    @observed("lookup", stores=_inner_store)
     def lookup(self, t: Time) -> Any:
         """Cumulative value at instant *t* (internal form), O(h)."""
         return self.tree.lookup(t)
 
     def lookup_final(self, t: Time) -> Any:
         """Cumulative value at instant *t* in user-facing form."""
-        return self.tree.lookup_final(t)
+        return self.spec.finalize(self.lookup(t))
 
+    @observed("range_query", stores=_inner_store)
     def range_query(self, interval: IntervalLike) -> ConstantIntervalTable:
         """Constant intervals of the cumulative aggregate over *interval*."""
         return self.tree.range_query(interval)
@@ -82,6 +89,7 @@ class FixedWindowTree:
         """Full reconstruction of the cumulative aggregate."""
         return self.tree.to_table(**kwargs)
 
+    @observed("compact", stores=_inner_store)
     def compact(self) -> None:
         """Batch-compact the underlying tree (needed for MIN/MAX)."""
         self.tree.compact()

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..obs import observed
 from .intervals import Interval, NEG_INF, POS_INF, Time
 from .nodes import Node
 from .results import ConstantIntervalTable
@@ -55,6 +56,7 @@ class MSBTree(SBTree):
     # ------------------------------------------------------------------
     # Windowed lookup (mlookup)
     # ------------------------------------------------------------------
+    @observed("mlookup")
     def window_lookup(self, t: Time, w: Time) -> Any:
         """Return the cumulative MIN/MAX at instant *t* with offset *w*.
 
@@ -92,6 +94,7 @@ class MSBTree(SBTree):
             running = self._mlookup(child, a, b, lo, hi, acc(running, node.values[i]))
         return running
 
+    @observed("mlookup")
     def extremum_over(self, lo: Time, hi: Time) -> Any:
         """The exact MIN/MAX over the closed interval ``[lo, hi]`` in O(h).
 
@@ -108,6 +111,7 @@ class MSBTree(SBTree):
     # ------------------------------------------------------------------
     # Windowed range query
     # ------------------------------------------------------------------
+    @observed("window_query")
     def window_query(self, interval: IntervalLike, w: Time) -> ConstantIntervalTable:
         """Return the cumulative aggregate's constant intervals over *interval*.
 

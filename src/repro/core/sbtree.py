@@ -28,6 +28,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator, List, Optional, Tuple, Union
 
+from ..obs import observed
 from .intervals import Interval, NEG_INF, POS_INF, Time, is_finite
 from .nodes import Node, NodeId
 from .results import ConstantIntervalTable, trim_initial
@@ -176,6 +177,7 @@ class SBTree:
     # ------------------------------------------------------------------
     # Lookup (Section 3.1)
     # ------------------------------------------------------------------
+    @observed("lookup")
     def lookup(self, t: Time) -> Any:
         """Return the internal aggregate value at instant *t* in O(h)."""
         acc = self.spec.acc
@@ -195,6 +197,7 @@ class SBTree:
     # ------------------------------------------------------------------
     # Range queries and reconstruction (Section 3.2)
     # ------------------------------------------------------------------
+    @observed("range_query")
     def range_query(self, interval: IntervalLike) -> ConstantIntervalTable:
         """Return the aggregate's constant intervals clipped to *interval*.
 
@@ -243,10 +246,12 @@ class SBTree:
     # ------------------------------------------------------------------
     # Insertion and deletion (Sections 3.3 -- 3.5)
     # ------------------------------------------------------------------
+    @observed("insert")
     def insert(self, value: Any, interval: IntervalLike) -> None:
         """Record the insertion of a base tuple with *value* valid over *interval*."""
         self.insert_effect(self.spec.effect(value), interval)
 
+    @observed("delete")
     def delete(self, value: Any, interval: IntervalLike) -> None:
         """Record the deletion of a base tuple (SUM/COUNT/AVG only)."""
         self.insert_effect(self.spec.negated_effect(value), interval)
@@ -583,6 +588,7 @@ class SBTree:
     # ------------------------------------------------------------------
     # Batch compaction (bmerge, Section 3.6) and bulk loading
     # ------------------------------------------------------------------
+    @observed("compact")
     def compact(self, *, bulk: bool = False) -> None:
         """Rebuild the tree from its coalesced constant intervals.
 
@@ -616,6 +622,7 @@ class SBTree:
             if self._overflows(root_node):
                 self._grow_root(root_node)
 
+    @observed("bulk_load")
     def bulk_load(self, table: ConstantIntervalTable) -> None:
         """Replace the tree's contents with *table*, built bottom-up.
 

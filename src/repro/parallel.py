@@ -41,8 +41,19 @@ def solve_bucket(args: Tuple[list, str]) -> list:
 
 
 def _edges(facts, num_buckets: int) -> List[float]:
+    """Evenly spaced bucket boundaries over the facts' time span.
+
+    When every endpoint is an integer the edges are computed with
+    integer arithmetic: true division would yield float boundaries
+    (e.g. ``33.333...``) and let floats leak into the partitioning of an
+    otherwise int-valued timeline, breaking endpoint-type fidelity
+    against the int-domain oracle.
+    """
     lo = min(interval.start for _, interval in facts)
     hi = max(interval.end for _, interval in facts)
+    if isinstance(lo, int) and isinstance(hi, int):
+        span = hi - lo
+        return [lo + (span * i) // num_buckets for i in range(num_buckets)] + [hi]
     width = (hi - lo) / num_buckets
     return [lo + i * width for i in range(num_buckets)] + [hi]
 

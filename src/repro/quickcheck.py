@@ -1,0 +1,84 @@
+"""One-command sanity check: build a tree, print its stats, run tests.
+
+``repro-quickcheck`` (or ``python -m repro.quickcheck``) exercises the
+full happy path a fresh checkout should support:
+
+1. build a small persistent SUM index in a temporary directory via the
+   CLI (``repro build``),
+2. run the per-operation accounting report over it (``repro stats``),
+3. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
+
+Exit status is non-zero as soon as any stage fails, so this doubles as
+a cheap CI smoke target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from typing import List, Optional
+
+from . import cli
+from .workloads import uniform
+
+__all__ = ["main"]
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _stage(title: str) -> None:
+    print(f"\n=== quickcheck: {title} ===", flush=True)
+
+
+def _run_cli(argv: List[str]) -> int:
+    print(f"$ repro {' '.join(argv)}", flush=True)
+    return cli.main(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-quickcheck", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--no-tests", action="store_true", help="skip the pytest stage"
+    )
+    parser.add_argument(
+        "-n", type=int, default=2000, help="tuples in the scratch index"
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-quickcheck-") as scratch:
+        csv_path = os.path.join(scratch, "facts.csv")
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            for value, interval in uniform(args.n, seed=7):
+                handle.write(f"{value},{interval.start},{interval.end}\n")
+        path = os.path.join(scratch, "quickcheck.sbt")
+        _stage(f"build a scratch SUM index ({args.n} tuples)")
+        status = _run_cli(["build", path, "--kind", "sum", "--csv", csv_path])
+        if status:
+            return status
+        _stage("per-operation accounting (repro stats)")
+        status = _run_cli(["stats", path])
+        if status:
+            return status
+
+    if args.no_tests:
+        return 0
+
+    _stage("unit tests (pytest -q)")
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q"], cwd=_REPO_ROOT, env=env
+    )
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,19 @@ class BufferStats:
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = self.dirty_writebacks = 0
 
+    def snapshot(self) -> "BufferStats":
+        return BufferStats(
+            self.hits, self.misses, self.evictions, self.dirty_writebacks
+        )
+
+    def __sub__(self, other: "BufferStats") -> "BufferStats":
+        return BufferStats(
+            self.hits - other.hits,
+            self.misses - other.misses,
+            self.evictions - other.evictions,
+            self.dirty_writebacks - other.dirty_writebacks,
+        )
+
 
 class _Frame:
     __slots__ = ("payload", "dirty")

@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -60,6 +61,15 @@ class PagerStats:
     def reset(self) -> None:
         self.physical_reads = self.physical_writes = 0
 
+    def snapshot(self) -> "PagerStats":
+        return PagerStats(self.physical_reads, self.physical_writes)
+
+    def __sub__(self, other: "PagerStats") -> "PagerStats":
+        return PagerStats(
+            self.physical_reads - other.physical_reads,
+            self.physical_writes - other.physical_writes,
+        )
+
 
 class Pager:
     """Fixed-size page file with a free list and a small metadata area.
@@ -71,10 +81,16 @@ class Pager:
     def __init__(
         self,
         path: str,
-        page_size: int = DEFAULT_PAGE_SIZE,
+        page_size: Optional[int] = None,
         *,
         journaled: bool = False,
+        strict: bool = False,
     ) -> None:
+        # ``None`` means "whatever the file says" (or the default for a
+        # new file); an explicit size is checked against the file below.
+        requested_size = page_size
+        if page_size is None:
+            page_size = DEFAULT_PAGE_SIZE
         if page_size < 512:
             raise ValueError("page size must be at least 512 bytes")
         self.path = os.fspath(path)
@@ -83,6 +99,9 @@ class Pager:
         self._journaled_pages: set = set()
         self._journal_file = None
         self._journal_base_count: Optional[int] = None
+        #: Page ids freed by this process and not yet reallocated, kept
+        #: so a double free is caught before it cycles the free list.
+        self._freed: set = set()
         self.stats = PagerStats()
         # Reentrant: public methods nest (allocate -> write -> journal).
         self._mutex = threading.RLock()
@@ -97,9 +116,16 @@ class Pager:
             exists = os.path.getsize(self.path) > 0
         if exists:
             self._load_header()
-            if page_size != self.page_size:
+            if requested_size is not None and requested_size != self.page_size:
                 # Geometry comes from the file, not the argument.
-                pass
+                message = (
+                    f"page file {self.path!r} uses page_size "
+                    f"{self.page_size}; requested {requested_size} is ignored"
+                )
+                if strict:
+                    self._file.close()
+                    raise ValueError(message)
+                warnings.warn(message, stacklevel=2)
         else:
             self.page_size = page_size
             # Pin the pre-creation state (zero pages): until the first
@@ -306,6 +332,7 @@ class Pager:
                 page_id = self._free_head
                 payload = self.read_page(page_id)
                 (self._free_head,) = _FREE_LINK.unpack(payload[: _FREE_LINK.size])
+                self._freed.discard(page_id)
             else:
                 page_id = self.page_count
                 self.page_count += 1
@@ -315,27 +342,42 @@ class Pager:
             return page_id
 
     def free_page(self, page_id: int) -> None:
-        """Push a page onto the free list for reuse."""
+        """Push a page onto the free list for reuse.
+
+        Rejects the header page, out-of-range ids, and pages this
+        process already freed (a double free would cycle the free list
+        and silently hand the same page to two later allocations).
+        """
         with self._mutex:
+            if not 1 <= page_id < self.page_count:
+                raise ValueError(
+                    f"cannot free page {page_id}: valid data pages are "
+                    f"1..{self.page_count - 1}"
+                )
+            if page_id in self._freed:
+                raise ValueError(f"double free of page {page_id}")
             self.write_page(page_id, _FREE_LINK.pack(self._free_head))
             self._free_head = page_id
+            self._freed.add(page_id)
             self.live_nodes -= 1
             self._write_header()
 
     # ------------------------------------------------------------------
     def sync(self) -> None:
         """Flush the OS file buffers to stable storage."""
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        with self._mutex:
+            self._file.flush()
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
         """Clean shutdown: persist the header and commit any transaction."""
-        if not self._file.closed:
-            self._write_header()
-            if self.journaled:
-                self.commit()
-            self._file.flush()
-            self._file.close()
+        with self._mutex:
+            if not self._file.closed:
+                self._write_header()
+                if self.journaled:
+                    self.commit()
+                self._file.flush()
+                self._file.close()
 
     def __enter__(self) -> "Pager":
         return self

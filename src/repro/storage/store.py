@@ -34,9 +34,13 @@ class PagedNodeStore(NodeStore):
         Aggregate kind; required when creating a new file because the
         node codec's value width depends on it.
     page_size:
-        Page size in bytes for a new file (ignored when reopening).
+        Page size in bytes for a new file; ``None`` (default) accepts an
+        existing file's geometry without complaint.
     buffer_capacity:
         Number of page frames held by the buffer pool.
+    strict:
+        Raise (instead of warning) when reopening a file whose on-disk
+        page size differs from the requested one.
     """
 
     def __init__(
@@ -44,11 +48,14 @@ class PagedNodeStore(NodeStore):
         path: str,
         kind=None,
         *,
-        page_size: int = DEFAULT_PAGE_SIZE,
+        page_size: Optional[int] = None,
         buffer_capacity: int = 64,
         journaled: bool = False,
+        strict: bool = False,
     ) -> None:
-        self.pager = Pager(path, page_size=page_size, journaled=journaled)
+        self.pager = Pager(
+            path, page_size=page_size, journaled=journaled, strict=strict
+        )
         stored_kind = self.pager.get_meta("codec_kind")
         if stored_kind is not None:
             kind = stored_kind

@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional, Union
 
+from .. import obs
 from ..core.intervals import Time
 from ..core.values import spec_for
 from ..relation.table import TemporalRelation
@@ -138,11 +139,25 @@ class TemporalWarehouse:
             for sub_view in groups.values():
                 stores.extend(TemporalWarehouse._stores_of(sub_view))
             return stores
-        index = view.index
-        dual_current = getattr(index, "current", None)
-        if dual_current is not None:
-            return [dual_current.store, index.ended.store]
-        return [getattr(index, "tree", index).store]
+        return list(obs.stores_of(view.index))
+
+    def maintenance_summary(self):
+        """Per-view maintenance cost from the active metrics registry.
+
+        Returns ``{view_name: op_summary}`` for every registered view
+        that has recorded ``view.<name>.maintain`` operations; empty when
+        observability is off (see :mod:`repro.obs`).
+        """
+        registry = obs.get_registry()
+        if registry is None:
+            return {}
+        summaries = {}
+        for name in self._views:
+            op = f"view.{name}.maintain"
+            summary = registry.op_summary(op)
+            if summary["count"]:
+                summaries[name] = summary
+        return summaries
 
     def checkpoint(self) -> None:
         """Commit every journaled view store (a durable snapshot)."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Union
 
+from .. import obs
 from ..core.dual import DualTreeAggregate
 from ..core.fixed_window import FixedWindowTree
 from ..core.intervals import Interval, Time
@@ -140,6 +141,19 @@ class TemporalAggregateView:
             )
 
     def _on_change(self, event: ChangeEvent) -> None:
+        if not obs.ENABLED:
+            self._apply_change(event)
+            return
+        # Per-view maintenance cost: one op record per base-table change
+        # routed into this view, named so each view is distinguishable.
+        with obs.Op(
+            f"view.{self.name}.maintain",
+            obs.stores_of(self._index),
+            subject=type(self._index).__name__,
+        ):
+            self._apply_change(event)
+
+    def _apply_change(self, event: ChangeEvent) -> None:
         value = self._value_of(event.tuple)
         if event.kind is ChangeKind.INSERT:
             self._index.insert(value, event.tuple.valid)

@@ -226,3 +226,45 @@ class TestConcurrentTree:
         dual = ConcurrentTree(DualTreeAggregate("sum", branching=4, leaf_capacity=4), lock)
         dual.insert(3, Interval(0, 10))
         assert dual.window_lookup(12, 5) == 3
+
+
+class TestWrapperProtocols:
+    """Regression: ``__getattr__`` used to recurse infinitely when
+    copy/pickle probed dunders on a blank instance (before ``__init__``
+    had bound ``self.tree``)."""
+
+    def make(self):
+        tree = SBTree("sum", branching=4, leaf_capacity=4)
+        tree.insert(2, Interval(10, 40))
+        return ConcurrentTree(tree)
+
+    def test_copy_copy_works(self):
+        import copy
+
+        wrapped = self.make()
+        clone = copy.copy(wrapped)
+        # A shallow copy shares the underlying tree and stays usable.
+        assert clone.tree is wrapped.tree
+        assert clone.lookup(19) == 2
+
+    def test_missing_attribute_raises_cleanly(self):
+        wrapped = self.make()
+        with pytest.raises(AttributeError):
+            wrapped.no_such_method
+        assert not hasattr(wrapped, "definitely_not_there")
+
+    def test_dunder_probe_on_blank_instance(self):
+        # What copy.copy does internally: probe dunders on an instance
+        # created without running __init__.  Must raise AttributeError,
+        # not RecursionError.
+        blank = ConcurrentTree.__new__(ConcurrentTree)
+        with pytest.raises(AttributeError):
+            blank.__deepcopy__
+        with pytest.raises(AttributeError):
+            blank.anything  # no self.tree yet either
+
+    def test_delegation_still_works(self):
+        wrapped = self.make()
+        # Non-dunder attributes still delegate to the wrapped tree.
+        assert wrapped.height == wrapped.tree.height
+        assert wrapped.kind is wrapped.tree.kind

@@ -75,3 +75,44 @@ class TestParallelBuild:
             incremental.insert(value, interval)
         built = parallel_build(FACTS, "sum", branching=16, leaf_capacity=16)
         assert built.to_table() == incremental.to_table()
+
+
+class TestIntegerEdges:
+    """Regression: ``_edges`` used float true-division even for integer
+    timelines, letting float bucket boundaries leak into the
+    partitioning of an int-valued domain."""
+
+    def test_edges_stay_integers(self):
+        from repro.parallel import _edges
+
+        facts = [(1, Interval(0, 100)), (2, Interval(7, 93))]
+        edges = _edges(facts, 3)
+        assert edges == [0, 33, 66, 100]
+        assert all(type(e) is int for e in edges)
+
+    def test_float_timeline_keeps_float_edges(self):
+        from repro.parallel import _edges
+
+        facts = [(1, Interval(0.0, 1.0))]
+        edges = _edges(facts, 4)
+        assert edges == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_endpoint_types_match_oracle(self):
+        facts = uniform(300, horizon=1000, max_duration=50, seed=13)
+        expected = reference.instantaneous_table(facts, "sum")
+        # A bucket count that does not divide the span evenly -- the old
+        # float edges would appear here.
+        result = parallel_compute(facts, "sum", num_buckets=7)
+        assert result == expected
+        for (_, interval), (_, exp_interval) in zip(result.rows, expected.rows):
+            assert type(interval.start) is type(exp_interval.start)
+            assert type(interval.end) is type(exp_interval.end)
+        # Every finite endpoint of the int-domain result is an int.
+        for _, interval in result.rows:
+            for endpoint in (interval.start, interval.end):
+                if isinstance(endpoint, float) and endpoint in (
+                    float("-inf"),
+                    float("inf"),
+                ):
+                    continue
+                assert type(endpoint) is int, endpoint

@@ -367,3 +367,134 @@ class TestPagedNodeStore:
             for p in PRESCRIPTIONS:
                 tree.insert(p.dosage, p.valid)
             assert store.pager.page_count == grown
+
+
+# ----------------------------------------------------------------------
+# Pager hardening (geometry mismatch, free-list validation, sync races)
+# ----------------------------------------------------------------------
+class TestPagerHardening:
+    def test_page_size_mismatch_warns(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        with Pager(path, page_size=1024) as pager:
+            pid = pager.allocate_page()
+            pager.write_page(pid, b"payload")
+        with pytest.warns(UserWarning, match="page_size 1024"):
+            pager = Pager(path, page_size=4096)
+        # The file's geometry wins; the data is still readable.
+        assert pager.page_size == 1024
+        assert pager.read_page(pid).rstrip(b"\x00") == b"payload"
+        pager.close()
+
+    def test_page_size_mismatch_strict_raises(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        Pager(path, page_size=1024).close()
+        with pytest.raises(ValueError, match="page_size 1024"):
+            Pager(path, page_size=4096, strict=True)
+        # Matching geometry passes strict mode.
+        Pager(path, page_size=1024, strict=True).close()
+
+    def test_paged_store_strict_geometry(self, tmp_path):
+        path = str(tmp_path / "t.sbt")
+        PagedNodeStore(path, "sum", page_size=1024).close()
+        with pytest.raises(ValueError):
+            PagedNodeStore(path, "sum", page_size=4096, strict=True)
+
+    def test_double_free_rejected(self, tmp_path):
+        with Pager(str(tmp_path / "t.sbt")) as pager:
+            pid = pager.allocate_page()
+            pager.free_page(pid)
+            with pytest.raises(ValueError, match="double free"):
+                pager.free_page(pid)
+            # Reallocating the page makes it freeable again.
+            assert pager.allocate_page() == pid
+            pager.free_page(pid)
+
+    def test_free_header_page_rejected(self, tmp_path):
+        with Pager(str(tmp_path / "t.sbt")) as pager:
+            pager.allocate_page()
+            with pytest.raises(ValueError, match="cannot free page 0"):
+                pager.free_page(0)
+
+    def test_free_out_of_range_rejected(self, tmp_path):
+        with Pager(str(tmp_path / "t.sbt")) as pager:
+            pager.allocate_page()
+            with pytest.raises(ValueError, match="cannot free page"):
+                pager.free_page(pager.page_count)
+            with pytest.raises(ValueError, match="cannot free page"):
+                pager.free_page(-3)
+
+    def test_sync_races_with_writes(self, tmp_path):
+        """pager.sync() holds the mutex, so a concurrent writer can never
+        observe a torn write_page/sync interleaving."""
+        import threading
+
+        with Pager(str(tmp_path / "t.sbt"), page_size=512) as pager:
+            pids = [pager.allocate_page() for _ in range(8)]
+            stop = threading.Event()
+            errors = []
+
+            def syncer():
+                while not stop.is_set():
+                    try:
+                        pager.sync()
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+
+            def writer():
+                try:
+                    for round_no in range(150):
+                        for pid in pids:
+                            pager.write_page(pid, b"%d:%d" % (pid, round_no))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=syncer) for _ in range(2)]
+            threads += [threading.Thread(target=writer)]
+            for t in threads:
+                t.start()
+            threads[-1].join(timeout=60)
+            stop.set()
+            for t in threads[:-1]:
+                t.join(timeout=10)
+            assert not errors
+            for pid in pids:
+                assert pager.read_page(pid).rstrip(b"\x00") == b"%d:149" % pid
+
+    def test_flush_races_with_reads(self, tmp_path):
+        """PagedNodeStore.flush (buffer write-back + sync) vs readers."""
+        import threading
+
+        with PagedNodeStore(
+            str(tmp_path / "t.sbt"), "sum", buffer_capacity=4
+        ) as store:
+            tree = SBTree("sum", store, branching=4, leaf_capacity=4)
+            for i in range(60):
+                tree.insert(1, Interval(i * 5, i * 5 + 20))
+            stop = threading.Event()
+            errors = []
+
+            def flusher():
+                while not stop.is_set():
+                    try:
+                        store.flush()
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+
+            def reader():
+                try:
+                    for i in range(400):
+                        assert tree.lookup(i % 300) >= 0
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            ft = threading.Thread(target=flusher)
+            rt = threading.Thread(target=reader)
+            ft.start()
+            rt.start()
+            rt.join(timeout=60)
+            stop.set()
+            ft.join(timeout=10)
+            assert not errors
+            check_tree(tree)
