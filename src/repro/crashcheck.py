@@ -1,0 +1,376 @@
+"""Systematic crash-consistency checking for journaled page files.
+
+The rollback journal's contract is simple to state and easy to get
+wrong: *whatever instant the process dies at, reopening the file yields
+exactly the last-committed aggregate*.  This harness proves it by
+construction: it drives a journaled :class:`~repro.storage.PagedNodeStore`
+through small insert / split / commit / compaction workloads while a
+:class:`~repro.faults.FaultInjector` kills the "process" (raises
+:class:`~repro.faults.SimulatedCrash`) at a chosen occurrence of a
+chosen :data:`~repro.storage.pager.Pager.CRASH_POINTS` entry; it then
+abandons the file handles, reopens the file -- triggering journal
+rollback -- and verifies the recovered tree against the brute-force
+:mod:`repro.core.reference` oracle over the facts committed so far.
+
+A crash *inside* ``commit()`` is the one genuinely ambiguous case: the
+transaction is durable if and only if the process died after the
+journal deletion.  The harness therefore accepts either the
+pre-commit or the post-commit fact set there -- but never anything in
+between (atomicity), and the recovered tree must additionally pass the
+full structural audit of :func:`repro.core.validate.check_tree`.
+
+Run it from the command line (also installed as ``repro-crashcheck``)::
+
+    python -m repro.crashcheck                 # full sweep, all workloads
+    python -m repro.crashcheck --hits sample   # first/middle/last hit only
+    python -m repro.crashcheck --workload split --verbose
+
+Exit status is non-zero if any recovery diverged from the oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .core import reference
+from .core.intervals import Interval
+from .core.sbtree import SBTree
+from .core.validate import check_tree
+from .faults import FaultInjector, SimulatedCrash, simulate_crash
+from .storage import PagedNodeStore
+from .storage.pager import Pager
+
+__all__ = [
+    "CrashCheckResult",
+    "WORKLOADS",
+    "run_case",
+    "sweep",
+    "sweep_all",
+    "main",
+]
+
+#: Geometry shared by every workload: small pages and tiny fanout force
+#: splits, evictions, and multi-page transactions within a few dozen
+#: inserts.
+_PAGE_SIZE = 512
+_BUFFER_CAPACITY = 4
+_BRANCHING = 4
+_LEAF_CAPACITY = 4
+_KIND = "sum"
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+class WorkloadContext:
+    """Drives one tree while tracking the committed-facts oracle.
+
+    ``committed`` holds the facts as of the last *completed* commit;
+    ``commit_pending`` holds the fact set a commit was asked to make
+    durable while that commit is still in flight (the ambiguous window).
+    """
+
+    def __init__(self, tree: SBTree, store: PagedNodeStore) -> None:
+        self.tree = tree
+        self.store = store
+        self.committed: List[Tuple[int, Interval]] = []
+        self.pending: List[Tuple[str, int, Interval]] = []
+        self.commit_pending: Optional[List[Tuple[int, Interval]]] = None
+
+    def live(self) -> List[Tuple[int, Interval]]:
+        facts = list(self.committed)
+        for op, value, interval in self.pending:
+            if op == "+":
+                facts.append((value, interval))
+            else:
+                facts.remove((value, interval))
+        return facts
+
+    def insert(self, value: int, interval: Interval) -> None:
+        self.tree.insert(value, interval)
+        self.pending.append(("+", value, interval))
+
+    def delete(self, value: int, interval: Interval) -> None:
+        self.tree.delete(value, interval)
+        self.pending.append(("-", value, interval))
+
+    def commit(self) -> None:
+        self.commit_pending = self.live()
+        self.store.commit()
+        self.committed = self.commit_pending
+        self.commit_pending = None
+        self.pending = []
+
+    def compact(self) -> None:
+        self.tree.compact()
+
+    def oracles(self) -> List[List[Tuple[int, Interval]]]:
+        """The fact sets the recovered file may legally equal."""
+        accepted = [self.committed]
+        if self.commit_pending is not None:
+            accepted.append(self.commit_pending)
+        return accepted
+
+
+def _wl_insert(ctx: WorkloadContext) -> None:
+    """Plain inserts with a mid-workload and a final commit."""
+    for i in range(14):
+        ctx.insert(i % 5 + 1, Interval(i * 3, i * 3 + 10))
+        if i == 6:
+            ctx.commit()
+    ctx.commit()
+
+
+def _wl_split(ctx: WorkloadContext) -> None:
+    """Overlapping inserts dense enough to split leaves and the root."""
+    for i in range(24):
+        ctx.insert(i % 7 + 1, Interval(i * 2, i * 2 + 30))
+    ctx.commit()
+    for i in range(24, 40):
+        ctx.insert(i % 7 + 1, Interval(i * 2, i * 2 + 30))
+    ctx.commit()
+
+
+def _wl_commit(ctx: WorkloadContext) -> None:
+    """Many tiny transactions: the commit path is the hot path."""
+    for i in range(10):
+        ctx.insert(i + 1, Interval(i * 5, i * 5 + 12))
+        ctx.commit()
+
+
+def _wl_compact(ctx: WorkloadContext) -> None:
+    """Inserts and deletions, then an explicit compaction pass."""
+    facts = [(i % 4 + 1, Interval(i * 2, i * 2 + 20)) for i in range(20)]
+    for value, interval in facts:
+        ctx.insert(value, interval)
+    ctx.commit()
+    for value, interval in facts[::3]:
+        ctx.delete(value, interval)
+    ctx.compact()
+    ctx.commit()
+
+
+WORKLOADS: Dict[str, Callable[[WorkloadContext], None]] = {
+    "insert": _wl_insert,
+    "split": _wl_split,
+    "commit": _wl_commit,
+    "compact": _wl_compact,
+}
+
+
+# ----------------------------------------------------------------------
+# One case: crash at (point, hit), recover, verify
+# ----------------------------------------------------------------------
+@dataclass
+class CrashCheckResult:
+    """Outcome of one crash-recovery case."""
+
+    workload: str
+    point: str
+    hit: int
+    crashed: bool
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        crash = f"crash@hit {self.hit}" if self.crashed else "no crash (point exhausted)"
+        tail = f" -- {self.detail}" if self.detail else ""
+        return f"[{status}] {self.workload:8s} {self.point:24s} {crash}{tail}"
+
+
+def _open(path: str, faults: Optional[FaultInjector] = None):
+    store = PagedNodeStore(
+        path,
+        _KIND,
+        page_size=_PAGE_SIZE,
+        buffer_capacity=_BUFFER_CAPACITY,
+        journaled=True,
+        faults=faults,
+    )
+    if store.get_root() is None:
+        tree = SBTree(
+            _KIND, store, branching=_BRANCHING, leaf_capacity=_LEAF_CAPACITY
+        )
+    else:
+        tree = SBTree(store=store)
+    return store, tree
+
+
+def run_case(
+    path: str, workload: str, point: str, hit: int
+) -> CrashCheckResult:
+    """Run one workload with a crash armed at (point, hit) and verify.
+
+    The injector is attached only after the store exists and an empty
+    baseline is committed, so the sweep targets the workload itself
+    rather than file-creation noise.  Returns ``crashed=False`` when
+    the workload finished before the point's *hit*-th occurrence --
+    the sweep uses that as its termination signal.
+    """
+    for leftover in (path, path + "-journal"):
+        if os.path.exists(leftover):
+            os.remove(leftover)
+    store, tree = _open(path)
+    ctx = WorkloadContext(tree, store)
+    ctx.commit()  # committed baseline: the empty tree
+    injector = FaultInjector(seed=hit)
+    injector.crash_at(point, hit=hit)
+    store.pager.faults = injector
+    crashed = False
+    try:
+        WORKLOADS[workload](ctx)
+        store.pager.faults = None
+        store.close()
+    except SimulatedCrash:
+        crashed = True
+        simulate_crash(store)
+
+    ok, detail = _verify_recovery(path, ctx)
+    return CrashCheckResult(workload, point, hit, crashed, ok, detail)
+
+
+def _verify_recovery(path: str, ctx: WorkloadContext) -> Tuple[bool, str]:
+    try:
+        store, tree = _open(path)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        return False, f"reopen failed: {exc!r}"
+    try:
+        recovered = tree.to_table()
+        for facts in ctx.oracles():
+            if recovered == reference.instantaneous_table(facts, _KIND):
+                check_tree(tree)
+                return True, ""
+        return False, (
+            f"recovered table diverges from the committed oracle "
+            f"({len(ctx.committed)} committed facts)"
+        )
+    except Exception as exc:  # noqa: BLE001
+        return False, f"recovered tree is unusable: {exc!r}"
+    finally:
+        try:
+            store.close()
+        except Exception:  # noqa: BLE001 - best effort
+            pass
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+def _count_hits(path: str, workload: str) -> Dict[str, int]:
+    """Dry run with a disarmed injector: how often is each point hit?"""
+    for leftover in (path, path + "-journal"):
+        if os.path.exists(leftover):
+            os.remove(leftover)
+    store, tree = _open(path)
+    ctx = WorkloadContext(tree, store)
+    ctx.commit()
+    counter = FaultInjector()
+    store.pager.faults = counter
+    WORKLOADS[workload](ctx)
+    store.pager.faults = None
+    store.close()
+    return dict(counter.hits)
+
+
+def _hit_schedule(total: int, hits: Union[str, int]) -> List[int]:
+    if total <= 0:
+        return []
+    if hits == "all":
+        return list(range(1, total + 1))
+    if hits == "sample":  # first, middle, last occurrence
+        return sorted({1, (total + 1) // 2, total})
+    return list(range(1, min(int(hits), total) + 1))
+
+
+def sweep(
+    workload: str,
+    workdir: str,
+    *,
+    hits: Union[str, int] = "all",
+    verbose: bool = False,
+) -> List[CrashCheckResult]:
+    """Crash one workload at every crash point (and chosen occurrences).
+
+    ``hits`` is ``"all"`` (every occurrence of every point -- the
+    exhaustive sweep), ``"sample"`` (first/middle/last occurrence), or
+    an integer (the first N occurrences).
+    """
+    path = os.path.join(workdir, f"crashcheck-{workload}.sbt")
+    occurrences = _count_hits(path, workload)
+    results: List[CrashCheckResult] = []
+    for point in Pager.CRASH_POINTS:
+        for hit in _hit_schedule(occurrences.get(point, 0), hits):
+            result = run_case(path, workload, point, hit)
+            results.append(result)
+            if verbose or not result.ok:
+                print(result, flush=True)
+    return results
+
+
+def sweep_all(
+    workdir: str,
+    *,
+    workloads: Optional[Sequence[str]] = None,
+    hits: Union[str, int] = "all",
+    verbose: bool = False,
+) -> List[CrashCheckResult]:
+    """Run :func:`sweep` for every (or the selected) workload."""
+    results: List[CrashCheckResult] = []
+    for name in workloads or sorted(WORKLOADS):
+        results.extend(sweep(name, workdir, hits=hits, verbose=verbose))
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-crashcheck",
+        description="Crash a journaled SB-tree at every labeled crash "
+        "point and verify recovery against the reference oracle.",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=sorted(WORKLOADS),
+        help="restrict to one workload (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--hits",
+        default="all",
+        help="'all' (exhaustive), 'sample' (first/middle/last), or a "
+        "number N (first N occurrences per crash point)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every case, not just failures"
+    )
+    args = parser.parse_args(argv)
+    hits: Union[str, int] = args.hits
+    if hits not in ("all", "sample"):
+        try:
+            hits = int(hits)
+        except ValueError:
+            parser.error("--hits must be 'all', 'sample', or an integer")
+
+    with tempfile.TemporaryDirectory(prefix="repro-crashcheck-") as workdir:
+        results = sweep_all(
+            workdir, workloads=args.workload, hits=hits, verbose=args.verbose
+        )
+    crashes = sum(r.crashed for r in results)
+    failures = [r for r in results if not r.ok]
+    points = {r.point for r in results if r.crashed}
+    print(
+        f"\ncrashcheck: {len(results)} cases, {crashes} injected crashes "
+        f"across {len(points)} crash points, {len(failures)} failures"
+    )
+    for failure in failures:
+        print(f"  {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

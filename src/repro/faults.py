@@ -1,0 +1,271 @@
+"""Deterministic fault injection for the storage layer.
+
+The SB-tree is a *disk-based* index, so its correctness claims extend
+to failure modes a real disk exhibits: torn page writes, transient and
+permanent I/O errors, failed fsyncs, and crashes at arbitrary points in
+the journal protocol.  This module provides the controlled versions of
+all of those:
+
+* :class:`SimulatedCrash` -- the exception a "process death" raises at a
+  named crash point.  It deliberately does *not* subclass
+  :class:`OSError`, so the pager's retry machinery never swallows it.
+* :class:`FaultInjector` -- a seedable, fully deterministic fault plan
+  wrapped around the pager's file operations.  The pager consults it at
+  labeled *crash points* (``before_journal_write``,
+  ``before_commit_fsync``, ...) and around every raw ``write``/``fsync``
+  it issues, letting tests and the :mod:`repro.crashcheck` harness
+  inject:
+
+  - a crash at the N-th hit of any named crash point,
+  - a *torn write* (only a prefix of the data reaches the file before
+    the simulated crash) on the data file or the journal,
+  - transient or permanent :class:`OSError` on writes and fsyncs.
+
+* :func:`simulate_crash` -- abandon a store/pager's file handles the way
+  a dying process would (no commit, no header write-back, no journal
+  cleanup), so the recovery path can be exercised by reopening the file.
+
+Every injected fault is counted (:attr:`FaultInjector.injected`) and,
+when :mod:`repro.obs` collection is enabled, mirrored into the active
+:class:`~repro.obs.MetricsRegistry` under ``faults.*`` counters.
+
+Determinism: with the same seed, the same fault plan, and the same
+workload, the injector fires identically on every run -- there is no
+wall-clock or PID dependence, which is what makes the crash-consistency
+sweep in :mod:`repro.crashcheck` reproducible.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Any, Dict, Optional, Tuple
+
+from . import obs
+
+__all__ = [
+    "FaultInjector",
+    "SimulatedCrash",
+    "simulate_crash",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """A simulated process death, raised at a named crash point.
+
+    Carries the crash point (or write/fsync label) it fired at, so the
+    harness can report where a failing recovery originated.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+class _WriteFault:
+    """One armed write/fsync fault: OSError for the next *times* calls."""
+
+    __slots__ = ("label", "times", "errno_")
+
+    def __init__(self, label: str, times: Optional[int], errno_: int) -> None:
+        self.label = label
+        self.times = times  # None means permanent
+        self.errno_ = errno_
+
+    def consume(self) -> bool:
+        """Whether this fault fires now (and uses up one charge)."""
+        if self.times is None:
+            return True
+        if self.times > 0:
+            self.times -= 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.times == 0
+
+
+class FaultInjector:
+    """A deterministic fault plan for one or more pagers.
+
+    The same injector may be shared by several pagers (e.g. every view
+    store of a warehouse): crash-point hit counts are global to the
+    injector, which is exactly what a "crash between committing view N
+    and view N+1" test needs.
+
+    Arming methods may be chained::
+
+        inj = FaultInjector(seed=7)
+        inj.crash_at("before_commit_fsync", hit=2).fail_writes(times=1)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        #: crash-point name -> number of times the point was reached.
+        self.hits: Dict[str, int] = {}
+        #: fault kind -> number of times it actually fired.
+        self.injected: Dict[str, int] = {}
+        #: write/fsync label -> number of intercepted calls.
+        self.write_calls: Dict[str, int] = {}
+        self.fsync_calls: Dict[str, int] = {}
+        self._crash_points: Dict[str, int] = {}  # point -> hit number
+        self._write_faults: list = []
+        self._fsync_faults: list = []
+        #: label -> (call number, fraction) for torn writes.
+        self._torn: Dict[str, Tuple[int, float]] = {}
+        self._disarmed = False
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def crash_at(self, point: str, hit: int = 1) -> "FaultInjector":
+        """Raise :class:`SimulatedCrash` at the *hit*-th time *point* is reached."""
+        if hit < 1:
+            raise ValueError("hit numbers are 1-based")
+        self._crash_points[point] = hit
+        return self
+
+    def fail_writes(
+        self,
+        label: str = "data",
+        *,
+        times: Optional[int] = 1,
+        errno_: int = errno.EIO,
+    ) -> "FaultInjector":
+        """Make the next *times* writes on *label* raise :class:`OSError`.
+
+        ``times=None`` arms a *permanent* failure (every write fails),
+        which is how the pager's degraded mode is exercised.
+        """
+        self._write_faults.append(_WriteFault(label, times, errno_))
+        return self
+
+    def fail_fsyncs(
+        self,
+        label: str = "data",
+        *,
+        times: Optional[int] = 1,
+        errno_: int = errno.EIO,
+    ) -> "FaultInjector":
+        """Make the next *times* fsyncs on *label* raise :class:`OSError`."""
+        self._fsync_faults.append(_WriteFault(label, times, errno_))
+        return self
+
+    def tear_write(
+        self, label: str = "journal", *, call: Optional[int] = None,
+        fraction: float = 0.5,
+    ) -> "FaultInjector":
+        """Tear the *call*-th write on *label*: write a prefix, then crash.
+
+        ``call=None`` tears the next write.  ``fraction`` is the portion
+        of the payload that reaches the file (at least one byte, at most
+        all but one), modeling a torn page or a partial journal append.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        target = self.write_calls.get(label, 0) + 1 if call is None else call
+        self._torn[label] = (target, fraction)
+        return self
+
+    def disarm(self) -> "FaultInjector":
+        """Stop injecting faults (counting continues)."""
+        self._disarmed = True
+        return self
+
+    def rearm(self) -> "FaultInjector":
+        self._disarmed = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Pager-facing interception
+    # ------------------------------------------------------------------
+    def crash_point(self, point: str) -> None:
+        """Count a crash-point hit; raise if this hit is armed to crash."""
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        if self._disarmed:
+            return
+        if self._crash_points.get(point) == count:
+            self._record("crash")
+            raise SimulatedCrash(point)
+
+    def intercept_write(
+        self, label: str, data: bytes
+    ) -> Tuple[bytes, Optional[BaseException]]:
+        """Decide one raw write's fate.
+
+        Returns ``(bytes_to_write, exception_or_None)``: the caller must
+        write the returned bytes, flush, then raise the exception if one
+        is given (that is how a torn write leaves its prefix in the
+        file).  I/O-error faults raise :class:`OSError` directly, before
+        any bytes are written.
+        """
+        count = self.write_calls.get(label, 0) + 1
+        self.write_calls[label] = count
+        if self._disarmed:
+            return data, None
+        torn = self._torn.get(label)
+        if torn is not None and torn[0] == count:
+            del self._torn[label]
+            keep = max(1, min(len(data) - 1, int(len(data) * torn[1])))
+            self._record("torn_write")
+            return data[:keep], SimulatedCrash(f"torn {label} write")
+        for fault in self._write_faults:
+            if fault.label == label and fault.consume():
+                self._record("io_error")
+                raise OSError(fault.errno_, f"injected {label} write error")
+        self._write_faults = [f for f in self._write_faults if not f.exhausted]
+        return data, None
+
+    def intercept_fsync(self, label: str) -> None:
+        """Count an fsync; raise :class:`OSError` if a fault is armed."""
+        self.fsync_calls[label] = self.fsync_calls.get(label, 0) + 1
+        if self._disarmed:
+            return
+        for fault in self._fsync_faults:
+            if fault.label == label and fault.consume():
+                self._record("fsync_error")
+                raise OSError(fault.errno_, f"injected {label} fsync error")
+        self._fsync_faults = [f for f in self._fsync_faults if not f.exhausted]
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        obs.count(f"faults.{kind}")
+
+    def reset_counts(self) -> None:
+        """Clear hit/call counters (the armed plan is kept)."""
+        self.hits.clear()
+        self.write_calls.clear()
+        self.fsync_calls.clear()
+        self.injected.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultInjector seed={self.seed} armed="
+            f"{sorted(self._crash_points)} injected={self.injected}>"
+        )
+
+
+def simulate_crash(store_or_pager: Any) -> None:
+    """Abandon file handles the way a dying process would.
+
+    Accepts a :class:`~repro.storage.store.PagedNodeStore` or a bare
+    :class:`~repro.storage.pager.Pager`.  No header write-back, no
+    commit, no journal cleanup happens -- the next open of the same path
+    sees exactly what a crash would have left behind (buffered bytes
+    are handed to the OS, mirroring a process that died after its
+    libc buffers were drained but before any further syscall).
+    """
+    pager = getattr(store_or_pager, "pager", store_or_pager)
+    for handle in (pager._file, pager._journal_file):
+        if handle is None or handle.closed:
+            continue
+        try:
+            handle.flush()
+        except (OSError, ValueError):
+            pass
+        try:
+            handle.close()
+        except (OSError, ValueError):
+            pass

@@ -61,6 +61,7 @@ __all__ = [
     "OpRecord",
     "TraceSink",
     "collecting",
+    "count",
     "disable",
     "enable",
     "get_registry",
@@ -504,6 +505,20 @@ def disable(*, close_sink: bool = False) -> None:
 
 def is_enabled() -> bool:
     return ENABLED
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump a named counter on the active registry; no-op while disabled.
+
+    The storage layer uses this for rare, out-of-band events (write
+    retries, injected faults, degraded-mode entries) that have no
+    surrounding :class:`Op`: one attribute check when collection is off.
+    """
+    if not ENABLED:
+        return
+    registry = _registry
+    if registry is not None:
+        registry.counter(name).inc(amount)
 
 
 def get_registry() -> Optional[MetricsRegistry]:

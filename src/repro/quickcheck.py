@@ -6,7 +6,10 @@ full happy path a fresh checkout should support:
 1. build a small persistent SUM index in a temporary directory via the
    CLI (``repro build``),
 2. run the per-operation accounting report over it (``repro stats``),
-3. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
+3. audit the freshly built page file offline (``repro fsck``),
+4. run a quick crash-consistency sweep (first occurrence of every
+   crash point on the commit workload, via :mod:`repro.crashcheck`),
+5. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
 
 Exit status is non-zero as soon as any stage fails, so this doubles as
 a cheap CI smoke target.
@@ -64,6 +67,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         status = _run_cli(["stats", path])
         if status:
             return status
+        _stage("offline page-file audit (repro fsck)")
+        status = _run_cli(["fsck", path])
+        if status:
+            return status
+
+    _stage("crash-consistency sweep (commit workload, first hits)")
+    from . import crashcheck
+
+    status = crashcheck.main(["--workload", "commit", "--hits", "1"])
+    if status:
+        return status
 
     if args.no_tests:
         return 0

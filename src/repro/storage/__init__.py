@@ -2,17 +2,30 @@
 
 from .buffer import BufferPool, BufferStats
 from .codec import NodeCodec, NodeEncodingError
-from .pager import DEFAULT_PAGE_SIZE, PageCorruptionError, Pager, PagerStats
+from .fsck import Finding, FsckReport, fsck
+from .pager import (
+    DEFAULT_PAGE_SIZE,
+    JournalError,
+    PageCorruptionError,
+    Pager,
+    PagerDegradedError,
+    PagerStats,
+)
 from .store import PagedNodeStore
 
 __all__ = [
     "BufferPool",
     "BufferStats",
     "DEFAULT_PAGE_SIZE",
+    "Finding",
+    "FsckReport",
+    "JournalError",
     "NodeCodec",
     "NodeEncodingError",
     "PageCorruptionError",
     "PagedNodeStore",
     "Pager",
+    "PagerDegradedError",
     "PagerStats",
+    "fsck",
 ]

@@ -119,11 +119,17 @@ class BufferPool:
     # ------------------------------------------------------------------
     def _admit(self, page_id: int, frame: _Frame) -> None:
         while len(self._frames) >= self.capacity:
-            victim_id, victim = self._frames.popitem(last=False)
-            self.stats.evictions += 1
+            # Write the victim back BEFORE dropping its frame: if the
+            # pager raises (EIO, degraded mode), the dirty frame must
+            # survive in the pool or committed data would silently
+            # vanish.  The exception propagates with the pool intact.
+            victim_id, victim = next(iter(self._frames.items()))
             if victim.dirty:
                 self.pager.write_page(victim_id, victim.payload)
                 self.stats.dirty_writebacks += 1
+                victim.dirty = False
+            del self._frames[victim_id]
+            self.stats.evictions += 1
         self._frames[page_id] = frame
 
     def __len__(self) -> int:

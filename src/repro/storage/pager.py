@@ -14,11 +14,34 @@ report true page I/O.
 
 With ``journaled=True`` the pager additionally keeps a rollback journal
 (``<path>-journal``): before a page is first overwritten after a
-commit, its pre-image is appended to the journal; :meth:`commit` makes
-the current state durable and clears the journal; reopening a file whose
-journal survived a crash rolls every journaled page back (and truncates
-pages that did not exist at the last commit), so the file always
-reflects a committed state.
+commit, its pre-image is appended to the journal (each record carries
+its own CRC32) and the journal is fsynced *before* the overwrite may
+proceed; :meth:`commit` makes the current state durable and deletes the
+journal (the commit point); reopening a file whose journal survived a
+crash rolls every journaled page back (and truncates pages that did not
+exist at the last commit), so the file always reflects a committed
+state.
+
+Failure handling
+----------------
+Every raw write and fsync is routed through a small I/O layer that
+
+* consults an optional :class:`repro.faults.FaultInjector` (labeled
+  crash points -- :data:`Pager.CRASH_POINTS` -- plus torn-write and
+  I/O-error interception), which is how the crash-consistency harness
+  in :mod:`repro.crashcheck` exercises the recovery path;
+* retries transient ``OSError``\\ s with exponential backoff
+  (``max_write_retries`` / ``retry_backoff``) -- *writes only*: a failed
+  fsync is never retried, because after a failed fsync the kernel may
+  already have dropped the dirty pages the retry would claim to sync;
+* drops the pager into a read-only *degraded mode* after
+  ``degrade_after`` consecutive retry-exhausted failures: further
+  mutations raise :class:`PagerDegradedError`, reads keep working, and
+  a journaled pager leaves its journal in place so the next open rolls
+  back to the last commit instead of trusting half-written state.
+
+Out-of-band events surface as ``pager.*`` counters through the active
+:class:`repro.obs.MetricsRegistry` when collection is enabled.
 """
 
 from __future__ import annotations
@@ -26,12 +49,22 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-__all__ = ["Pager", "PagerStats", "PageCorruptionError", "DEFAULT_PAGE_SIZE"]
+from .. import obs
+
+__all__ = [
+    "Pager",
+    "PagerStats",
+    "PageCorruptionError",
+    "PagerDegradedError",
+    "JournalError",
+    "DEFAULT_PAGE_SIZE",
+]
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -49,6 +82,14 @@ NO_PAGE = -1
 
 class PageCorruptionError(RuntimeError):
     """Raised when a page fails its checksum on read."""
+
+
+class PagerDegradedError(RuntimeError):
+    """Raised for writes after the pager entered read-only degraded mode."""
+
+
+class JournalError(RuntimeError):
+    """Raised (under ``strict=True``) when a leftover journal is unusable."""
 
 
 @dataclass
@@ -76,7 +117,44 @@ class Pager:
 
     Each data page stores ``page_size - 4`` payload bytes followed by a
     CRC32 checksum, verified on every read.
+
+    Parameters
+    ----------
+    faults:
+        Optional :class:`repro.faults.FaultInjector` consulted at every
+        crash point, write, and fsync.  Also assignable after
+        construction (``pager.faults = injector``) so a harness can
+        skip file-creation noise and target the workload alone.
+    max_write_retries:
+        How many times a raw write that raised ``OSError`` is retried
+        before the failure propagates.
+    retry_backoff:
+        Base sleep (seconds) between retries; attempt *k* sleeps
+        ``retry_backoff * 2**(k-1)``.  Zero disables sleeping (tests).
+    degrade_after:
+        Consecutive retry-exhausted write/fsync failures before the
+        pager enters read-only degraded mode.
     """
+
+    #: Labeled crash points, in protocol order.  The crash-consistency
+    #: harness sweeps a :class:`~repro.faults.SimulatedCrash` through
+    #: every one of these.
+    CRASH_POINTS = (
+        "before_journal_create",
+        "after_journal_create",
+        "before_journal_write",
+        "after_journal_write",
+        "before_journal_fsync",
+        "after_journal_fsync",
+        "before_page_write",
+        "after_page_write",
+        "before_header_write",
+        "after_header_write",
+        "before_commit_fsync",
+        "after_commit_fsync",
+        "before_journal_delete",
+        "after_journal_delete",
+    )
 
     def __init__(
         self,
@@ -85,6 +163,10 @@ class Pager:
         *,
         journaled: bool = False,
         strict: bool = False,
+        faults=None,
+        max_write_retries: int = 3,
+        retry_backoff: float = 0.002,
+        degrade_after: int = 3,
     ) -> None:
         # ``None`` means "whatever the file says" (or the default for a
         # new file); an explicit size is checked against the file below.
@@ -96,6 +178,16 @@ class Pager:
         self.path = os.fspath(path)
         self.journal_path = self.path + "-journal"
         self.journaled = journaled
+        self.strict = strict
+        self.faults = faults
+        self.max_write_retries = max_write_retries
+        self.retry_backoff = retry_backoff
+        self.degrade_after = degrade_after
+        self.degraded = False
+        self.write_retries = 0
+        self.write_failures = 0
+        self.fsync_failures = 0
+        self._consecutive_failures = 0
         self._journaled_pages: set = set()
         self._journal_file = None
         self._journal_base_count: Optional[int] = None
@@ -112,7 +204,11 @@ class Pager:
             # before trusting anything in the file.  A crash before the
             # very first commit rolls all the way back to an empty file,
             # which is then (re)created below.
-            self._rollback_journal()
+            try:
+                self._rollback_journal()
+            except JournalError:
+                self._file.close()
+                raise
             exists = os.path.getsize(self.path) > 0
         if exists:
             self._load_header()
@@ -140,82 +236,266 @@ class Pager:
             self._write_header()
 
     # ------------------------------------------------------------------
+    # Fault-aware raw I/O
+    # ------------------------------------------------------------------
+    def _hook(self, point: str) -> None:
+        """Announce a labeled crash point to the fault injector, if any."""
+        if self.faults is not None:
+            self.faults.crash_point(point)
+
+    def _guard_writable(self) -> None:
+        if self.degraded:
+            raise PagerDegradedError(
+                f"pager for {self.path!r} is in read-only degraded mode "
+                f"after {self._consecutive_failures} consecutive write "
+                "failures; reopen the file to recover the last commit"
+            )
+
+    def _note_write_failure(self, what: str) -> None:
+        self._consecutive_failures += 1
+        if what == "fsync":
+            self.fsync_failures += 1
+            obs.count("pager.fsync_failures")
+        else:
+            self.write_failures += 1
+            obs.count("pager.write_failures")
+        if not self.degraded and self._consecutive_failures >= self.degrade_after:
+            self.degraded = True
+            obs.count("pager.degraded")
+            warnings.warn(
+                f"pager for {self.path!r} entered read-only degraded mode "
+                f"after {self._consecutive_failures} consecutive write "
+                "failures",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def _io_write(self, handle, offset: Optional[int], data: bytes, label: str) -> None:
+        """One raw write: fault interception plus transient-error retries.
+
+        ``offset=None`` appends at the handle's current position (the
+        journal); retries always re-seek to the position of the first
+        attempt, so a partial write is simply overwritten.
+        """
+        position = handle.tell() if offset is None else offset
+        attempt = 0
+        while True:
+            try:
+                if self.faults is not None:
+                    payload, crash = self.faults.intercept_write(label, data)
+                else:
+                    payload, crash = data, None
+                handle.seek(position)
+                handle.write(payload)
+                if crash is not None:
+                    # A torn write: the prefix must really reach the
+                    # file before the simulated process death.
+                    handle.flush()
+                    raise crash
+            except OSError:
+                if attempt >= self.max_write_retries:
+                    self._note_write_failure("write")
+                    raise
+                attempt += 1
+                self.write_retries += 1
+                obs.count("pager.write_retries")
+                if self.retry_backoff:
+                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                continue
+            self._consecutive_failures = 0
+            return
+
+    def _io_fsync(self, handle, label: str) -> None:
+        """One fsync.  Never retried: a failed fsync means the kernel may
+        have dropped the dirty pages, so "try again" would lie."""
+        try:
+            if self.faults is not None:
+                self.faults.intercept_fsync(label)
+            os.fsync(handle.fileno())
+        except OSError:
+            self._note_write_failure("fsync")
+            raise
+        self._consecutive_failures = 0
+
+    def _fsync_dir(self) -> None:
+        """Flush the directory entry of the page file / journal.
+
+        Needed for journal create/delete to be durable; best-effort on
+        platforms that cannot open directories.
+        """
+        directory = os.path.dirname(os.path.abspath(self.path)) or os.curdir
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
     # Rollback journal
     # ------------------------------------------------------------------
     _JOURNAL_HEADER = struct.Struct("<8sIQ")
-    _JOURNAL_MAGIC = b"SBTRjrnl"
-    _JOURNAL_RECORD = struct.Struct("<q")
+    _JOURNAL_MAGIC = b"SBTRjrn2"
+    #: page_id(q) crc32-of-pre-image(I), followed by page_size image bytes.
+    _JOURNAL_RECORD = struct.Struct("<qI")
 
     def _capture_pre_image(self, page_id: int) -> None:
-        """Append a page's current on-disk bytes to the journal.
+        """Durably append a page's current on-disk bytes to the journal.
 
         Called before the first overwrite of a page in the current
         transaction.  Pages created after the last commit are skipped:
-        rollback simply truncates them away.
+        rollback simply truncates them away.  The record (tagged with
+        its own CRC32) is fsynced before this returns, so the page
+        overwrite that follows can never outrun the pre-image it
+        depends on -- write-ahead in the literal sense.
         """
         if not self.journaled or page_id in self._journaled_pages:
             return
         self._ensure_transaction()
-        self._journaled_pages.add(page_id)
         if page_id >= self._journal_base_count:
+            self._journaled_pages.add(page_id)
             return  # fresh page: nothing to restore
         self._file.seek(page_id * self.page_size)
         pre_image = self._file.read(self.page_size)
         pre_image = pre_image.ljust(self.page_size, b"\x00")
-        self._journal_file.write(self._JOURNAL_RECORD.pack(page_id))
-        self._journal_file.write(pre_image)
+        record = (
+            self._JOURNAL_RECORD.pack(page_id, zlib.crc32(pre_image)) + pre_image
+        )
+        self._hook("before_journal_write")
+        self._io_write(self._journal_file, None, record, "journal")
+        self._hook("after_journal_write")
         self._journal_file.flush()
+        self._hook("before_journal_fsync")
+        self._io_fsync(self._journal_file, "journal")
+        self._hook("after_journal_fsync")
+        self._journaled_pages.add(page_id)
+        obs.count("pager.journal_records")
 
     def _ensure_transaction(self) -> None:
-        """Open the journal and pin the committed page count, once."""
+        """Open the journal and pin the committed page count, once.
+
+        The journal header is flushed, fsynced, and its directory entry
+        synced before any page overwrite can depend on it.
+        """
         if not self.journaled or self._journal_base_count is not None:
             return
+        self._hook("before_journal_create")
         self._journal_base_count = self.page_count
         self._journal_file = open(self.journal_path, "wb")
-        self._journal_file.write(
+        self._io_write(
+            self._journal_file,
+            None,
             self._JOURNAL_HEADER.pack(
                 self._JOURNAL_MAGIC, self.page_size, self.page_count
-            )
+            ),
+            "journal",
         )
+        self._journal_file.flush()
+        self._io_fsync(self._journal_file, "journal")
+        self._fsync_dir()
+        self._hook("after_journal_create")
 
     def commit(self) -> None:
-        """Make the current state durable and clear the journal."""
+        """Make the current state durable and clear the journal.
+
+        The commit point is the journal deletion: a crash before it
+        rolls the transaction back on reopen, a crash after it keeps
+        the transaction.
+        """
         with self._mutex:
+            self._guard_writable()
             self._file.flush()
-            os.fsync(self._file.fileno())
+            self._hook("before_commit_fsync")
+            self._io_fsync(self._file, "data")
+            self._hook("after_commit_fsync")
             if self._journal_file is not None:
                 self._journal_file.close()
                 self._journal_file = None
+            self._hook("before_journal_delete")
             if os.path.exists(self.journal_path):
                 os.remove(self.journal_path)
+                self._fsync_dir()
+            self._hook("after_journal_delete")
             self._journaled_pages.clear()
             self._journal_base_count = None
+            obs.count("pager.commits")
 
     def in_transaction(self) -> bool:
         """Whether uncommitted (journaled) changes exist."""
         return self._journal_base_count is not None
 
+    def _journal_problem(self, message: str) -> None:
+        """An unusable leftover journal: warn, or raise under strict.
+
+        Deleting a journal we cannot parse would silently accept a page
+        file that may hold uncommitted writes, so the condition is
+        always surfaced; ``strict=True`` refuses to proceed (and the
+        journal is left on disk for forensics / ``repro fsck``).
+        """
+        obs.count("pager.journal_problems")
+        if self.strict:
+            raise JournalError(message)
+        warnings.warn(
+            f"{message}; the page file may be left in an uncommitted state",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
     def _rollback_journal(self) -> None:
-        """Restore pre-images from a leftover journal, then delete it."""
+        """Restore pre-images from a leftover journal, then delete it.
+
+        Each record's CRC is verified first: rollback applies records
+        up to the last valid one and stops at the first torn or
+        corrupt record (a torn tail is the normal signature of a crash
+        mid-append; a failed CRC on a complete record is a real
+        corruption and is warned about).
+        """
+        obs.count("pager.rollbacks")
+        restored = 0
         with open(self.journal_path, "rb") as journal:
             header = journal.read(self._JOURNAL_HEADER.size)
-            if len(header) == self._JOURNAL_HEADER.size:
+            if len(header) < self._JOURNAL_HEADER.size:
+                self._journal_problem(
+                    f"truncated journal header in {self.journal_path!r}"
+                )
+            else:
                 magic, page_size, base_count = self._JOURNAL_HEADER.unpack(header)
-                if magic == self._JOURNAL_MAGIC:
+                if magic != self._JOURNAL_MAGIC:
+                    self._journal_problem(
+                        f"bad journal magic {magic!r} in {self.journal_path!r}"
+                    )
+                else:
                     while True:
-                        record = journal.read(self._JOURNAL_RECORD.size)
-                        if len(record) < self._JOURNAL_RECORD.size:
-                            break
-                        (page_id,) = self._JOURNAL_RECORD.unpack(record)
+                        raw = journal.read(self._JOURNAL_RECORD.size)
+                        if len(raw) < self._JOURNAL_RECORD.size:
+                            break  # clean end, or a torn record header
+                        page_id, crc = self._JOURNAL_RECORD.unpack(raw)
                         image = journal.read(page_size)
                         if len(image) < page_size:
-                            break  # torn tail record: ignore
+                            break  # torn tail record: never fully on disk
+                        if zlib.crc32(image) != crc or page_id < 0:
+                            warnings.warn(
+                                f"journal record for page {page_id} fails its "
+                                "checksum; rollback stops at the last valid "
+                                "record",
+                                RuntimeWarning,
+                                stacklevel=4,
+                            )
+                            obs.count("pager.journal_problems")
+                            break
                         self._file.seek(page_id * page_size)
                         self._file.write(image)
+                        restored += 1
                     self._file.truncate(base_count * page_size)
                     self._file.flush()
                     os.fsync(self._file.fileno())
+                    obs.count("pager.rollback_pages", restored)
         os.remove(self.journal_path)
+        self._fsync_dir()
 
     # ------------------------------------------------------------------
     # Header handling
@@ -260,9 +540,13 @@ class Pager:
         if len(payload) > self.page_size:
             raise ValueError("metadata does not fit in the header page")
         with self._mutex:
+            self._guard_writable()
             self._capture_pre_image(0)
-            self._file.seek(0)
-            self._file.write(payload.ljust(self.page_size, b"\x00"))
+            self._hook("before_header_write")
+            self._io_write(
+                self._file, 0, payload.ljust(self.page_size, b"\x00"), "data"
+            )
+            self._hook("after_header_write")
 
     # ------------------------------------------------------------------
     # Root pointer and metadata
@@ -313,10 +597,17 @@ class Pager:
         with self._mutex:
             if not 1 <= page_id < self.page_count:
                 raise ValueError(f"page {page_id} out of range")
+            self._guard_writable()
             self._capture_pre_image(page_id)
             padded = payload.ljust(self.payload_size, b"\x00")
-            self._file.seek(page_id * self.page_size)
-            self._file.write(padded + _CRC.pack(zlib.crc32(padded)))
+            self._hook("before_page_write")
+            self._io_write(
+                self._file,
+                page_id * self.page_size,
+                padded + _CRC.pack(zlib.crc32(padded)),
+                "data",
+            )
+            self._hook("after_page_write")
             self.stats.physical_writes += 1
 
     # ------------------------------------------------------------------
@@ -325,6 +616,7 @@ class Pager:
     def allocate_page(self) -> int:
         """Pop a page from the free list, or extend the file."""
         with self._mutex:
+            self._guard_writable()
             # Pin the committed page count before the file can grow, so
             # a rollback truncates freshly allocated pages away.
             self._ensure_transaction()
@@ -356,6 +648,7 @@ class Pager:
                 )
             if page_id in self._freed:
                 raise ValueError(f"double free of page {page_id}")
+            self._guard_writable()
             self.write_page(page_id, _FREE_LINK.pack(self._free_head))
             self._free_head = page_id
             self._freed.add(page_id)
@@ -367,17 +660,33 @@ class Pager:
         """Flush the OS file buffers to stable storage."""
         with self._mutex:
             self._file.flush()
-            os.fsync(self._file.fileno())
+            self._io_fsync(self._file, "data")
 
     def close(self) -> None:
-        """Clean shutdown: persist the header and commit any transaction."""
+        """Clean shutdown: persist the header and commit any transaction.
+
+        A degraded pager only closes its handles: the in-memory state
+        can no longer be trusted to reach disk, so the journal (if any)
+        is left in place and the next open rolls back to the last
+        commit.
+        """
         with self._mutex:
-            if not self._file.closed:
-                self._write_header()
-                if self.journaled:
-                    self.commit()
-                self._file.flush()
-                self._file.close()
+            if self._file.closed:
+                return
+            if self.degraded:
+                for handle in (self._journal_file, self._file):
+                    if handle is not None and not handle.closed:
+                        try:
+                            handle.close()
+                        except OSError:  # pragma: no cover - best effort
+                            pass
+                self._journal_file = None
+                return
+            self._write_header()
+            if self.journaled:
+                self.commit()
+            self._file.flush()
+            self._file.close()
 
     def __enter__(self) -> "Pager":
         return self

@@ -40,7 +40,11 @@ class PagedNodeStore(NodeStore):
         Number of page frames held by the buffer pool.
     strict:
         Raise (instead of warning) when reopening a file whose on-disk
-        page size differs from the requested one.
+        page size differs from the requested one, or when a leftover
+        rollback journal is unusable.
+    faults:
+        Optional :class:`repro.faults.FaultInjector` passed through to
+        the pager (crash points, torn writes, injected I/O errors).
     """
 
     def __init__(
@@ -52,9 +56,14 @@ class PagedNodeStore(NodeStore):
         buffer_capacity: int = 64,
         journaled: bool = False,
         strict: bool = False,
+        faults=None,
     ) -> None:
         self.pager = Pager(
-            path, page_size=page_size, journaled=journaled, strict=strict
+            path,
+            page_size=page_size,
+            journaled=journaled,
+            strict=strict,
+            faults=faults,
         )
         stored_kind = self.pager.get_meta("codec_kind")
         if stored_kind is not None:
@@ -144,7 +153,14 @@ class PagedNodeStore(NodeStore):
         self.pager.commit()
 
     def close(self) -> None:
-        self.buffer.flush()
+        """Flush and close; a degraded pager is closed without flushing.
+
+        Once the pager has entered read-only degraded mode the dirty
+        frames cannot reach the file anyway; closing the handles leaves
+        the journal in place so the next open recovers the last commit.
+        """
+        if not self.pager.degraded:
+            self.buffer.flush()
         self.pager.close()
 
     def __enter__(self) -> "PagedNodeStore":
