@@ -39,6 +39,7 @@ from .core import (
 from . import obs
 from .concurrent import ConcurrentTree, ReadWriteLock
 from .query import TemporalQuery
+from .sharding import ShardRouter, ShardedTree
 
 __version__ = "0.1.0"
 
@@ -57,6 +58,8 @@ __all__ = [
     "POS_INF",
     "ReadWriteLock",
     "SBTree",
+    "ShardRouter",
+    "ShardedTree",
     "StoreStats",
     "TemporalQuery",
     "TreeInvariantError",

@@ -165,12 +165,20 @@ class Series:
         return format_table(headers, rows)
 
 
-def write_bench_json(directory: str, title: str, series: Series) -> str:
+def write_bench_json(
+    directory: str,
+    title: str,
+    series: Series,
+    *,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
     """Write a benchmark sweep as ``BENCH_<slug>.json`` under *directory*.
 
     The file carries both the structured sweep (``series``) and the flat
     per-point ``records`` list, so downstream tooling can pick whichever
-    shape is easier to ingest.  Returns the path written.
+    shape is easier to ingest.  ``extra`` adds a free-form payload (e.g.
+    the service load generator's throughput and verification summary)
+    under an ``"extra"`` key.  Returns the path written.
     """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{slugify(title)}.json")
@@ -179,6 +187,8 @@ def write_bench_json(directory: str, title: str, series: Series) -> str:
         "series": series.to_dict(),
         "records": series.to_records(title),
     }
+    if extra is not None:
+        payload["extra"] = extra
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -13,6 +13,8 @@ Operate on the persistent index files produced by
     python -m repro compact index.sbt
     python -m repro stats  index.sbt --lookups 200
     python -m repro tql "SUM(value) OVER rx AT 19" --table rx=facts.csv
+    python -m repro serve --kind sum --shards 4 --lo 0 --hi 100000
+    python -m repro loadgen --port 7071 --connections 4 --ops 500
 
 Every subcommand accepts ``--trace FILE`` (plus ``--trace-sample``) to
 record one JSON line per tree operation -- pages read, buffer
@@ -342,6 +344,125 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sharded temporal-aggregate service in the foreground.
+
+    Builds a :class:`~repro.sharding.ShardedTree` (optionally seeded
+    from a ``value,start,end`` CSV, optionally with one persistent page
+    file per shard under ``--paged DIR``), binds the asyncio TCP server,
+    and serves until SIGINT/SIGTERM, then drains gracefully.
+    """
+    import asyncio
+    import signal
+
+    from .sharding import ShardedTree, ShardingError
+    from .service.server import TemporalAggregateServer
+
+    boundaries = None
+    if args.boundaries:
+        boundaries = [_number(b) for b in args.boundaries.split(",")]
+    stores = None
+    if args.paged:
+        num = (len(boundaries) + 1) if boundaries is not None else args.shards
+        os.makedirs(args.paged, exist_ok=True)
+        stores = [
+            PagedNodeStore(
+                os.path.join(args.paged, f"shard-{i}.sbt"), args.kind
+            )
+            for i in range(num)
+        ]
+    try:
+        if boundaries is not None:
+            sharded = ShardedTree(args.kind, boundaries, stores=stores)
+        else:
+            sharded = ShardedTree(
+                args.kind,
+                num_shards=args.shards,
+                span=(_number(args.lo), _number(args.hi)),
+                stores=stores,
+            )
+    except ShardingError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    if args.csv:
+        facts = []
+        with open(args.csv, newline="") as handle:
+            for row in csv.reader(handle):
+                try:
+                    value, start, end = (_number(cell) for cell in row[:3])
+                except (ValueError, IndexError):
+                    continue  # tolerate header and blank lines
+                facts.append((value, Interval(start, end)))
+        sharded.batch_insert(facts)
+        print(f"seeded {len(facts)} facts from {args.csv}")
+
+    server = TemporalAggregateServer(
+        sharded,
+        host=args.host,
+        port=args.port,
+        batch_max=args.batch_max,
+        batch_delay=args.batch_delay,
+    )
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix loops
+            pass
+        await server.start()
+        print(
+            f"serving {sharded.kind.value} over {sharded.num_shards} shards"
+            f" on {server.host}:{server.port}",
+            flush=True,
+        )
+        await stop.wait()
+        print("draining...", flush=True)
+        await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    finally:
+        sharded.close()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running service with the verified closed-loop workload.
+
+    Prints the latency-percentile table and throughput summary, writes
+    ``BENCH_service.json`` under ``--out``, and exits non-zero if any
+    reply disagreed with the reference oracle.
+    """
+    from .service.loadgen import run_loadgen
+
+    span = None
+    if args.lo is not None or args.hi is not None:
+        if args.lo is None or args.hi is None:
+            raise SystemExit("error: pass both --lo and --hi, or neither")
+        span = (_number(args.lo), _number(args.hi))
+    try:
+        result = run_loadgen(
+            args.host,
+            args.port,
+            connections=args.connections,
+            ops_per_connection=args.ops,
+            span=span,
+            seed=args.seed,
+            out_dir=args.out,
+        )
+    except ConnectionError as exc:
+        raise SystemExit(f"error: cannot drive {args.host}:{args.port}: {exc}")
+    print(result.render())
+    if args.out:
+        print(f"wrote {os.path.join(args.out, 'BENCH_service.json')}")
+    return 0 if result.verified_ok else 1
+
+
 def cmd_compact(args: argparse.Namespace) -> int:
     store, tree = _open_tree(args.file)
     before = store.node_count()
@@ -451,6 +572,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="buffer pool frames for the probe run (default 64)",
     )
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the sharded temporal-aggregate TCP service",
+    )
+    p_serve.add_argument("--kind", required=True,
+                         choices=[k.value for k in AggregateKind])
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7071,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("--shards", type=int, default=4,
+                         help="number of time-range shards (default 4)")
+    p_serve.add_argument("--lo", default="0",
+                         help="span start for even shard boundaries")
+    p_serve.add_argument("--hi", default="1000000",
+                         help="span end for even shard boundaries")
+    p_serve.add_argument("--boundaries",
+                         help="explicit comma-separated shard cut points "
+                         "(overrides --shards/--lo/--hi)")
+    p_serve.add_argument("--csv", help="seed facts from value,start,end CSV")
+    p_serve.add_argument("--paged", metavar="DIR",
+                         help="persist each shard as DIR/shard-<i>.sbt")
+    p_serve.add_argument("--batch-max", type=int, default=64,
+                         help="group-commit flush threshold in facts")
+    p_serve.add_argument("--batch-delay", type=float, default=0.002,
+                         help="group-commit flush deadline in seconds")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen", parents=[common],
+        help="drive a running service with a verified closed-loop workload",
+    )
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, required=True)
+    p_loadgen.add_argument("--connections", type=int, default=4,
+                           help="closed-loop worker connections (default 4)")
+    p_loadgen.add_argument("--ops", type=int, default=500,
+                           help="operations per connection (default 500)")
+    p_loadgen.add_argument("--lo", help="workload span start (default: derive "
+                           "from the server's shard boundaries)")
+    p_loadgen.add_argument("--hi", help="workload span end")
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument("--out", metavar="DIR",
+                           help="write BENCH_service.json under DIR")
+    p_loadgen.set_defaults(fn=cmd_loadgen)
 
     p_tql = sub.add_parser(
         "tql", parents=[common],

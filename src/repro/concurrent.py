@@ -18,7 +18,10 @@ analytical reads).
 
 :class:`ReadWriteLock` is written from scratch (the stdlib has none):
 writer-preferring to keep maintenance latency bounded under read-heavy
-load.
+load.  Both acquire paths take an optional ``timeout`` so callers that
+fan out over many locks (the sharded router of :mod:`repro.sharding`)
+can bound their worst-case wait instead of hanging on one stuck shard;
+the guard form raises :class:`LockTimeout` when the deadline passes.
 """
 
 from __future__ import annotations
@@ -32,7 +35,11 @@ from .core.intervals import Time
 from .core.results import ConstantIntervalTable
 from .core.sbtree import IntervalLike
 
-__all__ = ["ReadWriteLock", "ConcurrentTree"]
+__all__ = ["LockTimeout", "ReadWriteLock", "ConcurrentTree"]
+
+
+class LockTimeout(TimeoutError):
+    """A guarded lock acquisition exceeded its timeout."""
 
 
 class ReadWriteLock:
@@ -52,11 +59,20 @@ class ReadWriteLock:
         self._waiting_writers = 0
 
     # ------------------------------------------------------------------
-    def acquire_read(self) -> None:
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        """Acquire shared access; returns False if *timeout* expires."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while self._active_writer or self._waiting_writers:
-                self._readers_ok.wait()
+                if deadline is None:
+                    self._readers_ok.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._readers_ok.wait(remaining)
             self._active_readers += 1
+            return True
 
     def release_read(self) -> None:
         with self._lock:
@@ -64,15 +80,29 @@ class ReadWriteLock:
             if self._active_readers == 0:
                 self._writers_ok.notify()
 
-    def acquire_write(self) -> None:
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        """Acquire exclusive access; returns False if *timeout* expires."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             self._waiting_writers += 1
             try:
                 while self._active_writer or self._active_readers:
-                    self._writers_ok.wait()
+                    if deadline is None:
+                        self._writers_ok.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._writers_ok.wait(remaining)
+                self._active_writer = True
+                return True
             finally:
                 self._waiting_writers -= 1
-            self._active_writer = True
+                # A timed-out (or interrupted) writer must wake the
+                # readers its waiting-writer flag was holding back, or
+                # they would stall until the *next* writer releases.
+                if not self._active_writer and not self._waiting_writers:
+                    self._readers_ok.notify_all()
 
     def release_write(self) -> None:
         with self._lock:
@@ -82,24 +112,28 @@ class ReadWriteLock:
 
     # ------------------------------------------------------------------
     class _Guard:
-        def __init__(self, acquire, release):
+        def __init__(self, acquire, release, timeout=None):
             self._acquire = acquire
             self._release = release
+            self._timeout = timeout
 
         def __enter__(self):
-            self._acquire()
+            if not self._acquire(self._timeout):
+                raise LockTimeout(
+                    f"lock not acquired within {self._timeout:.3f}s"
+                )
             return self
 
         def __exit__(self, *exc):
             self._release()
 
-    def read_locked(self) -> "_Guard":
+    def read_locked(self, timeout: Optional[float] = None) -> "_Guard":
         """``with lock.read_locked(): ...`` shared-access context."""
-        return self._Guard(self.acquire_read, self.release_read)
+        return self._Guard(self.acquire_read, self.release_read, timeout)
 
-    def write_locked(self) -> "_Guard":
+    def write_locked(self, timeout: Optional[float] = None) -> "_Guard":
         """``with lock.write_locked(): ...`` exclusive-access context."""
-        return self._Guard(self.acquire_write, self.release_write)
+        return self._Guard(self.acquire_write, self.release_write, timeout)
 
 
 class ConcurrentTree:
@@ -111,11 +145,31 @@ class ConcurrentTree:
     :class:`~repro.core.dual.DualTreeAggregate` -- the wrapped object
     only needs the corresponding methods.  Reads run under the shared
     lock, mutations under the exclusive one.
+
+    ``read_timeout`` / ``write_timeout`` (seconds) bound every lock
+    acquisition; an expired wait raises :class:`LockTimeout` instead of
+    hanging, which is what the sharded service layer relies on to turn
+    a stuck shard into a structured error.
     """
 
-    def __init__(self, tree: Any, lock: Optional[ReadWriteLock] = None) -> None:
+    def __init__(
+        self,
+        tree: Any,
+        lock: Optional[ReadWriteLock] = None,
+        *,
+        read_timeout: Optional[float] = None,
+        write_timeout: Optional[float] = None,
+    ) -> None:
         self.tree = tree
         self.lock = lock if lock is not None else ReadWriteLock()
+        self.read_timeout = read_timeout
+        self.write_timeout = write_timeout
+
+    def _read_guard(self):
+        return self.lock.read_locked(self.read_timeout)
+
+    def _write_guard(self):
+        return self.lock.write_locked(self.write_timeout)
 
     def _guarded(
         self, guard: Any, op: str, fn: Callable, *args: Any, **kwargs: Any
@@ -140,26 +194,26 @@ class ConcurrentTree:
     # Reads (shared)
     # ------------------------------------------------------------------
     def lookup(self, t: Time) -> Any:
-        return self._guarded(self.lock.read_locked(), "lookup", self.tree.lookup, t)
+        return self._guarded(self._read_guard(), "lookup", self.tree.lookup, t)
 
     def lookup_final(self, t: Time) -> Any:
         return self._guarded(
-            self.lock.read_locked(), "lookup", self.tree.lookup_final, t
+            self._read_guard(), "lookup", self.tree.lookup_final, t
         )
 
     def range_query(self, interval: IntervalLike) -> ConstantIntervalTable:
         return self._guarded(
-            self.lock.read_locked(), "range_query", self.tree.range_query, interval
+            self._read_guard(), "range_query", self.tree.range_query, interval
         )
 
     def to_table(self, **kwargs) -> ConstantIntervalTable:
         return self._guarded(
-            self.lock.read_locked(), "range_query", self.tree.to_table, **kwargs
+            self._read_guard(), "range_query", self.tree.to_table, **kwargs
         )
 
     def window_lookup(self, t: Time, w: Time) -> Any:
         return self._guarded(
-            self.lock.read_locked(), "mlookup", self.tree.window_lookup, t, w
+            self._read_guard(), "mlookup", self.tree.window_lookup, t, w
         )
 
     # ------------------------------------------------------------------
@@ -167,16 +221,16 @@ class ConcurrentTree:
     # ------------------------------------------------------------------
     def insert(self, value: Any, interval: IntervalLike) -> None:
         return self._guarded(
-            self.lock.write_locked(), "insert", self.tree.insert, value, interval
+            self._write_guard(), "insert", self.tree.insert, value, interval
         )
 
     def delete(self, value: Any, interval: IntervalLike) -> None:
         return self._guarded(
-            self.lock.write_locked(), "delete", self.tree.delete, value, interval
+            self._write_guard(), "delete", self.tree.delete, value, interval
         )
 
     def compact(self) -> None:
-        return self._guarded(self.lock.write_locked(), "compact", self.tree.compact)
+        return self._guarded(self._write_guard(), "compact", self.tree.compact)
 
     # ------------------------------------------------------------------
     def __getattr__(self, name: str) -> Any:

@@ -17,9 +17,17 @@ all of those:
   inject:
 
   - a crash at the N-th hit of any named crash point,
+  - a *delay* (:meth:`FaultInjector.slow_at`) at the N-th hit of any
+    crash point, modeling a stalled disk or shard,
   - a *torn write* (only a prefix of the data reaches the file before
     the simulated crash) on the data file or the journal,
   - transient or permanent :class:`OSError` on writes and fsyncs.
+
+  Beyond the pager, the sharded service path
+  (:class:`repro.sharding.ShardedTree`, :mod:`repro.service`) consults
+  the same injector at the ``shard_apply`` / ``shard_apply:<i>`` crash
+  points before a write batch touches a shard, so slow and failed
+  applies are injectable end to end.
 
 * :func:`simulate_crash` -- abandon a store/pager's file handles the way
   a dying process would (no commit, no header write-back, no journal
@@ -38,6 +46,7 @@ sweep in :mod:`repro.crashcheck` reproducible.
 from __future__ import annotations
 
 import errno
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from . import obs
@@ -109,6 +118,7 @@ class FaultInjector:
         self.write_calls: Dict[str, int] = {}
         self.fsync_calls: Dict[str, int] = {}
         self._crash_points: Dict[str, int] = {}  # point -> hit number
+        self._delays: Dict[str, Dict[int, float]] = {}  # point -> {hit: seconds}
         self._write_faults: list = []
         self._fsync_faults: list = []
         #: label -> (call number, fraction) for torn writes.
@@ -123,6 +133,22 @@ class FaultInjector:
         if hit < 1:
             raise ValueError("hit numbers are 1-based")
         self._crash_points[point] = hit
+        return self
+
+    def slow_at(
+        self, point: str, seconds: float, *, hit: int = 1
+    ) -> "FaultInjector":
+        """Sleep *seconds* at the *hit*-th time *point* is reached.
+
+        Models a slow disk or a stalled shard apply rather than a dead
+        one; the service layer uses it to prove that a slow shard delays
+        only its own replies instead of hanging the server.
+        """
+        if hit < 1:
+            raise ValueError("hit numbers are 1-based")
+        if seconds < 0:
+            raise ValueError("delay must be non-negative")
+        self._delays.setdefault(point, {})[hit] = seconds
         return self
 
     def fail_writes(
@@ -180,11 +206,15 @@ class FaultInjector:
     # Pager-facing interception
     # ------------------------------------------------------------------
     def crash_point(self, point: str) -> None:
-        """Count a crash-point hit; raise if this hit is armed to crash."""
+        """Count a crash-point hit; delay and/or raise if this hit is armed."""
         count = self.hits.get(point, 0) + 1
         self.hits[point] = count
         if self._disarmed:
             return
+        delay = self._delays.get(point, {}).pop(count, None)
+        if delay is not None:
+            self._record("delay")
+            time.sleep(delay)
         if self._crash_points.get(point) == count:
             self._record("crash")
             raise SimulatedCrash(point)

@@ -9,7 +9,10 @@ full happy path a fresh checkout should support:
 3. audit the freshly built page file offline (``repro fsck``),
 4. run a quick crash-consistency sweep (first occurrence of every
    crash point on the commit workload, via :mod:`repro.crashcheck`),
-5. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
+5. boot the sharded TCP service on an ephemeral port, run a verified
+   smoke workload through the blocking client, check its stats, and
+   drain it cleanly (:mod:`repro.service`),
+6. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
 
 Exit status is non-zero as soon as any stage fails, so this doubles as
 a cheap CI smoke target.
@@ -39,6 +42,65 @@ def _stage(title: str) -> None:
 def _run_cli(argv: List[str]) -> int:
     print(f"$ repro {' '.join(argv)}", flush=True)
     return cli.main(argv)
+
+
+def _service_smoke() -> int:
+    """Boot a 4-shard server, drive it through the client, drain it."""
+    import random
+
+    from .core import reference
+    from .service import ServerHandle, ServiceClient, ServiceError
+    from .sharding import ShardedTree
+
+    rng = random.Random(7)
+    sharded = ShardedTree("sum", num_shards=4, span=(0, 10_000))
+    facts = []
+    with ServerHandle.start(sharded, batch_max=16, batch_delay=0.001) as handle:
+        print(f"server up on {handle.host}:{handle.port}", flush=True)
+        with ServiceClient(handle.host, handle.port, timeout=10.0) as svc:
+            if not svc.ping():
+                print("FAIL: ping")
+                return 1
+            batch = []
+            for _ in range(120):
+                s = rng.randint(0, 9_000)
+                e = s + rng.randint(1, 900)
+                v = rng.randint(1, 9)
+                batch.append([v, s, e])
+                facts.append((v, (s, e)))
+            svc.batch_insert(batch)
+            for _ in range(40):
+                t = rng.randint(0, 10_000)
+                got = svc.lookup(t)
+                want = reference.instantaneous_value(facts, "sum", t)
+                if got != want:
+                    print(f"FAIL: lookup({t}) = {got}, oracle {want}")
+                    return 1
+            try:
+                svc.window(5_000, 100)
+            except ServiceError as exc:
+                if exc.type != "unsupported":
+                    print(f"FAIL: window error type {exc.type}")
+                    return 1
+            else:
+                print("FAIL: sharded SUM window should be unsupported")
+                return 1
+            stats = svc.stats()
+            shard_stats = stats["shards"]
+            if shard_stats["facts"] != 120:
+                print(f"FAIL: stats facts = {shard_stats['facts']}, want 120")
+                return 1
+            if stats["ops"]["service.lookup"]["count"] != 40:
+                print("FAIL: stats op counts missing lookups")
+                return 1
+            print(
+                f"verified 40 lookups over {shard_stats['facts']} facts,"
+                f" {shard_stats['num_shards']} shards;"
+                f" batch flushes={stats['counters'].get('service.batch.flushes')}",
+                flush=True,
+            )
+    print("service drained cleanly", flush=True)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,6 +138,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     from . import crashcheck
 
     status = crashcheck.main(["--workload", "commit", "--hits", "1"])
+    if status:
+        return status
+
+    _stage("sharded service smoke (ephemeral port, verified workload)")
+    status = _service_smoke()
     if status:
         return status
 

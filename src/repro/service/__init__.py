@@ -1,0 +1,51 @@
+"""Network service over a sharded temporal-aggregate index.
+
+The package splits along the wire:
+
+* :mod:`repro.service.protocol` -- length-prefixed JSON framing and the
+  request/reply/error vocabulary shared by both sides.
+* :mod:`repro.service.server` -- the asyncio TCP server
+  (:class:`TemporalAggregateServer`) with group-commit write batching,
+  per-connection backpressure, and graceful drain, plus
+  :class:`ServerHandle` for running it on a background thread.
+* :mod:`repro.service.client` -- a small blocking
+  :class:`ServiceClient` with timeouts and bounded retries.
+* :mod:`repro.service.loadgen` -- a closed-loop load generator that
+  drives a running server and verifies replies against the in-process
+  reference oracle.
+"""
+
+from .client import ServiceClient, ServiceError, TransportError
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_FAULT,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    ERR_UNKNOWN_OP,
+    ERR_UNSUPPORTED,
+    MAX_FRAME,
+    FrameTooLarge,
+    ProtocolError,
+)
+from .server import ServerHandle, TemporalAggregateServer
+
+__all__ = [
+    "TemporalAggregateServer",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceError",
+    "TransportError",
+    "ProtocolError",
+    "FrameTooLarge",
+    "MAX_FRAME",
+    "ERR_BAD_REQUEST",
+    "ERR_UNKNOWN_OP",
+    "ERR_UNSUPPORTED",
+    "ERR_FAULT",
+    "ERR_TIMEOUT",
+    "ERR_OVERLOADED",
+    "ERR_SHUTTING_DOWN",
+    "ERR_INTERNAL",
+]

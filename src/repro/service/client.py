@@ -1,0 +1,152 @@
+"""A small blocking client for the temporal-aggregate service.
+
+Stdlib sockets, one request in flight per call (request/response), with
+per-call timeouts and bounded reconnect-and-retry.  Retries fire only
+on *transport* failures (connect refused, timeout, connection reset);
+a structured server error is raised once as :class:`ServiceError` and
+never retried.  Note the usual caveat: retrying a write whose reply was
+lost can apply it twice -- the service's write path is at-least-once
+under client retries, which is fine for the benchmark/test workloads
+this client serves (each fact is independently generated).
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("127.0.0.1", 7071) as svc:
+        svc.insert(2, 10, 40)
+        svc.lookup(19)                  # -> 2
+        svc.rangeq(0, 50)               # -> [(2, Interval(10, 40)), ...]
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.intervals import Interval
+from . import protocol as wire
+
+__all__ = ["ServiceClient", "ServiceError", "TransportError"]
+
+
+class ServiceError(RuntimeError):
+    """A structured error reply from the server."""
+
+    def __init__(self, err_type: str, message: str) -> None:
+        super().__init__(f"[{err_type}] {message}")
+        self.type = err_type
+        self.message = message
+
+
+class TransportError(ConnectionError):
+    """Could not complete a request after the configured retries."""
+
+
+class ServiceClient:
+    """Blocking request/response client with timeouts and retries."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7071,
+        *,
+        timeout: float = 5.0,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _request(self, op: str, **fields: Any) -> Any:
+        self._next_id += 1
+        message = {"op": op, "id": self._next_id, **fields}
+        frame = wire.encode_frame(message)
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_backoff * attempt)
+            try:
+                sock = self._connect()
+                sock.sendall(frame)
+                reply = wire.recv_frame_blocking(sock)
+            except (OSError, wire.ProtocolError) as exc:
+                self.close()
+                last_exc = exc
+                continue
+            if reply is None:  # server hung up cleanly; reconnect and retry
+                self.close()
+                last_exc = ConnectionError("server closed the connection")
+                continue
+            if reply.get("ok"):
+                return reply.get("result")
+            error = reply.get("error") or {}
+            raise ServiceError(
+                error.get("type", "unknown"), error.get("message", "")
+            )
+        raise TransportError(
+            f"request {op!r} failed after {self.retries + 1} attempts: {last_exc}"
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return self._request("ping") == "pong"
+
+    def insert(self, value: Any, start, end) -> int:
+        """Insert one fact; returns once its group commit applied."""
+        return self._request("insert", value=value, start=start, end=end)[
+            "applied"
+        ]
+
+    def batch_insert(self, facts: Iterable[Sequence[Any]]) -> int:
+        """Insert ``[value, start, end]`` triples in one request."""
+        triples = [list(fact)[:3] for fact in facts]
+        return self._request("batch_insert", facts=triples)["applied"]
+
+    def lookup(self, t) -> Any:
+        """Finalized aggregate value at instant *t*."""
+        return self._request("lookup", t=t)
+
+    def rangeq(self, start, end) -> List[Tuple[Any, Interval]]:
+        """Finalized, coalesced step function over ``[start, end)``."""
+        rows = self._request("rangeq", start=start, end=end)
+        return [(value, Interval(s, e)) for value, s, e in rows]
+
+    def window(self, t, w) -> Any:
+        """Cumulative MIN/MAX over the closed window ``[t - w, t]``."""
+        return self._request("window", t=t, w=w)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("stats")
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

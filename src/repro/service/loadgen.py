@@ -1,0 +1,360 @@
+"""Closed-loop load generator for the temporal-aggregate service.
+
+``N`` worker threads each open one connection and run a closed loop
+(next request only after the previous reply) of mixed ``insert`` /
+``lookup`` / ``rangeq`` traffic -- plus ``window`` probes when the
+server's kind supports them -- recording per-operation latencies and
+verifying every read against the in-process reference oracle.
+
+Verification under concurrency works by *time-band ownership*: the
+server's span is cut into one disjoint half-open band per worker, and a
+worker only ever inserts facts inside its own band and reads instants
+inside it.  Instantaneous aggregates at ``t`` depend only on facts
+containing ``t``, and no other worker's facts can contain an instant in
+this worker's band, so each connection's acked-fact list is a complete
+oracle for its own reads even while the other connections hammer the
+same server.  Window probes bound ``w`` so the closed window
+``[t - w, t]`` stays inside the band for the same reason.
+
+The run summary is written as ``BENCH_service.json`` via
+:func:`repro.benchlib.write_bench_json`: latency percentiles as the
+series (one column per operation), throughput/error/verification
+numbers in the ``extra`` payload.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import benchlib
+from ..core import reference
+from .client import ServiceClient, ServiceError
+
+__all__ = ["LoadgenResult", "run_loadgen", "percentile"]
+
+#: Percentiles reported in the latency series.
+PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+#: Operation mix of the closed loop (renormalized if window is dropped).
+DEFAULT_MIX = {"insert": 0.4, "lookup": 0.35, "rangeq": 0.2, "window": 0.05}
+
+
+def percentile(sorted_values: List[float], pct: float) -> float:
+    """Exact percentile (nearest-rank) of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(round(pct / 100.0 * len(sorted_values))))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class LoadgenResult:
+    """Everything one load-generation run measured."""
+
+    def __init__(self) -> None:
+        self.kind: str = ""
+        self.duration_s: float = 0.0
+        self.connections: int = 0
+        self.ops: Dict[str, int] = {}
+        self.errors: int = 0
+        self.latencies_s: Dict[str, List[float]] = {}
+        self.lookups_verified: int = 0
+        self.rows_verified: int = 0
+        self.windows_verified: int = 0
+        self.verify_failures: List[str] = []
+        self.facts_inserted: int = 0
+        self.server_stats: Dict[str, Any] = {}
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.ops.values())
+
+    @property
+    def throughput(self) -> float:
+        return self.total_ops / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def verified_ok(self) -> bool:
+        return not self.verify_failures
+
+    def series(self) -> benchlib.Series:
+        series = benchlib.Series("percentile", list(PERCENTILES))
+        for op in sorted(self.latencies_s):
+            values = sorted(self.latencies_s[op])
+            series.add(
+                f"{op}_ms",
+                [percentile(values, pct) * 1e3 for pct in PERCENTILES],
+            )
+        return series
+
+    def extra(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "connections": self.connections,
+            "duration_s": round(self.duration_s, 6),
+            "ops": dict(self.ops),
+            "total_ops": self.total_ops,
+            "throughput_ops_per_s": round(self.throughput, 2),
+            "errors": self.errors,
+            "facts_inserted": self.facts_inserted,
+            "verified": {
+                "lookups": self.lookups_verified,
+                "rangeq_rows": self.rows_verified,
+                "windows": self.windows_verified,
+                "failures": list(self.verify_failures),
+                "ok": self.verified_ok,
+            },
+            "server": {
+                "num_shards": self.server_stats.get("shards", {}).get(
+                    "num_shards"
+                ),
+                "facts": self.server_stats.get("shards", {}).get("facts"),
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"service loadgen: kind={self.kind} connections={self.connections}"
+            f" ops={self.total_ops} errors={self.errors}"
+            f" throughput={self.throughput:.0f} ops/s"
+            f" duration={self.duration_s:.2f}s",
+            "latency percentiles (ms):",
+            self.series().render(with_exponents=False),
+            f"verified: {self.lookups_verified} lookups,"
+            f" {self.rows_verified} rangeq rows,"
+            f" {self.windows_verified} windows ->"
+            f" {'OK' if self.verified_ok else 'FAILED'}",
+        ]
+        for failure in self.verify_failures[:5]:
+            lines.append(f"  MISMATCH {failure}")
+        return "\n".join(lines)
+
+
+class _Worker(threading.Thread):
+    """One closed-loop connection owning a disjoint time band."""
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        kind: str,
+        band: Tuple[int, int],
+        ops: int,
+        mix: Dict[str, float],
+        seed: int,
+        timeout: float,
+    ) -> None:
+        super().__init__(name=f"loadgen-{index}", daemon=True)
+        self.index = index
+        self.host = host
+        self.port = port
+        self.kind = kind
+        self.band = band
+        self.ops_target = ops
+        self.mix = mix
+        self.rng = random.Random(seed)
+        self.timeout = timeout
+        self.result = LoadgenResult()
+        self.facts: List[Tuple[Any, Tuple[int, int]]] = []
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            with ServiceClient(
+                self.host, self.port, timeout=self.timeout
+            ) as client:
+                self._loop(client)
+        except BaseException as exc:  # surfaced by run_loadgen
+            self.error = exc
+
+    # ------------------------------------------------------------------
+    def _loop(self, client: ServiceClient) -> None:
+        lo, hi = self.band
+        ops = list(self.mix)
+        weights = [self.mix[op] for op in ops]
+        res = self.result
+        for _ in range(self.ops_target):
+            op = self.rng.choices(ops, weights)[0]
+            started = time.perf_counter()
+            try:
+                if op == "insert":
+                    self._insert(client, lo, hi)
+                elif op == "lookup":
+                    self._lookup(client, lo, hi)
+                elif op == "rangeq":
+                    self._rangeq(client, lo, hi)
+                else:
+                    self._window(client, lo, hi)
+            except ServiceError:
+                res.errors += 1
+            elapsed = time.perf_counter() - started
+            res.ops[op] = res.ops.get(op, 0) + 1
+            res.latencies_s.setdefault(op, []).append(elapsed)
+
+    def _span(self, lo: int, hi: int) -> Tuple[int, int]:
+        width = max(1, (hi - lo) // 8)
+        s = self.rng.randint(lo, max(lo, hi - 1 - width))
+        e = s + self.rng.randint(1, width)
+        return s, min(e, hi)
+
+    def _insert(self, client: ServiceClient, lo: int, hi: int) -> None:
+        s, e = self._span(lo, hi)
+        value = self.rng.randint(1, 100)
+        client.insert(value, s, e)
+        self.facts.append((value, (s, e)))
+        self.result.facts_inserted += 1
+
+    def _lookup(self, client: ServiceClient, lo: int, hi: int) -> None:
+        t = self.rng.randint(lo, hi - 1)
+        got = client.lookup(t)
+        want = reference.instantaneous_value(self.facts, self.kind, t)
+        self.result.lookups_verified += 1
+        if got != want:
+            self.result.verify_failures.append(
+                f"lookup(t={t}) = {got!r}, oracle {want!r}"
+            )
+
+    def _rangeq(self, client: ServiceClient, lo: int, hi: int) -> None:
+        s, e = self._span(lo, hi)
+        rows = client.rangeq(s, e)
+        for value, interval in rows:
+            t = interval.start
+            if not (lo <= t < hi):
+                continue
+            want = reference.instantaneous_value(self.facts, self.kind, t)
+            self.result.rows_verified += 1
+            if value != want:
+                self.result.verify_failures.append(
+                    f"rangeq({s},{e}) row at {t} = {value!r}, oracle {want!r}"
+                )
+
+    def _window(self, client: ServiceClient, lo: int, hi: int) -> None:
+        t = self.rng.randint(lo + 1, hi - 1)
+        w = self.rng.randint(0, t - lo)  # keep [t - w, t] inside the band
+        got = client.window(t, w)
+        want = reference.cumulative_value(self.facts, self.kind, t, w)
+        self.result.windows_verified += 1
+        if got != want:
+            self.result.verify_failures.append(
+                f"window(t={t}, w={w}) = {got!r}, oracle {want!r}"
+            )
+
+
+def _bands(lo: int, hi: int, n: int) -> List[Tuple[int, int]]:
+    """Cut ``[lo, hi)`` into *n* disjoint half-open bands of >= 2 units."""
+    if hi - lo < 2 * n:
+        raise ValueError(
+            f"span [{lo}, {hi}) too narrow for {n} worker bands"
+        )
+    cuts = [lo + (hi - lo) * i // n for i in range(n + 1)]
+    return [(cuts[i], cuts[i + 1]) for i in range(n)]
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    connections: int = 4,
+    ops_per_connection: int = 500,
+    span: Optional[Tuple[int, int]] = None,
+    mix: Optional[Dict[str, float]] = None,
+    seed: int = 0,
+    timeout: float = 10.0,
+    out_dir: Optional[str] = None,
+) -> LoadgenResult:
+    """Drive a running server with a verified closed-loop workload.
+
+    Connects, learns the server's kind (and, when *span* is omitted, a
+    usable time span from its shard boundaries), fans out
+    ``connections`` closed-loop workers over disjoint time bands, then
+    merges their measurements.  When *out_dir* is given the summary is
+    written there as ``BENCH_service.json``.
+    """
+    with ServiceClient(host, port, timeout=timeout) as probe:
+        stats = probe.stats()
+    kind = stats["kind"]
+    if span is None:
+        span = _span_from_boundaries(stats["shards"]["boundaries"])
+    lo, hi = int(span[0]), int(span[1])
+
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    if kind not in ("min", "max"):
+        dropped = mix.pop("window", 0.0)
+        if dropped and "lookup" in mix:
+            mix["lookup"] += dropped
+    total_weight = sum(mix.values())
+    if total_weight <= 0:
+        raise ValueError("operation mix has no positive weights")
+
+    workers = [
+        _Worker(
+            i,
+            host,
+            port,
+            kind,
+            band,
+            ops_per_connection,
+            mix,
+            seed * 10_007 + i,
+            timeout,
+        )
+        for i, band in enumerate(_bands(lo, hi, connections))
+    ]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    duration = time.perf_counter() - started
+    for worker in workers:
+        if worker.error is not None:
+            raise worker.error
+
+    merged = LoadgenResult()
+    merged.kind = kind
+    merged.connections = connections
+    merged.duration_s = duration
+    for worker in workers:
+        res = worker.result
+        merged.errors += res.errors
+        merged.facts_inserted += res.facts_inserted
+        merged.lookups_verified += res.lookups_verified
+        merged.rows_verified += res.rows_verified
+        merged.windows_verified += res.windows_verified
+        merged.verify_failures.extend(res.verify_failures)
+        for op, count in res.ops.items():
+            merged.ops[op] = merged.ops.get(op, 0) + count
+        for op, latencies in res.latencies_s.items():
+            merged.latencies_s.setdefault(op, []).extend(latencies)
+
+    with ServiceClient(host, port, timeout=timeout) as probe:
+        merged.server_stats = probe.stats()
+
+    if out_dir is not None:
+        benchlib.write_bench_json(
+            out_dir, "service", merged.series(), extra=merged.extra()
+        )
+    return merged
+
+
+def _span_from_boundaries(boundaries: List[float]) -> Tuple[int, int]:
+    """A finite working span for a server known only by its shard cuts.
+
+    The outermost shards are unbounded, so extend one median shard
+    width beyond the first and last cut; with a single cut (two shards)
+    fall back to a symmetric window around it.
+    """
+    if not boundaries:
+        return (0, 1_000_000)
+    if len(boundaries) == 1:
+        b = int(boundaries[0])
+        pad = max(abs(b), 1000)
+        return (b - pad, b + pad)
+    widths = sorted(
+        boundaries[i + 1] - boundaries[i] for i in range(len(boundaries) - 1)
+    )
+    pad = int(widths[len(widths) // 2]) or 1
+    return (int(boundaries[0]) - pad, int(boundaries[-1]) + pad)

@@ -1,0 +1,156 @@
+"""The wire protocol of the temporal-aggregate service.
+
+Stdlib-only framing: every message is a 4-byte big-endian length prefix
+followed by a UTF-8 JSON object.  Python's ``json`` module serializes
+the package's infinite endpoints as ``Infinity``/``-Infinity`` and
+parses them back, so unbounded query windows round-trip without a
+special case (both ends of this protocol are this package).
+
+Requests::
+
+    {"op": "ping"}
+    {"op": "insert",       "value": 2, "start": 10, "end": 40}
+    {"op": "batch_insert", "facts": [[2, 10, 40], [3, 10, 30]]}
+    {"op": "lookup",       "t": 19}
+    {"op": "rangeq",       "start": 14, "end": 28}
+    {"op": "window",       "t": 30, "w": 20}
+    {"op": "stats"}
+
+An optional ``"id"`` field is echoed verbatim in the reply, so clients
+may pipeline requests over one connection.
+
+Replies::
+
+    {"ok": true,  "result": ...}
+    {"ok": false, "error": {"type": "<code>", "message": "..."}}
+
+``lookup``/``window`` results are finalized scalar values (AVG as a
+float quotient, MIN/MAX ``NULL`` as JSON null); ``rangeq`` results are
+``[[value, start, end], ...]`` rows of the coalesced, finalized step
+function over the requested window.  Error ``type`` is one of the
+``ERR_*`` codes below; a server must reply with a structured error --
+never drop the connection -- for every request it could frame.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "MAX_FRAME",
+    "ProtocolError",
+    "FrameTooLarge",
+    "encode_frame",
+    "decode_body",
+    "recv_frame_blocking",
+    "error_reply",
+    "ok_reply",
+    "ERR_BAD_REQUEST",
+    "ERR_UNKNOWN_OP",
+    "ERR_UNSUPPORTED",
+    "ERR_FAULT",
+    "ERR_TIMEOUT",
+    "ERR_OVERLOADED",
+    "ERR_SHUTTING_DOWN",
+    "ERR_INTERNAL",
+]
+
+#: Upper bound on one frame's JSON body; a length prefix beyond this is
+#: treated as a framing error (garbage or a hostile peer), not an
+#: allocation request.
+MAX_FRAME = 8 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_OP = "unknown_op"
+ERR_UNSUPPORTED = "unsupported"
+ERR_FAULT = "fault_injected"
+ERR_TIMEOUT = "timeout"
+ERR_OVERLOADED = "overloaded"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or JSON body."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A length prefix exceeding :data:`MAX_FRAME`."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its length-prefixed wire form."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameTooLarge(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_length(header: bytes) -> int:
+    """Parse and bound-check a 4-byte length prefix."""
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameTooLarge(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    return length
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse a frame body into a message dict."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return message
+
+
+def recv_frame_blocking(sock) -> Optional[Dict[str, Any]]:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    header = _recv_exactly(sock, _LEN.size)
+    if header is None:
+        return None
+    length = decode_length(header)
+    body = _recv_exactly(sock, length)
+    return decode_body(body if body is not None else b"")
+
+
+def _recv_exactly(sock, n: int) -> Optional[bytes]:
+    if n == 0:
+        return b""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None  # clean EOF on a frame boundary
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def ok_reply(result: Any, request: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build a success reply, echoing the request id if present."""
+    reply: Dict[str, Any] = {"ok": True, "result": result}
+    if request is not None and "id" in request:
+        reply["id"] = request["id"]
+    return reply
+
+
+def error_reply(
+    err_type: str, message: str, request: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Build a structured error reply, echoing the request id if present."""
+    reply: Dict[str, Any] = {
+        "ok": False,
+        "error": {"type": err_type, "message": message},
+    }
+    if request is not None and "id" in request:
+        reply["id"] = request["id"]
+    return reply

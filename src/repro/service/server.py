@@ -1,0 +1,458 @@
+"""The asyncio TCP front end over a :class:`~repro.sharding.ShardedTree`.
+
+Stdlib-only.  One event loop owns all connections; tree operations run
+in a small thread pool so shard read locks actually overlap and a slow
+(or fault-injected) shard apply delays only the requests waiting on it,
+never the loop.  The moving parts:
+
+* **Group commit.**  ``insert``/``batch_insert`` requests do not touch
+  the tree directly: their facts join a pending batch, and a flush is
+  triggered when the batch reaches ``batch_max`` facts or the oldest
+  waiter has aged ``batch_delay`` seconds.  One flush groups every
+  fact's pieces per shard and applies them with *one* write-lock
+  acquisition per touched shard (:meth:`ShardedTree.batch_insert`), so
+  k concurrent writers cost one lock round per shard, not one per
+  fact.  Writers are acknowledged only after their whole batch applied.
+* **Backpressure.**  Each connection holds a semaphore of
+  ``queue_limit`` in-flight requests; when it is exhausted the reader
+  coroutine stops reading frames, which propagates to the client
+  through TCP flow control -- a bounded per-connection queue with no
+  explicit queue object.
+* **Structured errors.**  Every failure the server can attribute to a
+  request -- unknown op, bad arguments, unsupported window kind, an
+  injected fault, a shard lock timeout -- produces an ``{"ok": false,
+  "error": {...}}`` reply on the same connection.  Only unframeable
+  garbage closes the connection (after a best-effort error frame).
+* **Graceful drain.**  ``stop()`` closes the listener, flushes the
+  pending write batch, waits for in-flight requests to reply, and only
+  then closes connections.
+* **Observability.**  Per-op counters and latency histograms land in a
+  :class:`~repro.obs.MetricsRegistry` under ``service.<op>.*`` (reusing
+  the ``op.*`` record machinery), plus ``service.batch.size`` and flush
+  counters; the ``stats`` op serves them to clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..concurrent import LockTimeout
+from ..core.intervals import Interval
+from ..faults import SimulatedCrash
+from ..sharding import ShardedTree, ShardingError, WindowUnsupportedError
+from . import protocol as wire
+
+__all__ = ["TemporalAggregateServer", "ServerHandle"]
+
+
+def _number(value: Any, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise wire.ProtocolError(f"field {field!r} must be a number")
+    return value
+
+
+class TemporalAggregateServer:
+    """Serve one sharded temporal-aggregate index over TCP."""
+
+    def __init__(
+        self,
+        sharded: ShardedTree,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_max: int = 64,
+        batch_delay: float = 0.002,
+        queue_limit: int = 32,
+        drain_timeout: float = 5.0,
+        registry: Optional[obs.MetricsRegistry] = None,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        self.sharded = sharded
+        self.host = host
+        self.port = port
+        self.batch_max = batch_max
+        self.batch_delay = batch_delay
+        self.queue_limit = queue_limit
+        self.drain_timeout = drain_timeout
+        self.registry = registry if registry is not None else obs.MetricsRegistry()
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=max(4, sharded.num_shards + 2),
+            thread_name_prefix="repro-service",
+        )
+        self._owns_executor = executor is None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._inflight: set = set()
+        self._connections: set = set()
+        # Group-commit state (only touched from the event loop).
+        self._pending: List[Tuple[List[Tuple[Any, Interval]], asyncio.Future]] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` holds the real port."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, flush writes, answer in-flight."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        await self._flush_batch()
+        if self._inflight:
+            await asyncio.wait(
+                list(self._inflight), timeout=self.drain_timeout
+            )
+        for task in list(self._inflight):
+            task.cancel()
+        for writer in list(self._connections):
+            writer.close()
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        slots = asyncio.Semaphore(self.queue_limit)
+        write_lock = asyncio.Lock()
+        self.registry.counter("service.connections.opened").inc()
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                try:
+                    length = wire.decode_length(header)
+                    body = await reader.readexactly(length)
+                    request = wire.decode_body(body)
+                except wire.ProtocolError as exc:
+                    # Unframeable input: answer once, then hang up (the
+                    # stream offset can no longer be trusted).
+                    await self._send(
+                        writer, write_lock,
+                        wire.error_reply(wire.ERR_BAD_REQUEST, str(exc)),
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                await slots.acquire()  # backpressure: stop reading when full
+                task = asyncio.ensure_future(
+                    self._serve_request(request, writer, write_lock, slots)
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+        finally:
+            self._connections.discard(writer)
+            self.registry.counter("service.connections.closed").inc()
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _send(self, writer, write_lock, reply: Dict[str, Any]) -> None:
+        frame = wire.encode_frame(reply)
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(frame)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    async def _serve_request(self, request, writer, write_lock, slots) -> None:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        op = request.get("op")
+        try:
+            reply = await self._dispatch(request)
+        except wire.ProtocolError as exc:
+            reply = wire.error_reply(wire.ERR_BAD_REQUEST, str(exc), request)
+        except (WindowUnsupportedError,) as exc:
+            reply = wire.error_reply(wire.ERR_UNSUPPORTED, str(exc), request)
+        except ShardingError as exc:
+            reply = wire.error_reply(wire.ERR_BAD_REQUEST, str(exc), request)
+        except SimulatedCrash as exc:
+            reply = wire.error_reply(wire.ERR_FAULT, str(exc), request)
+        except LockTimeout as exc:
+            reply = wire.error_reply(wire.ERR_TIMEOUT, str(exc), request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never let a request kill the server
+            reply = wire.error_reply(
+                wire.ERR_INTERNAL, f"{type(exc).__name__}: {exc}", request
+            )
+        finally:
+            slots.release()
+        wall_us = (loop.time() - started) * 1e6
+        name = op if isinstance(op, str) and op.isidentifier() else "invalid"
+        self.registry.record_op(
+            obs.OpRecord(op=f"service.{name}", wall_us=wall_us)
+        )
+        if not reply.get("ok"):
+            self.registry.counter("service.errors").inc()
+        await self._send(writer, write_lock, reply)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return wire.ok_reply("pong", request)
+        if op == "insert":
+            facts = [self._fact(request)]
+            applied = await self._enqueue_write(facts)
+            return wire.ok_reply({"applied": applied}, request)
+        if op == "batch_insert":
+            raw = request.get("facts")
+            if not isinstance(raw, list) or not raw:
+                raise wire.ProtocolError("batch_insert needs a non-empty 'facts' list")
+            facts = [self._fact_from_triple(item) for item in raw]
+            applied = await self._enqueue_write(facts)
+            return wire.ok_reply({"applied": applied}, request)
+        if op == "lookup":
+            t = _number(request.get("t"), "t")
+            value = await self._run(self.sharded.lookup_final, t)
+            return wire.ok_reply(value, request)
+        if op == "rangeq":
+            start = _number(request.get("start"), "start")
+            end = _number(request.get("end"), "end")
+            if not start < end:
+                raise wire.ProtocolError(f"empty range [{start}, {end})")
+            table = await self._run(self._rangeq, Interval(start, end))
+            return wire.ok_reply(table, request)
+        if op == "window":
+            t = _number(request.get("t"), "t")
+            w = _number(request.get("w"), "w")
+            value = await self._run(self._window, t, w)
+            return wire.ok_reply(value, request)
+        if op == "stats":
+            return wire.ok_reply(await self._run(self._stats), request)
+        raise_op = repr(op) if op is not None else "missing 'op' field"
+        return wire.error_reply(
+            wire.ERR_UNKNOWN_OP, f"unknown op {raise_op}", request
+        )
+
+    def _fact(self, request: Dict[str, Any]) -> Tuple[Any, Interval]:
+        value = request.get("value")
+        start = _number(request.get("start"), "start")
+        end = _number(request.get("end"), "end")
+        if value is None:
+            raise wire.ProtocolError("insert needs a 'value' field")
+        if not start < end:
+            raise wire.ProtocolError(f"empty fact interval [{start}, {end})")
+        return value, Interval(start, end)
+
+    def _fact_from_triple(self, item: Any) -> Tuple[Any, Interval]:
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise wire.ProtocolError("facts must be [value, start, end] triples")
+        value, start, end = item
+        return self._fact({"value": value, "start": start, "end": end})
+
+    def _rangeq(self, window: Interval) -> List[List[Any]]:
+        table = (
+            self.sharded.range_query(window)
+            .coalesce(self.sharded.spec.eq)
+            .finalized(self.sharded.spec)
+        )
+        return [[value, iv.start, iv.end] for value, iv in table]
+
+    def _window(self, t, w) -> Any:
+        return self.sharded.spec.finalize(self.sharded.window_lookup(t, w))
+
+    def _stats(self) -> Dict[str, Any]:
+        ops = {
+            name: self.registry.op_summary(name)
+            for name in self.registry.op_names()
+            if name.startswith("service.")
+        }
+        snapshot = self.registry.to_dict()
+        counters = {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith("service.") and not name.startswith("service.ops")
+        }
+        batch_size = snapshot["histograms"].get("service.batch.size")
+        return {
+            "kind": self.sharded.spec.kind.value,
+            "shards": self.sharded.stats(),
+            "ops": ops,
+            "counters": counters,
+            "batch": {
+                "max": self.batch_max,
+                "delay_s": self.batch_delay,
+                "pending": len(self._pending),
+                "size": batch_size,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Group commit
+    # ------------------------------------------------------------------
+    async def _enqueue_write(self, facts: List[Tuple[Any, Interval]]) -> int:
+        if self._draining:
+            raise ShardingError("server is draining; write rejected")
+        assert self._loop is not None
+        future: asyncio.Future = self._loop.create_future()
+        self._pending.append((facts, future))
+        pending_facts = sum(len(f) for f, _ in self._pending)
+        if pending_facts >= self.batch_max:
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._flush_handle = None
+            self.registry.counter("service.batch.size_flushes").inc()
+            await self._flush_batch()
+        elif self._flush_handle is None:
+            self._flush_handle = self._loop.call_later(
+                self.batch_delay, self._deadline_flush
+            )
+        await future
+        return len(facts)
+
+    def _deadline_flush(self) -> None:
+        self._flush_handle = None
+        if self._pending:
+            self.registry.counter("service.batch.deadline_flushes").inc()
+            assert self._loop is not None
+            self._loop.create_task(self._flush_batch())
+
+    async def _flush_batch(self) -> None:
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        all_facts = [fact for facts, _ in batch for fact in facts]
+        self.registry.counter("service.batch.flushes").inc()
+        self.registry.histogram(
+            "service.batch.size", bounds=(1, 2, 5, 10, 20, 50, 100, 200, 500)
+        ).record(len(all_facts))
+        try:
+            await self._run(self.sharded.batch_insert, all_facts)
+        except Exception as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            # The exception now belongs to the waiters; if several share
+            # it, asyncio would warn about unretrieved futures otherwise.
+            for _, future in batch:
+                if future.done():
+                    future.exception()
+        else:
+            for _, future in batch:
+                if not future.done():
+                    future.set_result(True)
+
+    # ------------------------------------------------------------------
+    async def _run(self, fn, *args):
+        """Run a blocking tree operation in the service thread pool."""
+        assert self._loop is not None
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, quickcheck, examples).
+
+    ``ServerHandle.start(sharded)`` spins up an event loop thread, binds
+    an ephemeral port, and returns once the server accepts connections;
+    ``stop()`` drains gracefully and joins the thread.
+    """
+
+    def __init__(self, server: TemporalAggregateServer, thread, loop) -> None:
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+        self._stopped = threading.Event()
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @classmethod
+    def start(cls, sharded: ShardedTree, **kwargs) -> "ServerHandle":
+        ready = threading.Event()
+        box: Dict[str, Any] = {}
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            server = TemporalAggregateServer(sharded, **kwargs)
+            stop_event = asyncio.Event()
+
+            async def main() -> None:
+                try:
+                    await server.start()
+                finally:
+                    box["server"] = server
+                    box["loop"] = loop
+                    box["stop_event"] = stop_event
+                    ready.set()
+                await stop_event.wait()
+                await server.stop()
+
+            try:
+                loop.run_until_complete(main())
+            except Exception as exc:  # surface startup failures to caller
+                box.setdefault("error", exc)
+                ready.set()
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=run, name="repro-service", daemon=True)
+        thread.start()
+        ready.wait(timeout=10)
+        if "error" in box:
+            raise box["error"]
+        if "server" not in box:
+            raise RuntimeError("service thread failed to start")
+        handle = cls(box["server"], thread, box["loop"])
+        handle._stop_event = box["stop_event"]
+        return handle
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request a graceful drain and wait for the thread to exit."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

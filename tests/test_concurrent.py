@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro import Interval, SBTree, check_tree
-from repro.concurrent import ConcurrentTree, ReadWriteLock
+from repro.concurrent import ConcurrentTree, LockTimeout, ReadWriteLock
 from repro.core import reference
 
 
@@ -112,6 +112,178 @@ class TestReadWriteLock:
             t.join(timeout=5)
         # Writer preference: the queued writer goes before the late reader.
         assert events == ["writer", "late-reader"]
+
+
+class TestLockTimeouts:
+    """The ``timeout=`` parameter on acquire_read/acquire_write."""
+
+    def _hold_write(self, lock):
+        """Acquire the write lock on a thread and return a release event."""
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock.write_locked():
+                held.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        assert held.wait(timeout=5)
+        return release, thread
+
+    def test_read_timeout_expires(self):
+        lock = ReadWriteLock()
+        release, thread = self._hold_write(lock)
+        started = time.monotonic()
+        assert lock.acquire_read(timeout=0.05) is False
+        assert time.monotonic() - started < 2.0
+        release.set()
+        thread.join(timeout=5)
+        # And without contention the same call succeeds immediately.
+        assert lock.acquire_read(timeout=0.05) is True
+        lock.release_read()
+
+    def test_write_timeout_expires(self):
+        lock = ReadWriteLock()
+        release, thread = self._hold_write(lock)
+        assert lock.acquire_write(timeout=0.05) is False
+        release.set()
+        thread.join(timeout=5)
+        assert lock.acquire_write(timeout=0.05) is True
+        lock.release_write()
+
+    def test_guard_raises_lock_timeout(self):
+        lock = ReadWriteLock()
+        release, thread = self._hold_write(lock)
+        with pytest.raises(LockTimeout):
+            with lock.read_locked(timeout=0.05):
+                pass
+        with pytest.raises(LockTimeout):
+            with lock.write_locked(timeout=0.05):
+                pass
+        release.set()
+        thread.join(timeout=5)
+        # The failed acquires left no residue: both modes still work.
+        with lock.write_locked(timeout=1.0):
+            pass
+        with lock.read_locked(timeout=1.0):
+            pass
+
+    def test_timed_out_writer_wakes_readers(self):
+        """Regression: a writer that gives up must stop blocking readers.
+
+        While a writer waits, ``_waiting_writers`` holds new readers out
+        (writer preference).  If the writer times out as the *last*
+        waiting writer, it has to wake the reader queue -- otherwise
+        readers blocked on its account stall until the next unrelated
+        release.
+        """
+        lock = ReadWriteLock()
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+
+        def long_reader():
+            with lock.read_locked():
+                reader_in.set()
+                release_reader.wait(timeout=10)
+
+        holder = threading.Thread(target=long_reader, daemon=True)
+        holder.start()
+        assert reader_in.wait(timeout=5)
+
+        # A writer queues behind the active reader and times out.
+        assert lock.acquire_write(timeout=0.05) is False
+
+        # A late reader must now get in *without* the long reader
+        # releasing anything (the timed-out writer is gone).
+        got_in = threading.Event()
+
+        def late_reader():
+            if lock.acquire_read(timeout=1.0):
+                got_in.set()
+                lock.release_read()
+
+        late = threading.Thread(target=late_reader, daemon=True)
+        late.start()
+        late.join(timeout=5)
+        assert got_in.is_set(), "reader stalled behind a timed-out writer"
+        release_reader.set()
+        holder.join(timeout=5)
+
+    def test_writer_preference_survives_timeouts(self):
+        """Under reader/writer churn with timeouts in the mix, queued
+        writers still run before late readers and no thread stalls."""
+        lock = ReadWriteLock()
+        events = []
+        guard = threading.Lock()
+        reader_in = threading.Event()
+        release_first = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                reader_in.set()
+                release_first.wait(timeout=10)
+
+        def patient_writer():
+            reader_in.wait(timeout=5)
+            with lock.write_locked(timeout=5.0):
+                with guard:
+                    events.append("writer")
+
+        def impatient_writer():
+            reader_in.wait(timeout=5)
+            # Gives up long before the first reader releases.
+            if lock.acquire_write(timeout=0.01):  # pragma: no cover
+                lock.release_write()
+
+        def late_reader():
+            reader_in.wait(timeout=5)
+            time.sleep(0.05)  # arrive after the writers are queued
+            with lock.read_locked(timeout=5.0):
+                with guard:
+                    events.append("late-reader")
+
+        threads = [
+            threading.Thread(target=first_reader),
+            threading.Thread(target=patient_writer),
+            threading.Thread(target=impatient_writer),
+            threading.Thread(target=late_reader),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.15)
+        release_first.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        # Writer preference: the patient writer beat the late reader.
+        assert events == ["writer", "late-reader"]
+
+    def test_concurrent_tree_timeout_plumbing(self):
+        """ConcurrentTree(read_timeout=...) surfaces LockTimeout."""
+        tree = ConcurrentTree(
+            SBTree("sum", branching=4, leaf_capacity=4), read_timeout=0.05
+        )
+        tree.insert(2, Interval(10, 40))
+        assert tree.lookup(19) == 2  # uncontended reads are unaffected
+
+        blocked = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with tree.lock.write_locked():
+                blocked.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        assert blocked.wait(timeout=5)
+        with pytest.raises(LockTimeout):
+            tree.lookup(19)
+        release.set()
+        thread.join(timeout=5)
+        assert tree.lookup(19) == 2
 
 
 class TestConcurrentTree:

@@ -1,0 +1,343 @@
+"""Tests for the time-range sharding layer (repro.sharding)."""
+
+import random
+import threading
+
+import pytest
+
+from repro import Interval, SBTree
+from repro.core import reference
+from repro.core.intervals import NEG_INF, POS_INF
+from repro.sharding import (
+    ShardedTree,
+    ShardingError,
+    ShardRouter,
+    WindowUnsupportedError,
+    even_boundaries,
+)
+
+KINDS = ["count", "sum", "avg", "min", "max"]
+
+
+class TestShardRouter:
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ShardingError):
+            ShardRouter([30, 10])  # unsorted
+        with pytest.raises(ShardingError):
+            ShardRouter([10, 10])  # duplicate
+        with pytest.raises(ShardingError):
+            ShardRouter([10, POS_INF])  # infinite cut
+
+    def test_ranges_cover_timeline(self):
+        router = ShardRouter([10, 20, 30])
+        assert router.num_shards == 4
+        assert router.range_of(0) == Interval(NEG_INF, 10)
+        assert router.range_of(1) == Interval(10, 20)
+        assert router.range_of(3) == Interval(30, POS_INF)
+        # Adjacent ranges tile: each end is the next start.
+        for i in range(router.num_shards - 1):
+            assert router.range_of(i).end == router.range_of(i + 1).start
+
+    def test_instant_at_boundary_goes_right(self):
+        router = ShardRouter([10, 20])
+        assert router.shard_of(9) == 0
+        assert router.shard_of(10) == 1  # half-open: boundary starts shard 1
+        assert router.shard_of(19) == 1
+        assert router.shard_of(20) == 2
+
+    def test_interval_ending_at_boundary_stays_left(self):
+        router = ShardRouter([10, 20])
+        # [5, 10) never contains instant 10, so shard 1 is not touched.
+        assert list(router.overlapping(Interval(5, 10))) == [0]
+        assert list(router.overlapping(Interval(5, 11))) == [0, 1]
+        assert list(router.overlapping(Interval(10, 20))) == [1]
+
+    def test_split_tiles_the_input(self):
+        router = ShardRouter([10, 20, 30])
+        pieces = list(router.split(Interval(5, 35)))
+        assert [index for index, _ in pieces] == [0, 1, 2, 3]
+        assert [p for _, p in pieces] == [
+            Interval(5, 10),
+            Interval(10, 20),
+            Interval(20, 30),
+            Interval(30, 35),
+        ]
+        # Unbounded facts split too (outer shards are unbounded).
+        pieces = list(router.split(Interval(NEG_INF, POS_INF)))
+        assert len(pieces) == 4
+        assert pieces[0][1] == Interval(NEG_INF, 10)
+        assert pieces[-1][1] == Interval(30, POS_INF)
+
+    def test_even_boundaries(self):
+        assert even_boundaries(0, 100, 4) == [25, 50, 75]
+        assert even_boundaries(0, 100, 1) == []
+        # Int endpoints stay ints.
+        assert all(isinstance(b, int) for b in even_boundaries(0, 7, 3))
+        # Degenerate spans deduplicate repeated cuts.
+        assert even_boundaries(0, 2, 4) == [0, 1]
+        with pytest.raises(ShardingError):
+            even_boundaries(10, 10, 2)
+
+
+def random_facts(rng, n, lo=0, hi=1000, max_width=120):
+    facts = []
+    for _ in range(n):
+        s = rng.randint(lo, hi - 1)
+        e = s + rng.randint(1, max_width)
+        facts.append((rng.randint(1, 9), Interval(s, e)))
+    return facts
+
+
+class TestShardedTreeCorrectness:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_matches_single_tree_and_oracle(self, kind):
+        rng = random.Random(hash(kind) & 0xFFFF)
+        facts = random_facts(rng, 150)
+        sharded = ShardedTree(kind, [200, 400, 600, 800],
+                              branching=4, leaf_capacity=4)
+        single = SBTree(kind, branching=4, leaf_capacity=4)
+        for value, interval in facts:
+            sharded.insert(value, interval)
+            single.insert(value, interval)
+
+        assert sharded.to_table() == single.to_table()
+        assert sharded.to_table() == reference.instantaneous_table(facts, kind)
+        for t in [-50, 0, 199, 200, 201, 399, 400, 500, 799, 800, 1500]:
+            assert sharded.lookup(t) == single.lookup(t)
+            assert sharded.lookup_final(t) == single.lookup_final(t)
+        for window in [(0, 1000), (150, 450), (395, 405), (790, 810)]:
+            got = sharded.range_query(Interval(*window)).coalesce(
+                sharded.spec.eq
+            )
+            want = single.range_query(Interval(*window)).coalesce(
+                single.spec.eq
+            )
+            assert got == want
+        sharded.check()
+
+    def test_fact_exactly_at_boundary(self):
+        sharded = ShardedTree("sum", [100, 200])
+        # Starts at one cut, ends at the next: lands wholly in shard 1.
+        sharded.insert(5, Interval(100, 200))
+        assert sharded.pieces_applied == [0, 1, 0]
+        assert sharded.lookup(99) == 0
+        assert sharded.lookup(100) == 5
+        assert sharded.lookup(199) == 5
+        assert sharded.lookup(200) == 0
+        assert sharded.to_table().rows == [(5, Interval(100, 200))]
+
+    def test_fact_spanning_three_plus_shards(self):
+        sharded = ShardedTree("count", [100, 200, 300, 400])
+        sharded.insert(1, Interval(50, 450))  # touches all 5 shards
+        assert sharded.pieces_applied == [1, 1, 1, 1, 1]
+        assert sharded.facts_applied == 1
+        # Splitting must not double-count: one fact, value 1 everywhere.
+        assert sharded.to_table().rows == [(1, Interval(50, 450))]
+        for t in [50, 99, 100, 250, 399, 400, 449]:
+            assert sharded.lookup(t) == 1
+
+    def test_empty_shards_answer_identity(self):
+        sharded = ShardedTree("sum", [100, 200, 300])
+        sharded.insert(7, Interval(110, 120))  # only shard 1 has data
+        assert sharded.lookup(50) == 0
+        assert sharded.lookup(250) == 0
+        assert sharded.lookup(500) == 0
+        table = sharded.range_query(Interval(0, 400)).coalesce(
+            sharded.spec.eq
+        )
+        single = SBTree("sum")
+        single.insert(7, Interval(110, 120))
+        assert table == single.range_query(Interval(0, 400)).coalesce(
+            single.spec.eq
+        )
+        stats = sharded.stats()
+        assert [s["pieces"] for s in stats["shards"]] == [0, 1, 0, 0]
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_randomized_boundary_adjacent_facts(self, kind):
+        """Facts engineered to start/end exactly at shard cuts."""
+        boundaries = [100, 200, 300]
+        rng = random.Random(13)
+        facts = []
+        for _ in range(80):
+            anchor = rng.choice(boundaries)
+            shape = rng.randrange(4)
+            if shape == 0:
+                iv = Interval(anchor, anchor + rng.randint(1, 50))
+            elif shape == 1:
+                iv = Interval(anchor - rng.randint(1, 50), anchor)
+            elif shape == 2:
+                iv = Interval(anchor - rng.randint(1, 50),
+                              anchor + rng.randint(1, 50))
+            else:
+                a, b = rng.sample(boundaries, 2)
+                iv = Interval(min(a, b), max(a, b))
+            facts.append((rng.randint(1, 9), iv))
+        sharded = ShardedTree(kind, boundaries, branching=4, leaf_capacity=4)
+        for value, iv in facts:
+            sharded.insert(value, iv)
+        assert sharded.to_table() == reference.instantaneous_table(facts, kind)
+        for t in list(range(95, 105)) + list(range(195, 205)) + [300, 299]:
+            assert sharded.lookup(t) == reference.instantaneous_value(
+                facts, kind, t
+            )
+        sharded.check()
+
+    def test_delete_roundtrip(self):
+        sharded = ShardedTree("sum", [100, 200])
+        facts = random_facts(random.Random(3), 40, 0, 300, 150)
+        for value, iv in facts:
+            sharded.insert(value, iv)
+        for value, iv in facts:
+            sharded.delete(value, iv)
+        assert sharded.to_table().rows == []
+        assert sharded.facts_applied == 0
+        assert sharded.pieces_applied == [0, 0, 0]
+
+    def test_batch_insert_equals_serial(self):
+        facts = random_facts(random.Random(5), 60)
+        one = ShardedTree("max", [250, 500, 750])
+        two = ShardedTree("max", [250, 500, 750])
+        for value, iv in facts:
+            one.insert(value, iv)
+        assert two.batch_insert(facts) == len(facts)
+        assert one.to_table() == two.to_table()
+
+
+class TestShardedWindow:
+    @pytest.mark.parametrize("kind", ["min", "max"])
+    def test_window_matches_oracle(self, kind):
+        rng = random.Random(29)
+        facts = random_facts(rng, 100)
+        sharded = ShardedTree(kind, [200, 400, 600, 800])
+        for value, iv in facts:
+            sharded.insert(value, iv)
+        for _ in range(40):
+            t = rng.randint(-50, 1100)
+            w = rng.randint(0, 300)
+            got = sharded.window_lookup(t, w)
+            assert got == reference.cumulative_value(facts, kind, t, w)
+
+    @pytest.mark.parametrize("kind", ["sum", "count", "avg"])
+    def test_invertible_kinds_refuse(self, kind):
+        sharded = ShardedTree(kind, [100])
+        sharded.insert(2, Interval(0, 50))
+        with pytest.raises(WindowUnsupportedError):
+            sharded.window_lookup(60, 30)
+
+    def test_negative_window_rejected(self):
+        sharded = ShardedTree("min", [100])
+        with pytest.raises(ShardingError):
+            sharded.window_lookup(50, -1)
+
+
+class TestShardedTreeConfig:
+    def test_needs_boundaries_or_span(self):
+        with pytest.raises(ShardingError):
+            ShardedTree("sum")
+        with pytest.raises(ShardingError):
+            ShardedTree("sum", num_shards=4)  # span missing
+
+    def test_num_shards_span_convenience(self):
+        sharded = ShardedTree("sum", num_shards=4, span=(0, 100))
+        assert sharded.num_shards == 4
+        assert list(sharded.router.boundaries) == [25, 50, 75]
+
+    def test_store_count_must_match(self):
+        from repro.core.store import MemoryNodeStore
+
+        with pytest.raises(ShardingError):
+            ShardedTree("sum", [100], stores=[MemoryNodeStore()])
+
+    def test_paged_stores(self, tmp_path):
+        from repro.storage import PagedNodeStore
+
+        stores = [
+            PagedNodeStore(str(tmp_path / f"shard-{i}.sbt"), "sum")
+            for i in range(3)
+        ]
+        sharded = ShardedTree("sum", [100, 200], stores=stores)
+        sharded.insert(4, Interval(50, 250))
+        assert sharded.lookup(150) == 4
+        sharded.close()
+        # Shards persisted: reopen and read back.
+        stores = [
+            PagedNodeStore(str(tmp_path / f"shard-{i}.sbt"))
+            for i in range(3)
+        ]
+        reopened = ShardedTree("sum", [100, 200], stores=stores)
+        assert reopened.lookup(150) == 4
+        assert reopened.to_table().rows == [(4, Interval(50, 250))]
+        reopened.close()
+
+    def test_stats_shape(self):
+        sharded = ShardedTree("avg", [10, 20])
+        sharded.insert(6, Interval(5, 25))
+        stats = sharded.stats()
+        assert stats["kind"] == "avg"
+        assert stats["num_shards"] == 3
+        assert stats["boundaries"] == [10, 20]
+        assert stats["facts"] == 1
+        assert len(stats["shards"]) == 3
+        assert stats["shards"][0]["range"] == [NEG_INF, 10]
+
+
+class TestShardedConcurrency:
+    def test_parallel_writers_disjoint_shards(self):
+        """Writers on different time bands proceed concurrently and the
+        merged result matches the oracle."""
+        sharded = ShardedTree("sum", [1000, 2000, 3000],
+                              branching=4, leaf_capacity=4)
+        rng = random.Random(17)
+        bands = [(0, 999), (1000, 1999), (2000, 2999), (3000, 3999)]
+        per_band = [
+            random_facts(rng, 50, lo, hi - 60, 50) for lo, hi in bands
+        ]
+        barrier = threading.Barrier(len(bands), timeout=10)
+
+        def writer(facts):
+            barrier.wait()
+            for value, iv in facts:
+                sharded.insert(value, iv)
+
+        threads = [
+            threading.Thread(target=writer, args=(facts,))
+            for facts in per_band
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        flat = [fact for facts in per_band for fact in facts]
+        assert sharded.to_table() == reference.instantaneous_table(flat, "sum")
+        sharded.check()
+
+
+class TestShardedFaults:
+    def test_crash_point_leaves_shard_state_intact(self):
+        from repro.faults import FaultInjector, SimulatedCrash
+
+        injector = FaultInjector()
+        sharded = ShardedTree("sum", [100], fault_injector=injector)
+        sharded.insert(3, Interval(0, 50))  # one shard touched: hit 1
+        before = sharded.to_table()
+        injector.crash_at("shard_apply", hit=2)
+        with pytest.raises(SimulatedCrash):
+            sharded.insert(9, Interval(10, 20))
+        # The failed insert touched nothing: state identical, counts too.
+        assert sharded.to_table() == before
+        assert sharded.facts_applied == 1
+        sharded.check()
+
+    def test_per_shard_crash_point(self):
+        from repro.faults import FaultInjector, SimulatedCrash
+
+        injector = FaultInjector()
+        injector.crash_at("shard_apply:1")
+        sharded = ShardedTree("sum", [100], fault_injector=injector)
+        sharded.insert(3, Interval(0, 50))  # shard 0 only: fine
+        with pytest.raises(SimulatedCrash):
+            sharded.insert(4, Interval(150, 160))  # shard 1: boom
+        assert sharded.lookup(25) == 3
+        assert sharded.lookup(155) == 0
