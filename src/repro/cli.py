@@ -13,8 +13,16 @@ Operate on the persistent index files produced by
     python -m repro compact index.sbt
     python -m repro stats  index.sbt --lookups 200
     python -m repro tql "SUM(value) OVER rx AT 19" --table rx=facts.csv
-    python -m repro serve --kind sum --shards 4 --lo 0 --hi 100000
+    python -m repro serve --kind sum --shards 4 --lo 0 --hi 100000 \
+        --metrics-port 9095
     python -m repro loadgen --port 7071 --connections 4 --ops 500
+    python -m repro top --port 7071
+
+Under ``--trace FILE``, service commands additionally run request
+tracing: ``serve`` hangs its server/flush/shard/tree spans below each
+traced request, ``loadgen`` opens one head-sampled trace per request
+(``--trace-sample`` is the sampling fraction), and the span records
+land in the same JSON-lines FILE as the per-op records.
 
 Every subcommand accepts ``--trace FILE`` (plus ``--trace-sample``) to
 record one JSON line per tree operation -- pages read, buffer
@@ -326,18 +334,44 @@ def cmd_stats(args: argparse.Namespace) -> int:
         for t in probes[:: max(1, len(probes) // 16)]:
             tree.window_lookup(t, span / 8)
 
-    print(f"file   : {args.file}")
-    print(f"kind   : {tree.kind.value}  height: {tree.height}  "
-          f"nodes: {store.node_count()}  buffer: {args.buffer} frames")
-    print()
-    print(registry.render())
-    print()
-    bs, ps = store.buffer.stats, store.pager.stats
-    print(
-        f"totals : buffer hits={bs.hits} misses={bs.misses} "
-        f"evictions={bs.evictions} hit-rate={bs.hit_rate:.1%} | "
-        f"physical reads={ps.physical_reads} writes={ps.physical_writes}"
-    )
+    fmt = getattr(args, "format", "table")
+    if fmt == "json":
+        import json as _json
+
+        from .obs.health import tree_health
+
+        print(
+            _json.dumps(
+                {
+                    "file": args.file,
+                    "kind": tree.kind.value,
+                    "health": tree_health(tree),
+                    "metrics": registry.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif fmt == "prom":
+        from .obs.health import render_prom, tree_health
+
+        for key, value in tree_health(tree).items():
+            if isinstance(value, (int, float)):
+                registry.gauge(f"health.{key}").set(float(value))
+        print(render_prom(registry), end="")
+    else:
+        print(f"file   : {args.file}")
+        print(f"kind   : {tree.kind.value}  height: {tree.height}  "
+              f"nodes: {store.node_count()}  buffer: {args.buffer} frames")
+        print()
+        print(registry.render())
+        print()
+        bs, ps = store.buffer.stats, store.pager.stats
+        print(
+            f"totals : buffer hits={bs.hits} misses={bs.misses} "
+            f"evictions={bs.evictions} hit-rate={bs.hit_rate:.1%} | "
+            f"physical reads={ps.physical_reads} writes={ps.physical_writes}"
+        )
     store.close()
     if not was_enabled:
         obs.disable()
@@ -402,7 +436,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         batch_max=args.batch_max,
         batch_delay=args.batch_delay,
+        health_interval=args.health_interval,
+        # Under --trace the CLI registry already folds span durations;
+        # sharing it makes the stats op serve them too.
+        registry=obs.get_registry() if obs.is_enabled() else None,
     )
+    metrics_http = None
+    if args.metrics_port is not None:
+        from .obs.health import start_metrics_http
+
+        metrics_http = start_metrics_http(
+            server.registry,
+            args.metrics_port,
+            host=args.host,
+            extra=server.refresh_health,
+        )
+        print(
+            f"metrics on http://{metrics_http.host}:{metrics_http.port}/metrics",
+            flush=True,
+        )
 
     async def _main() -> None:
         loop = asyncio.get_running_loop()
@@ -427,6 +479,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
     finally:
+        if metrics_http is not None:
+            metrics_http.close()
         sharded.close()
     return 0
 
@@ -461,6 +515,19 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if args.out:
         print(f"wrote {os.path.join(args.out, 'BENCH_service.json')}")
     return 0 if result.verified_ok else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a running service (throughput, latency,
+    span breakdown, per-shard health); ^C exits."""
+    from .service.top import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+    )
 
 
 def cmd_compact(args: argparse.Namespace) -> int:
@@ -571,6 +638,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--buffer", type=int, default=64,
         help="buffer pool frames for the probe run (default 64)",
     )
+    p_stats.add_argument(
+        "--format", choices=["table", "json", "prom"], default="table",
+        help="output format: human table, JSON (with histogram bucket "
+        "bounds), or Prometheus text exposition",
+    )
     p_stats.set_defaults(fn=cmd_stats)
 
     p_serve = sub.add_parser(
@@ -598,7 +670,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="group-commit flush threshold in facts")
     p_serve.add_argument("--batch-delay", type=float, default=0.002,
                          help="group-commit flush deadline in seconds")
+    p_serve.add_argument("--metrics-port", type=int, metavar="PORT",
+                         help="serve Prometheus metrics on "
+                         "http://HOST:PORT/metrics (0 picks a port)")
+    p_serve.add_argument("--health-interval", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="tree-health gauge poll period "
+                         "(0 disables; default 5)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_top = sub.add_parser(
+        "top", parents=[common],
+        help="live dashboard over a running service (throughput, "
+        "latency percentiles, span breakdown, shard health)",
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, required=True)
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="poll period in seconds (default 1)")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       help="render this many frames then exit "
+                       "(default: run until ^C)")
+    p_top.set_defaults(fn=cmd_top)
 
     p_loadgen = sub.add_parser(
         "loadgen", parents=[common],
@@ -640,14 +733,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     if trace_path:
+        from .obs import trace
+
         try:
             sink = obs.TraceSink(trace_path, sample=args.trace_sample)
         except (OSError, ValueError) as exc:
             raise SystemExit(f"error: cannot open trace sink: {exc}")
-        obs.enable(obs.MetricsRegistry(), sink)
+        registry = obs.MetricsRegistry()
+        obs.enable(registry, sink)
+        # One flag drives both layers: per-op records (sampled per
+        # record by the sink) and request tracing (head-sampled per
+        # trace, span durations folded into the same registry).
+        trace.enable(sink, sample=args.trace_sample, registry=registry)
         try:
             return args.fn(args)
         finally:
+            trace.disable()
             obs.disable(close_sink=True)
     return args.fn(args)
 

@@ -34,6 +34,7 @@ from . import obs
 from .core.intervals import Time
 from .core.results import ConstantIntervalTable
 from .core.sbtree import IntervalLike
+from .obs import trace
 
 __all__ = ["LockTimeout", "ReadWriteLock", "ConcurrentTree"]
 
@@ -165,72 +166,88 @@ class ConcurrentTree:
         self.read_timeout = read_timeout
         self.write_timeout = write_timeout
 
-    def _read_guard(self):
-        return self.lock.read_locked(self.read_timeout)
-
-    def _write_guard(self):
-        return self.lock.write_locked(self.write_timeout)
-
     def _guarded(
-        self, guard: Any, op: str, fn: Callable, *args: Any, **kwargs: Any
+        self, write: bool, op: str, fn: Callable, *args: Any, **kwargs: Any
     ) -> Any:
-        """Run ``fn`` under ``guard``; when observability is on, attribute
-        the per-op I/O deltas *and* the time spent waiting for the lock."""
-        if not obs.ENABLED:
-            with guard:
+        """Run ``fn`` under the right lock; when observability or tracing
+        is on, attribute the per-op I/O deltas *and* the time spent
+        waiting for the lock."""
+        lock = self.lock
+        if not obs.ENABLED and not trace.TRACING:
+            # Disabled fast path: two global flag loads and a direct
+            # acquire/release, no guard or span objects.  The quickcheck
+            # overhead gate keeps this within a small factor of the
+            # hand-inlined equivalent.
+            timeout = self.write_timeout if write else self.read_timeout
+            acquired = (
+                lock.acquire_write(timeout)
+                if write
+                else lock.acquire_read(timeout)
+            )
+            if not acquired:
+                raise LockTimeout(f"lock not acquired within {timeout:.3f}s")
+            try:
                 return fn(*args, **kwargs)
+            finally:
+                if write:
+                    lock.release_write()
+                else:
+                    lock.release_read()
+        guard = (
+            lock.write_locked(self.write_timeout)
+            if write
+            else lock.read_locked(self.read_timeout)
+        )
         requested = time.perf_counter()
         with guard:
             waited_us = (time.perf_counter() - requested) * 1e6
-            with obs.Op(
-                op,
-                obs.stores_of(self.tree),
-                subject=type(self.tree).__name__,
-                lock_wait_us=waited_us,
+            stores = obs.stores_of(self.tree)
+            with trace.span(
+                "tree." + op,
+                stores,
+                attrs={"lock_wait_us": round(waited_us, 1)},
             ):
-                return fn(*args, **kwargs)
+                if not obs.ENABLED:
+                    return fn(*args, **kwargs)
+                with obs.Op(
+                    op,
+                    stores,
+                    subject=type(self.tree).__name__,
+                    lock_wait_us=waited_us,
+                ):
+                    return fn(*args, **kwargs)
 
     # ------------------------------------------------------------------
     # Reads (shared)
     # ------------------------------------------------------------------
     def lookup(self, t: Time) -> Any:
-        return self._guarded(self._read_guard(), "lookup", self.tree.lookup, t)
+        return self._guarded(False, "lookup", self.tree.lookup, t)
 
     def lookup_final(self, t: Time) -> Any:
-        return self._guarded(
-            self._read_guard(), "lookup", self.tree.lookup_final, t
-        )
+        return self._guarded(False, "lookup", self.tree.lookup_final, t)
 
     def range_query(self, interval: IntervalLike) -> ConstantIntervalTable:
         return self._guarded(
-            self._read_guard(), "range_query", self.tree.range_query, interval
+            False, "range_query", self.tree.range_query, interval
         )
 
     def to_table(self, **kwargs) -> ConstantIntervalTable:
-        return self._guarded(
-            self._read_guard(), "range_query", self.tree.to_table, **kwargs
-        )
+        return self._guarded(False, "range_query", self.tree.to_table, **kwargs)
 
     def window_lookup(self, t: Time, w: Time) -> Any:
-        return self._guarded(
-            self._read_guard(), "mlookup", self.tree.window_lookup, t, w
-        )
+        return self._guarded(False, "mlookup", self.tree.window_lookup, t, w)
 
     # ------------------------------------------------------------------
     # Writes (exclusive)
     # ------------------------------------------------------------------
     def insert(self, value: Any, interval: IntervalLike) -> None:
-        return self._guarded(
-            self._write_guard(), "insert", self.tree.insert, value, interval
-        )
+        return self._guarded(True, "insert", self.tree.insert, value, interval)
 
     def delete(self, value: Any, interval: IntervalLike) -> None:
-        return self._guarded(
-            self._write_guard(), "delete", self.tree.delete, value, interval
-        )
+        return self._guarded(True, "delete", self.tree.delete, value, interval)
 
     def compact(self) -> None:
-        return self._guarded(self._write_guard(), "compact", self.tree.compact)
+        return self._guarded(True, "compact", self.tree.compact)
 
     # ------------------------------------------------------------------
     def __getattr__(self, name: str) -> Any:

@@ -37,6 +37,7 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from . import obs
 from .core import reference
 from .core.intervals import Interval
 from .core.sbtree import SBTree
@@ -232,6 +233,13 @@ def run_case(
         simulate_crash(store)
 
     ok, detail = _verify_recovery(path, ctx)
+    # Registry counters (no-ops unless repro.obs is enabled): long
+    # crash sweeps report progress like every other subsystem.
+    obs.count("crashcheck.cases")
+    if crashed:
+        obs.count("crashcheck.faults_injected")
+    if ok:
+        obs.count("crashcheck.cases_passed")
     return CrashCheckResult(workload, point, hit, crashed, ok, detail)
 
 

@@ -29,6 +29,15 @@ Nested operations are attributed to the *outermost* one: ``compact``
 internally runs a ``range_query``, and
 :class:`~repro.concurrent.ConcurrentTree` wraps the plain tree methods,
 but each logical operation produces exactly one record.
+
+Two submodules extend this per-operation core across the whole stack:
+
+* :mod:`repro.obs.trace` -- request-scoped distributed tracing
+  (``TraceContext`` propagated through the service wire protocol,
+  span records emitted to the same :class:`TraceSink`);
+* :mod:`repro.obs.health` -- SB-tree structural-health gauges and the
+  Prometheus-style text exposition behind ``repro stats --format
+  prom`` and ``repro serve --metrics-port``.
 """
 
 from __future__ import annotations
@@ -55,6 +64,7 @@ from typing import (
 __all__ = [
     "ENABLED",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Op",
@@ -99,6 +109,27 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A named point-in-time measurement (set, not accumulated).
+
+    Tree-health telemetry (:mod:`repro.obs.health`) publishes structural
+    facts -- height, occupancy, free-list length, journal size -- as
+    gauges: the latest observation is the whole story, unlike counters.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
 
 
 #: 1-2-5 decades from 1 microsecond to 5 seconds, plus an overflow
@@ -157,10 +188,16 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the q-quantile (0 <= q <= 1).
+        """The q-quantile (0 <= q <= 1), interpolated within its bucket.
 
-        Resolution is one bucket; the overflow bucket reports the
-        observed maximum instead of infinity.
+        The target rank is located in its bucket, then the value is
+        linearly interpolated between the bucket's edges instead of
+        reporting the upper edge outright -- at low counts the old
+        upper-edge answer over-reported latencies by up to a full
+        bucket width (2.5x with the default 1-2-5 decades).  The edges
+        are clamped to the *observed* min and max, so the first bucket
+        interpolates up from the smallest sample and the overflow
+        bucket never reports infinity.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
@@ -168,10 +205,16 @@ class Histogram:
             return 0.0
         target = q * self.count
         cumulative = 0
-        for bound, n in zip(self.bounds, self.counts):
+        for i, (bound, n) in enumerate(zip(self.bounds, self.counts)):
+            below = cumulative
             cumulative += n
-            if cumulative >= target:
-                return min(bound, self.max)
+            if cumulative >= target and n:
+                lo = self.min if i == 0 else max(self.bounds[i - 1], self.min)
+                hi = self.max if bound == float("inf") else min(bound, self.max)
+                if hi <= lo:
+                    return hi
+                fraction = (target - below) / n
+                return lo + (hi - lo) * fraction
         return self.max  # pragma: no cover - unreachable (inf bucket)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -183,6 +226,10 @@ class Histogram:
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "bounds": [
+                "inf" if bound == float("inf") else bound
+                for bound in self.bounds
+            ],
             "buckets": {
                 ("inf" if bound == float("inf") else bound): n
                 for bound, n in zip(self.bounds, self.counts)
@@ -296,6 +343,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     # -- primitives ----------------------------------------------------
@@ -305,6 +353,13 @@ class MetricsRegistry:
             if counter is None:
                 counter = self._counters[name] = Counter(name)
             return counter
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            return gauge
 
     def histogram(
         self, name: str, bounds: Optional[Sequence[float]] = None
@@ -372,12 +427,13 @@ class MetricsRegistry:
     def to_dict(self) -> Dict[str, Any]:
         with self._lock:
             counters = {name: c.value for name, c in self._counters.items()}
+            gauges = {name: g.value for name, g in self._gauges.items()}
             histograms = {name: h.to_dict() for name, h in self._histograms.items()}
-        return {"counters": counters, "histograms": histograms}
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def render(self) -> str:
         """Per-operation text table (what ``python -m repro stats`` prints)."""
-        from .benchlib import format_table
+        from ..benchlib import format_table
 
         ops = self.op_names()
         if not ops:
@@ -422,6 +478,7 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 
@@ -459,6 +516,20 @@ class TraceSink:
                     + "\n"
                 )
         return kept
+
+    def emit_raw(self, payload: Dict[str, Any]) -> None:
+        """Write one record unconditionally (no per-record sampling).
+
+        Span records (:mod:`repro.obs.trace`) use this: sampling for
+        traces is decided *once per trace* at the root (head sampling),
+        so a kept trace must emit every one of its spans -- per-record
+        sampling here would tear span trees apart.
+        """
+        with self._lock:
+            self.emitted += 1
+            self._file.write(
+                json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+            )
 
     def close(self) -> None:
         with self._lock:

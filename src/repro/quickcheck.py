@@ -12,7 +12,10 @@ full happy path a fresh checkout should support:
 5. boot the sharded TCP service on an ephemeral port, run a verified
    smoke workload through the blocking client, check its stats, and
    drain it cleanly (:mod:`repro.service`),
-6. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
+6. run the observability-overhead gate (tracing disabled vs. a
+   hand-inlined baseline vs. tracing at 1% sampling; fails if the
+   disabled path regresses) and write ``BENCH_trace_overhead.json``,
+7. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
 
 Exit status is non-zero as soon as any stage fails, so this doubles as
 a cheap CI smoke target.
@@ -113,6 +116,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "-n", type=int, default=2000, help="tuples in the scratch index"
     )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default="",
+        help="write BENCH_trace_overhead.json under DIR",
+    )
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-quickcheck-") as scratch:
@@ -145,6 +154,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     status = _service_smoke()
     if status:
         return status
+
+    _stage("observability-overhead gate (disabled path vs. baseline)")
+    from .obs.overhead import render_report, run_overhead_gate
+
+    report = run_overhead_gate(out_dir=args.out or None)
+    print(render_report(report), flush=True)
+    if args.out:
+        print(f"wrote {os.path.join(args.out, 'BENCH_trace_overhead.json')}")
+    if not report["ok"]:
+        print("FAIL: instrumentation overhead on the disabled path")
+        return 1
 
     if args.no_tests:
         return 0

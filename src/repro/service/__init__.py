@@ -13,6 +13,12 @@ The package splits along the wire:
 * :mod:`repro.service.loadgen` -- a closed-loop load generator that
   drives a running server and verifies replies against the in-process
   reference oracle.
+* :mod:`repro.service.top` -- the ``repro top`` live dashboard
+  (pure rendering + a poll loop over the ``stats`` op).
+
+Requests carry an optional ``trace`` field (see
+:mod:`repro.obs.trace`); with tracing enabled, client and server emit
+correlated span records for every sampled request.
 """
 
 from .client import ServiceClient, ServiceError, TransportError
@@ -21,6 +27,7 @@ from .protocol import (
     ERR_FAULT,
     ERR_INTERNAL,
     ERR_OVERLOADED,
+    ERR_SERVER,
     ERR_SHUTTING_DOWN,
     ERR_TIMEOUT,
     ERR_UNKNOWN_OP,
@@ -30,6 +37,7 @@ from .protocol import (
     ProtocolError,
 )
 from .server import ServerHandle, TemporalAggregateServer
+from .top import render_top, run_top
 
 __all__ = [
     "TemporalAggregateServer",
@@ -48,4 +56,7 @@ __all__ = [
     "ERR_OVERLOADED",
     "ERR_SHUTTING_DOWN",
     "ERR_INTERNAL",
+    "ERR_SERVER",
+    "render_top",
+    "run_top",
 ]

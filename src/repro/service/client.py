@@ -24,18 +24,27 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.intervals import Interval
+from ..obs import trace
 from . import protocol as wire
 
 __all__ = ["ServiceClient", "ServiceError", "TransportError"]
 
 
 class ServiceError(RuntimeError):
-    """A structured error reply from the server."""
+    """A structured error reply from the server.
 
-    def __init__(self, err_type: str, message: str) -> None:
+    ``trace_id`` is populated from the error object when the server ran
+    the failed request under a trace (``server_error`` replies carry
+    it), else None.
+    """
+
+    def __init__(
+        self, err_type: str, message: str, trace_id: Optional[str] = None
+    ) -> None:
         super().__init__(f"[{err_type}] {message}")
         self.type = err_type
         self.message = message
+        self.trace_id = trace_id
 
 
 class TransportError(ConnectionError):
@@ -84,32 +93,55 @@ class ServiceClient:
     def _request(self, op: str, **fields: Any) -> Any:
         self._next_id += 1
         message = {"op": op, "id": self._next_id, **fields}
+        # The trace root: one client.request span covers the whole call,
+        # retries included; the context rides in the frame so the server
+        # hangs its spans below ours.  Unsampled requests carry nothing.
+        ctx = trace.new_trace()
+        if ctx is not None:
+            message["trace"] = ctx.to_wire()
         frame = wire.encode_frame(message)
-        last_exc: Optional[Exception] = None
-        for attempt in range(self.retries + 1):
-            if attempt:
-                time.sleep(self.retry_backoff * attempt)
-            try:
-                sock = self._connect()
-                sock.sendall(frame)
-                reply = wire.recv_frame_blocking(sock)
-            except (OSError, wire.ProtocolError) as exc:
-                self.close()
-                last_exc = exc
-                continue
-            if reply is None:  # server hung up cleanly; reconnect and retry
-                self.close()
-                last_exc = ConnectionError("server closed the connection")
-                continue
-            if reply.get("ok"):
-                return reply.get("result")
-            error = reply.get("error") or {}
-            raise ServiceError(
-                error.get("type", "unknown"), error.get("message", "")
+        started = time.perf_counter()
+        attempts = 0
+        ok = False
+        try:
+            last_exc: Optional[Exception] = None
+            for attempt in range(self.retries + 1):
+                attempts = attempt + 1
+                if attempt:
+                    time.sleep(self.retry_backoff * attempt)
+                try:
+                    sock = self._connect()
+                    sock.sendall(frame)
+                    reply = wire.recv_frame_blocking(sock)
+                except (OSError, wire.ProtocolError) as exc:
+                    self.close()
+                    last_exc = exc
+                    continue
+                if reply is None:  # server hung up cleanly; retry
+                    self.close()
+                    last_exc = ConnectionError("server closed the connection")
+                    continue
+                if reply.get("ok"):
+                    ok = True
+                    return reply.get("result")
+                error = reply.get("error") or {}
+                raise ServiceError(
+                    error.get("type", "unknown"),
+                    error.get("message", ""),
+                    error.get("trace_id"),
+                )
+            raise TransportError(
+                f"request {op!r} failed after {self.retries + 1} attempts:"
+                f" {last_exc}"
             )
-        raise TransportError(
-            f"request {op!r} failed after {self.retries + 1} attempts: {last_exc}"
-        )
+        finally:
+            if ctx is not None:
+                trace.emit_span(
+                    ctx,
+                    "client.request",
+                    (time.perf_counter() - started) * 1e6,
+                    attrs={"op": op, "attempts": attempts, "ok": ok},
+                )
 
     # ------------------------------------------------------------------
     # Operations

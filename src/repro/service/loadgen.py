@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .. import benchlib
 from ..core import reference
+from ..obs import trace
 from .client import ServiceClient, ServiceError
 
 __all__ = ["LoadgenResult", "run_loadgen", "percentile"]
@@ -66,6 +67,7 @@ class LoadgenResult:
         self.verify_failures: List[str] = []
         self.facts_inserted: int = 0
         self.server_stats: Dict[str, Any] = {}
+        self.tracing_enabled: bool = False
 
     @property
     def total_ops(self) -> int:
@@ -112,6 +114,9 @@ class LoadgenResult:
                 ),
                 "facts": self.server_stats.get("shards", {}).get("facts"),
             },
+            # So a benchmark reader knows whether latencies include the
+            # per-request tracing cost.
+            "tracing": self.tracing_enabled,
         }
 
     def render(self) -> str:
@@ -317,6 +322,7 @@ def run_loadgen(
     merged.kind = kind
     merged.connections = connections
     merged.duration_s = duration
+    merged.tracing_enabled = trace.is_enabled()
     for worker in workers:
         res = worker.result
         merged.errors += res.errors

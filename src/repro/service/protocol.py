@@ -17,12 +17,21 @@ Requests::
     {"op": "stats"}
 
 An optional ``"id"`` field is echoed verbatim in the reply, so clients
-may pipeline requests over one connection.
+may pipeline requests over one connection.  An optional ``"trace"``
+field -- ``{"id": "<trace_id>", "span": "<span_id>"}``, the wire form
+of :class:`repro.obs.trace.TraceContext` -- propagates the client's
+trace into the server; servers ignore it when tracing is off and
+treat a malformed value as absent.
 
 Replies::
 
     {"ok": true,  "result": ...}
     {"ok": false, "error": {"type": "<code>", "message": "..."}}
+
+When a request fails with an unhandled server-side exception the error
+``type`` is ``server_error``; with tracing on, the error object also
+carries the request's ``trace_id`` so the failure can be joined with
+its span records.
 
 ``lookup``/``window`` results are finalized scalar values (AVG as a
 float quotient, MIN/MAX ``NULL`` as JSON null); ``rangeq`` results are
@@ -55,6 +64,7 @@ __all__ = [
     "ERR_OVERLOADED",
     "ERR_SHUTTING_DOWN",
     "ERR_INTERNAL",
+    "ERR_SERVER",
 ]
 
 #: Upper bound on one frame's JSON body; a length prefix beyond this is
@@ -72,6 +82,7 @@ ERR_TIMEOUT = "timeout"
 ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_INTERNAL = "internal"
+ERR_SERVER = "server_error"
 
 
 class ProtocolError(ValueError):
@@ -144,13 +155,22 @@ def ok_reply(result: Any, request: Optional[Dict[str, Any]] = None) -> Dict[str,
 
 
 def error_reply(
-    err_type: str, message: str, request: Optional[Dict[str, Any]] = None
+    err_type: str,
+    message: str,
+    request: Optional[Dict[str, Any]] = None,
+    *,
+    trace_id: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Build a structured error reply, echoing the request id if present."""
-    reply: Dict[str, Any] = {
-        "ok": False,
-        "error": {"type": err_type, "message": message},
-    }
+    """Build a structured error reply, echoing the request id if present.
+
+    ``trace_id``, when given, lands inside the error object so a client
+    (or an operator grepping the trace file) can join the failure with
+    its span records.
+    """
+    error: Dict[str, Any] = {"type": err_type, "message": message}
+    if trace_id is not None:
+        error["trace_id"] = trace_id
+    reply: Dict[str, Any] = {"ok": False, "error": error}
     if request is not None and "id" in request:
         reply["id"] = request["id"]
     return reply

@@ -43,6 +43,8 @@ from .. import obs
 from ..concurrent import LockTimeout
 from ..core.intervals import Interval
 from ..faults import SimulatedCrash
+from ..obs import trace
+from ..obs.health import record_health, sharded_health
 from ..sharding import ShardedTree, ShardingError, WindowUnsupportedError
 from . import protocol as wire
 
@@ -68,6 +70,7 @@ class TemporalAggregateServer:
         batch_delay: float = 0.002,
         queue_limit: int = 32,
         drain_timeout: float = 5.0,
+        health_interval: float = 0.0,
         registry: Optional[obs.MetricsRegistry] = None,
         executor: Optional[ThreadPoolExecutor] = None,
     ) -> None:
@@ -82,6 +85,7 @@ class TemporalAggregateServer:
         self.batch_delay = batch_delay
         self.queue_limit = queue_limit
         self.drain_timeout = drain_timeout
+        self.health_interval = health_interval
         self.registry = registry if registry is not None else obs.MetricsRegistry()
         self._executor = executor or ThreadPoolExecutor(
             max_workers=max(4, sharded.num_shards + 2),
@@ -93,9 +97,14 @@ class TemporalAggregateServer:
         self._draining = False
         self._inflight: set = set()
         self._connections: set = set()
-        # Group-commit state (only touched from the event loop).
-        self._pending: List[Tuple[List[Tuple[Any, Interval]], asyncio.Future]] = []
+        # Group-commit state (only touched from the event loop).  Each
+        # entry carries the waiter's trace context (or None) so a flush
+        # can replay its spans under every sampled participant.
+        self._pending: List[
+            Tuple[List[Tuple[Any, Interval]], asyncio.Future, Optional[trace.TraceContext]]
+        ] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._health_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -107,6 +116,8 @@ class TemporalAggregateServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.health_interval > 0:
+            self._health_task = self._loop.create_task(self._health_loop())
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -120,6 +131,9 @@ class TemporalAggregateServer:
     async def stop(self) -> None:
         """Graceful drain: stop accepting, flush writes, answer in-flight."""
         self._draining = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            self._health_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -137,6 +151,28 @@ class TemporalAggregateServer:
             writer.close()
         if self._owns_executor:
             self._executor.shutdown(wait=True)
+
+    async def _health_loop(self) -> None:
+        """Periodically publish tree-health gauges to the registry."""
+        try:
+            while True:
+                await asyncio.sleep(self.health_interval)
+                try:
+                    await self._run(self.refresh_health)
+                except Exception:
+                    self.registry.counter("service.health.poll_errors").inc()
+        except asyncio.CancelledError:
+            pass
+
+    def refresh_health(self) -> Dict[str, Any]:
+        """Snapshot shard health and record it as registry gauges.
+
+        Blocking (takes each shard's read lock): call from the executor
+        or another non-loop thread (the ``/metrics`` endpoint does).
+        """
+        health = sharded_health(self.sharded)
+        record_health(self.registry, health)
+        return health
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -180,8 +216,25 @@ class TemporalAggregateServer:
             except Exception:
                 pass
 
-    async def _send(self, writer, write_lock, reply: Dict[str, Any]) -> None:
-        frame = wire.encode_frame(reply)
+    async def _send(
+        self, writer, write_lock, reply: Dict[str, Any], request=None
+    ) -> None:
+        try:
+            frame = wire.encode_frame(reply)
+        except Exception as exc:
+            # An unserializable result must not silently drop the reply
+            # (the client would see its request vanish): degrade to a
+            # structured server_error on the same connection.
+            if request is None:
+                return
+            self.registry.counter("service.errors").inc()
+            frame = wire.encode_frame(
+                wire.error_reply(
+                    wire.ERR_SERVER,
+                    f"reply not serializable: {type(exc).__name__}: {exc}",
+                    request,
+                )
+            )
         async with write_lock:
             if writer.is_closing():
                 return
@@ -195,8 +248,17 @@ class TemporalAggregateServer:
         loop = asyncio.get_running_loop()
         started = loop.time()
         op = request.get("op")
+        # The request's trace hop: a child of the client's span,
+        # covering the whole server-side dispatch.  Spans inside the
+        # executor threads nest under it via trace.wrap; the event loop
+        # itself never touches thread-local context (tasks interleave).
+        sctx: Optional[trace.TraceContext] = None
+        if trace.TRACING:
+            ctx_in = trace.TraceContext.from_wire(request.get("trace"))
+            if ctx_in is not None:
+                sctx = ctx_in.child()
         try:
-            reply = await self._dispatch(request)
+            reply = await self._dispatch(request, sctx)
         except wire.ProtocolError as exc:
             reply = wire.error_reply(wire.ERR_BAD_REQUEST, str(exc), request)
         except (WindowUnsupportedError,) as exc:
@@ -211,7 +273,10 @@ class TemporalAggregateServer:
             raise
         except Exception as exc:  # never let a request kill the server
             reply = wire.error_reply(
-                wire.ERR_INTERNAL, f"{type(exc).__name__}: {exc}", request
+                wire.ERR_SERVER,
+                f"{type(exc).__name__}: {exc}",
+                request,
+                trace_id=sctx.trace_id if sctx is not None else None,
             )
         finally:
             slots.release()
@@ -222,41 +287,52 @@ class TemporalAggregateServer:
         )
         if not reply.get("ok"):
             self.registry.counter("service.errors").inc()
-        await self._send(writer, write_lock, reply)
+        if sctx is not None:
+            trace.emit_span(
+                sctx,
+                "server.request",
+                wall_us,
+                attrs={"op": name, "ok": bool(reply.get("ok"))},
+            )
+        await self._send(writer, write_lock, reply, request)
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    async def _dispatch(
+        self,
+        request: Dict[str, Any],
+        sctx: Optional[trace.TraceContext] = None,
+    ) -> Dict[str, Any]:
         op = request.get("op")
         if op == "ping":
             return wire.ok_reply("pong", request)
         if op == "insert":
             facts = [self._fact(request)]
-            applied = await self._enqueue_write(facts)
+            applied = await self._enqueue_write(facts, sctx)
             return wire.ok_reply({"applied": applied}, request)
         if op == "batch_insert":
             raw = request.get("facts")
             if not isinstance(raw, list) or not raw:
                 raise wire.ProtocolError("batch_insert needs a non-empty 'facts' list")
             facts = [self._fact_from_triple(item) for item in raw]
-            applied = await self._enqueue_write(facts)
+            applied = await self._enqueue_write(facts, sctx)
             return wire.ok_reply({"applied": applied}, request)
         if op == "lookup":
             t = _number(request.get("t"), "t")
-            value = await self._run(self.sharded.lookup_final, t)
+            value = await self._run(self.sharded.lookup_final, t, ctx=sctx)
             return wire.ok_reply(value, request)
         if op == "rangeq":
             start = _number(request.get("start"), "start")
             end = _number(request.get("end"), "end")
             if not start < end:
                 raise wire.ProtocolError(f"empty range [{start}, {end})")
-            table = await self._run(self._rangeq, Interval(start, end))
+            table = await self._run(self._rangeq, Interval(start, end), ctx=sctx)
             return wire.ok_reply(table, request)
         if op == "window":
             t = _number(request.get("t"), "t")
             w = _number(request.get("w"), "w")
-            value = await self._run(self._window, t, w)
+            value = await self._run(self._window, t, w, ctx=sctx)
             return wire.ok_reply(value, request)
         if op == "stats":
             return wire.ok_reply(await self._run(self._stats), request)
@@ -293,6 +369,7 @@ class TemporalAggregateServer:
         return self.sharded.spec.finalize(self.sharded.window_lookup(t, w))
 
     def _stats(self) -> Dict[str, Any]:
+        health = self.refresh_health()
         ops = {
             name: self.registry.op_summary(name)
             for name in self.registry.op_names()
@@ -304,12 +381,20 @@ class TemporalAggregateServer:
             for name, value in snapshot["counters"].items()
             if name.startswith("service.") and not name.startswith("service.ops")
         }
+        spans = {
+            name[len("span."):-len(".wall_us")]: hist
+            for name, hist in snapshot["histograms"].items()
+            if name.startswith("span.") and name.endswith(".wall_us")
+        }
         batch_size = snapshot["histograms"].get("service.batch.size")
         return {
             "kind": self.sharded.spec.kind.value,
             "shards": self.sharded.stats(),
+            "health": health,
             "ops": ops,
             "counters": counters,
+            "gauges": snapshot.get("gauges", {}),
+            "spans": spans,
             "batch": {
                 "max": self.batch_max,
                 "delay_s": self.batch_delay,
@@ -321,13 +406,17 @@ class TemporalAggregateServer:
     # ------------------------------------------------------------------
     # Group commit
     # ------------------------------------------------------------------
-    async def _enqueue_write(self, facts: List[Tuple[Any, Interval]]) -> int:
+    async def _enqueue_write(
+        self,
+        facts: List[Tuple[Any, Interval]],
+        sctx: Optional[trace.TraceContext] = None,
+    ) -> int:
         if self._draining:
             raise ShardingError("server is draining; write rejected")
         assert self._loop is not None
         future: asyncio.Future = self._loop.create_future()
-        self._pending.append((facts, future))
-        pending_facts = sum(len(f) for f, _ in self._pending)
+        self._pending.append((facts, future, sctx))
+        pending_facts = sum(len(f) for f, _, _ in self._pending)
         if pending_facts >= self.batch_max:
             if self._flush_handle is not None:
                 self._flush_handle.cancel()
@@ -352,31 +441,80 @@ class TemporalAggregateServer:
         batch, self._pending = self._pending, []
         if not batch:
             return
-        all_facts = [fact for facts, _ in batch for fact in facts]
+        all_facts = [fact for facts, _, _ in batch for fact in facts]
         self.registry.counter("service.batch.flushes").inc()
         self.registry.histogram(
             "service.batch.size", bounds=(1, 2, 5, 10, 20, 50, 100, 200, 500)
         ).record(len(all_facts))
+        # One flush serves several requests; its shard/tree spans are
+        # recorded once (trace-agnostically) and replayed under every
+        # sampled participant's trace after the apply.
+        participants = [sctx for _, _, sctx in batch if sctx is not None]
+        collector = (
+            trace.SpanCollector() if trace.TRACING and participants else None
+        )
+        assert self._loop is not None
+        started = self._loop.time()
         try:
-            await self._run(self.sharded.batch_insert, all_facts)
+            if collector is not None:
+                await self._run(self._apply_recorded, all_facts, collector)
+            else:
+                await self._run(self.sharded.batch_insert, all_facts)
         except Exception as exc:
-            for _, future in batch:
+            self._replay_flush(collector, participants, batch, started)
+            for _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             # The exception now belongs to the waiters; if several share
             # it, asyncio would warn about unretrieved futures otherwise.
-            for _, future in batch:
+            for _, future, _ in batch:
                 if future.done():
                     future.exception()
         else:
-            for _, future in batch:
+            self._replay_flush(collector, participants, batch, started)
+            for _, future, _ in batch:
                 if not future.done():
                     future.set_result(True)
 
-    # ------------------------------------------------------------------
-    async def _run(self, fn, *args):
-        """Run a blocking tree operation in the service thread pool."""
+    def _apply_recorded(self, facts, collector) -> int:
+        with collector.recording():
+            return self.sharded.batch_insert(facts)
+
+    def _replay_flush(self, collector, participants, batch, started) -> None:
+        if collector is None:
+            return
         assert self._loop is not None
+        wall_us = (self._loop.time() - started) * 1e6
+        all_facts = sum(len(facts) for facts, _, _ in batch)
+        for index, sctx in enumerate(participants):
+            flush_ctx = sctx.child()
+            trace.emit_span(
+                flush_ctx,
+                "service.flush",
+                wall_us,
+                attrs={
+                    "facts": all_facts,
+                    "requests": len(batch),
+                    "shared": index > 0,
+                },
+            )
+            # Durations fold into the registry histograms once, not once
+            # per participant sharing the flush.
+            collector.replay(flush_ctx, fold=index == 0)
+
+    # ------------------------------------------------------------------
+    async def _run(self, fn, *args, ctx: Optional[trace.TraceContext] = None):
+        """Run a blocking tree operation in the service thread pool.
+
+        ``ctx``, when given, is activated as the executor thread's trace
+        context for the duration of the call, so spans the operation
+        opens become children of the request's server span.
+        """
+        assert self._loop is not None
+        if ctx is not None:
+            return await self._loop.run_in_executor(
+                self._executor, trace.wrap(ctx, fn, *args)
+            )
         return await self._loop.run_in_executor(self._executor, fn, *args)
 
 

@@ -52,6 +52,7 @@ from .core.intervals import Interval, NEG_INF, POS_INF, Time, is_finite
 from .core.results import ConstantIntervalTable, trim_initial
 from .core.sbtree import IntervalLike, SBTree, as_interval
 from .core.values import AggregateSpec, spec_for
+from .obs import stores_of, trace
 
 __all__ = [
     "ShardRouter",
@@ -289,9 +290,20 @@ class ShardedTree:
             pieces = by_shard[index]
             shard = self.shards[index]
             self._crash_point(index)
-            with shard.lock.write_locked(shard.write_timeout):
-                for value, piece in pieces:
-                    shard.tree.insert(value, piece)
+            # One shard.apply span per touched shard (covers the lock
+            # wait), with the batched tree inserts as its single tree-op
+            # child -- the per-shard leaf the trace tree promises.
+            with trace.span(
+                "shard.apply", attrs={"shard": index, "pieces": len(pieces)}
+            ):
+                with shard.lock.write_locked(shard.write_timeout):
+                    with trace.span(
+                        "tree.insert",
+                        stores_of(shard.tree),
+                        attrs={"shard": index, "pieces": len(pieces)},
+                    ):
+                        for value, piece in pieces:
+                            shard.tree.insert(value, piece)
         with self._counts_lock:
             self.facts_applied += len(facts)
             for index, pieces in by_shard.items():
@@ -312,7 +324,9 @@ class ShardedTree:
     # ------------------------------------------------------------------
     def lookup(self, t: Time) -> Any:
         """Internal aggregate value at instant *t* (one shard touched)."""
-        return self.shards[self.router.shard_of(t)].lookup(t)
+        index = self.router.shard_of(t)
+        with trace.span("shard.lookup", attrs={"shard": index}):
+            return self.shards[index].lookup(t)
 
     def lookup_final(self, t: Time) -> Any:
         """User-facing aggregate value at instant *t*."""
@@ -332,7 +346,8 @@ class ShardedTree:
             clip = self.range_of(index).intersection(interval)
             if clip is None:
                 continue
-            rows.extend(self.shards[index].range_query(clip).rows)
+            with trace.span("shard.range_query", attrs={"shard": index}):
+                rows.extend(self.shards[index].range_query(clip).rows)
         return ConstantIntervalTable(rows)
 
     def range_of(self, index: int) -> Interval:

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from .codec import NodeCodec
 from .pager import _CRC, _FREE_LINK, _HEADER, _MAGIC, _VERSION, NO_PAGE, Pager
+from .. import obs
 from ..core.values import spec_for
 
 __all__ = ["Finding", "FsckReport", "fsck"]
@@ -613,7 +614,23 @@ def fsck(path: str, *, repair: bool = False) -> FsckReport:
     leftover journal is inspected rather than replayed and even files
     the pager would refuse to open produce a report instead of an
     exception.
+
+    When :mod:`repro.obs` is enabled, each run also bumps the
+    ``fsck.*`` registry counters (runs, pages scanned, errors found,
+    pages quarantined), so long-running audit loops are observable like
+    every other subsystem.
     """
+    report = _fsck(path, repair=repair)
+    obs.count("fsck.runs")
+    obs.count("fsck.pages_scanned", report.page_count)
+    obs.count("fsck.errors_found", len(report.errors()))
+    obs.count("fsck.pages_quarantined", len(report.quarantined))
+    if report.repaired:
+        obs.count("fsck.repairs")
+    return report
+
+
+def _fsck(path: str, *, repair: bool = False) -> FsckReport:
     report = FsckReport(path)
     if not os.path.exists(path):
         report.add("error", "missing-file", f"no such page file: {path!r}")
@@ -633,7 +650,7 @@ def fsck(path: str, *, repair: bool = False) -> FsckReport:
         if actions.repaired:
             # Re-audit so the main report reflects the repaired file
             # (quarantined pages are fenced off, not fresh errors).
-            post = fsck(path, repair=False)
+            post = _fsck(path, repair=False)
             post.repaired = True
             post.unrepairable = actions.unrepairable
             post.findings = actions.findings + post.findings

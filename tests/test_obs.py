@@ -48,16 +48,34 @@ class TestHistogram:
         # <=10: {1, 10}; <=20: {11, 19}; <=50: {}; inf: {100}
         assert h.counts == [2, 2, 0, 1]
 
-    def test_quantiles_are_bucket_bounds(self):
+    def test_quantiles_interpolate_within_buckets(self):
         h = obs.Histogram("lat", bounds=[10, 20, 50])
         for v in (1, 10, 11, 19, 100):
             h.record(v)
         # target = q * count; buckets hold {1,10} | {11,19} | {} | {100}
         assert h.quantile(0.4) == 10
-        assert h.quantile(0.5) == 20  # the 3rd sample (11) is in <=20
+        # The 3rd sample lands in (10, 20]: half of that bucket's mass,
+        # so the estimate is the bucket midpoint -- not its upper edge.
+        assert h.quantile(0.5) == pytest.approx(12.5)
         assert h.quantile(0.8) == 20
-        # The overflow bucket reports the observed max, not infinity.
+        # The overflow bucket is clamped to the observed max.
         assert h.quantile(1.0) == 100
+
+    def test_quantile_clamps_to_observed_range(self):
+        h = obs.Histogram("lat", bounds=[10, 20, 50])
+        h.record(42)
+        # One sample in (20, 50]: every quantile is that sample's
+        # bucket, clamped between observed min and max.
+        for q in (0.1, 0.5, 1.0):
+            assert 20 < h.quantile(q) <= 42
+
+    def test_to_dict_exposes_bucket_bounds(self):
+        h = obs.Histogram("lat", bounds=[10, 20])
+        h.record(5)
+        h.record(1000)
+        d = h.to_dict()
+        assert d["bounds"] == [10, 20, "inf"]
+        assert d["buckets"] == {10: 1, "inf": 1}
 
     def test_empty_histogram(self):
         h = obs.Histogram("lat")

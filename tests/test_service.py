@@ -322,3 +322,71 @@ class TestLifecycle:
             sock.sendall(protocol.encode_frame({"op": "ping", "id": "a1"}))
             reply = protocol.recv_frame_blocking(sock)
             assert reply["id"] == "a1" and reply["result"] == "pong"
+
+
+class TestServerErrors:
+    """Unhandled server-side exceptions become structured replies."""
+
+    def test_unhandled_exception_is_server_error(self, sum_server):
+        handle, sharded = sum_server
+
+        def explode(t):
+            raise RuntimeError("kaboom")
+
+        sharded.lookup_final = explode
+        with client_for(handle, retries=0) as svc:
+            with pytest.raises(ServiceError) as info:
+                svc.lookup(5)
+            assert info.value.type == protocol.ERR_SERVER
+            assert "RuntimeError" in str(info.value)
+            assert "kaboom" in str(info.value)
+            # The connection survives: the error was a reply, not a drop.
+            assert svc.ping()
+            stats = svc.stats()
+            assert stats["counters"]["service.errors"] >= 1
+
+    def test_unserializable_reply_is_server_error(self, sum_server):
+        handle, sharded = sum_server
+        sharded.lookup_final = lambda t: {1, 2, 3}  # a set: not JSON
+        with client_for(handle, retries=0) as svc:
+            with pytest.raises(ServiceError) as info:
+                svc.lookup(5)
+            assert info.value.type == protocol.ERR_SERVER
+            assert "not serializable" in str(info.value)
+            assert svc.ping()
+
+    def test_server_error_carries_trace_id_when_tracing(self, sum_server):
+        import io
+
+        from repro import obs
+        from repro.obs import trace
+
+        handle, sharded = sum_server
+
+        def explode(t):
+            raise RuntimeError("traced failure")
+
+        sharded.lookup_final = explode
+        buf = io.StringIO()
+        trace.enable(obs.TraceSink(buf), sample=1.0)
+        try:
+            with client_for(handle, retries=0) as svc:
+                with pytest.raises(ServiceError) as info:
+                    svc.lookup(5)
+        finally:
+            trace.disable()
+        assert info.value.type == protocol.ERR_SERVER
+        assert info.value.trace_id is not None
+        # The id in the error matches the trace the client emitted.
+        emitted = {json.loads(line)["trace_id"]
+                   for line in buf.getvalue().splitlines()}
+        assert info.value.trace_id in emitted
+
+    def test_error_without_tracing_has_no_trace_id(self, sum_server):
+        handle, sharded = sum_server
+        sharded.lookup_final = lambda t: (_ for _ in ()).throw(ValueError("x"))
+        with client_for(handle, retries=0) as svc:
+            with pytest.raises(ServiceError) as info:
+                svc.lookup(5)
+        assert info.value.type == protocol.ERR_SERVER
+        assert info.value.trace_id is None
