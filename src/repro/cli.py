@@ -401,7 +401,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         os.makedirs(args.paged, exist_ok=True)
         stores = [
             PagedNodeStore(
-                os.path.join(args.paged, f"shard-{i}.sbt"), args.kind
+                os.path.join(args.paged, f"shard-{i}.sbt"),
+                args.kind,
+                journaled=args.journal,
             )
             for i in range(num)
         ]
@@ -437,6 +439,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         batch_delay=args.batch_delay,
         health_interval=args.health_interval,
+        max_inflight=args.max_inflight,
+        dedup_window=args.dedup_window,
         # Under --trace the CLI registry already folds span durations;
         # sharing it makes the stats op serve them too.
         registry=obs.get_registry() if obs.is_enabled() else None,
@@ -666,6 +670,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--csv", help="seed facts from value,start,end CSV")
     p_serve.add_argument("--paged", metavar="DIR",
                          help="persist each shard as DIR/shard-<i>.sbt")
+    p_serve.add_argument("--journal", action="store_true",
+                         help="journal shard page files (with --paged): "
+                         "group commits become durable and the dedup "
+                         "window survives restarts")
+    p_serve.add_argument("--dedup-window", type=int, default=128,
+                         help="remembered idempotency replies per client")
+    p_serve.add_argument("--max-inflight", type=int, default=256,
+                         help="admission-control bound on concurrent "
+                         "requests (excess gets ERR_OVERLOADED)")
     p_serve.add_argument("--batch-max", type=int, default=64,
                          help="group-commit flush threshold in facts")
     p_serve.add_argument("--batch-delay", type=float, default=0.002,

@@ -32,6 +32,10 @@ all of those:
 * :func:`simulate_crash` -- abandon a store/pager's file handles the way
   a dying process would (no commit, no header write-back, no journal
   cleanup), so the recovery path can be exercised by reopening the file.
+* :func:`derive_rng` -- deterministic child RNGs for the package's other
+  randomized fault sources (the :mod:`repro.service.chaos` network
+  proxy, the service client's retry jitter), so every chaos run is
+  reproducible from one root seed.
 
 Every injected fault is counted (:attr:`FaultInjector.injected`) and,
 when :mod:`repro.obs` collection is enabled, mirrored into the active
@@ -46,6 +50,7 @@ sweep in :mod:`repro.crashcheck` reproducible.
 from __future__ import annotations
 
 import errno
+import random
 import time
 from typing import Any, Dict, Optional, Tuple
 
@@ -54,8 +59,22 @@ from . import obs
 __all__ = [
     "FaultInjector",
     "SimulatedCrash",
+    "derive_rng",
     "simulate_crash",
 ]
+
+
+def derive_rng(seed: Any, *streams: Any) -> random.Random:
+    """A deterministic child RNG for one named fault stream.
+
+    Every randomized fault source in the package -- the network chaos
+    proxy's per-connection plans, the service client's retry jitter --
+    derives its generator here, so a run is reproducible from one root
+    seed: ``derive_rng(seed, "conn", 3)`` yields the same stream on
+    every run, independent of thread scheduling or wall clock.
+    """
+    key = ":".join(str(part) for part in (seed,) + streams)
+    return random.Random(key)
 
 
 class SimulatedCrash(RuntimeError):

@@ -12,10 +12,13 @@ full happy path a fresh checkout should support:
 5. boot the sharded TCP service on an ephemeral port, run a verified
    smoke workload through the blocking client, check its stats, and
    drain it cleanly (:mod:`repro.service`),
-6. run the observability-overhead gate (tracing disabled vs. a
+6. run a bounded end-to-end resilience check (exactly-once writes
+   through the chaos proxy against a SIGKILLed-and-restarted server,
+   via ``repro-rescheck --quick``) and write ``BENCH_resilience.json``,
+7. run the observability-overhead gate (tracing disabled vs. a
    hand-inlined baseline vs. tracing at 1% sampling; fails if the
    disabled path regresses) and write ``BENCH_trace_overhead.json``,
-7. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
+8. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
 
 Exit status is non-zero as soon as any stage fails, so this doubles as
 a cheap CI smoke target.
@@ -152,6 +155,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     _stage("sharded service smoke (ephemeral port, verified workload)")
     status = _service_smoke()
+    if status:
+        return status
+
+    _stage("resilience check (chaos proxy + server kill, rescheck --quick)")
+    from . import rescheck
+
+    rescheck_args = ["--quick"]
+    if args.out:
+        rescheck_args += ["--out", args.out]
+    status = rescheck.main(rescheck_args)
     if status:
         return status
 

@@ -1,0 +1,479 @@
+"""End-to-end resilience checking for the service layer.
+
+:mod:`repro.crashcheck` proves the *storage* contract (any crash
+instant, reopening yields the last commit).  This harness proves the
+*service* contract on top of it -- **every acked write is applied
+exactly once, durably** -- with no mocks anywhere in the path:
+
+1. A real :class:`~repro.service.server.TemporalAggregateServer` runs
+   in a *child process* (so it can be killed with ``SIGKILL``, not
+   politely cancelled), serving a single-shard SB-tree on a journaled
+   page file with idempotency dedup enabled.
+2. A :class:`~repro.service.chaos.ChaosProxy` sits between the clients
+   and the server, dropping, delaying, duplicating, and truncating
+   frames and killing connections, all seeded and counted.
+3. *Patient* exactly-once writers
+   (:func:`repro.service.loadgen.run_patient_writes`) drive inserts
+   through the proxy, retrying each write under its original
+   idempotency key until it is acked.
+4. Mid-run, the server process is SIGKILLed and restarted on the same
+   port -- the dedup window and the tree recover together from the
+   journaled page file.
+5. After the run, the page file is reopened directly (triggering
+   journal rollback, exactly as crashcheck does) and the recovered
+   tree must equal the :mod:`repro.core.reference` oracle over the
+   *acked* facts -- every acked write present exactly once, every
+   unacked duplicate absent -- and pass the full structural audit of
+   :func:`repro.core.validate.check_tree`.
+
+A double-applied retry shows up as a SUM mismatch; a lost acked write
+shows up the same way; dedup state that failed to survive the restart
+shows up as a double apply on the post-restart retries.  The summary
+is written as ``BENCH_resilience.json``.
+
+Run it from the command line (also installed as ``repro-rescheck``)::
+
+    python -m repro.rescheck                # full chaos sweep + 1 kill
+    python -m repro.rescheck --quick        # bounded variant for CI
+    python -m repro.rescheck --seed 7 --writes 800 --kill-after 4
+
+Exit status is non-zero if any acked write was lost or double-applied,
+if any write never acked, or if the run injected fewer faults /
+restarts than required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import benchlib
+from .core import reference
+from .core.sbtree import SBTree
+from .core.validate import check_tree
+from .service.chaos import ChaosPlan, ChaosProxy
+from .service.client import ServiceClient
+from .service.loadgen import PatientWriteResult, run_patient_writes
+from .sharding import ShardedTree
+from .storage import PagedNodeStore
+
+__all__ = ["RescheckResult", "run_rescheck", "main"]
+
+_KIND = "sum"
+_SPAN = (0, 100_000)
+
+#: Default chaos plan: duplication-heavy (duplicates are cheap to
+#: inject and exercise both dedup directions), with enough drops,
+#: delays, truncations, and kills to cover every retry path.
+DEFAULT_PLAN = ChaosPlan(
+    drop=0.01,
+    delay=0.04,
+    delay_range=(0.001, 0.015),
+    duplicate=0.22,
+    truncate=0.004,
+    kill=0.002,
+)
+
+
+# ----------------------------------------------------------------------
+# Child process: the killable server
+# ----------------------------------------------------------------------
+def _serve_child(args: argparse.Namespace) -> int:
+    """Entry point of the ``--serve-child`` subprocess.
+
+    Opens (or reopens, after a kill) the journaled page file, restores
+    the dedup window from its header metadata, and serves until killed.
+    """
+    from .service.server import TemporalAggregateServer
+
+    store = PagedNodeStore(args.path, _KIND, journaled=True)
+    sharded = ShardedTree(_KIND, [], stores=[store])
+
+    async def run() -> None:
+        server = TemporalAggregateServer(
+            sharded,
+            host="127.0.0.1",
+            port=args.port,
+            batch_max=args.batch_max,
+            batch_delay=args.batch_delay,
+            dedup_window=256,
+        )
+        await server.start()
+        sys.stdout.write(f"READY {server.port}\n")
+        sys.stdout.flush()
+        await server.serve_forever()
+
+    asyncio.run(run())
+    return 0
+
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_server(
+    path: str, port: int, *, batch_max: int, batch_delay: float
+) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.rescheck",
+            "--serve-child",
+            "--path",
+            path,
+            "--port",
+            str(port),
+            "--batch-max",
+            str(batch_max),
+            "--batch-delay",
+            str(batch_delay),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    return proc
+
+
+def _wait_ready(port: int, proc: subprocess.Popen, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server child exited early with code {proc.returncode}"
+            )
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=1.0, retries=0) as svc:
+                if svc.ping():
+                    return
+        except Exception:
+            time.sleep(0.05)
+    raise RuntimeError(f"server on port {port} not ready within {timeout}s")
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+@dataclass
+class RescheckResult:
+    """Outcome of one end-to-end resilience run."""
+
+    ok: bool = False
+    detail: str = ""
+    seed: int = 0
+    duration_s: float = 0.0
+    injected: Dict[str, int] = field(default_factory=dict)
+    total_injected: int = 0
+    min_faults: int = 0
+    restarts: int = 0
+    proxy_connections: int = 0
+    writes: Optional[PatientWriteResult] = None
+    recovered_rows: int = 0
+
+    def extra(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "ok": self.ok,
+            "detail": self.detail,
+            "seed": self.seed,
+            "kind": _KIND,
+            "duration_s": round(self.duration_s, 6),
+            "faults": {
+                "injected": dict(self.injected),
+                "total": self.total_injected,
+                "required": self.min_faults,
+            },
+            "server_restarts": self.restarts,
+            "proxy_connections": self.proxy_connections,
+            "recovered_rows": self.recovered_rows,
+        }
+        if self.writes is not None:
+            payload["writes"] = self.writes.extra()
+        return payload
+
+    def series(self) -> benchlib.Series:
+        series = benchlib.Series("run", [1])
+        series.add("faults_injected", [self.total_injected])
+        series.add("server_restarts", [self.restarts])
+        if self.writes is not None:
+            series.add("acked_writes", [self.writes.acked])
+            series.add("attempts", [self.writes.attempts])
+            series.add("duplicate_acks", [self.writes.duplicate_acks])
+        return series
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        w = self.writes
+        lines = [
+            f"rescheck: {status} seed={self.seed}"
+            f" duration={self.duration_s:.1f}s",
+            f"  faults injected: {self.total_injected}"
+            f" (need >= {self.min_faults}): "
+            + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.injected.items())
+            ),
+            f"  server kills+restarts: {self.restarts}",
+        ]
+        if w is not None:
+            lines.append(
+                f"  writes: {w.acked} acked in {w.attempts} attempts,"
+                f" {w.duplicate_acks} duplicate acks,"
+                f" {w.transport_errors} transport errors,"
+                f" {w.retryable_rejections} retryable rejections,"
+                f" {w.unacked} unacked"
+            )
+        lines.append(
+            f"  recovered tree: {self.recovered_rows} rows"
+            + (f" -- {self.detail}" if self.detail else "")
+        )
+        return "\n".join(lines)
+
+
+def _verify_final(
+    path: str, facts: List[Tuple[Any, Tuple[int, int]]]
+) -> Tuple[bool, str, int]:
+    """Reopen the page file (journal rollback) and diff vs the oracle."""
+    try:
+        store = PagedNodeStore(path, _KIND, journaled=True)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the run
+        return False, f"final reopen failed: {exc!r}", 0
+    try:
+        tree = SBTree(store=store)
+        recovered = tree.to_table()
+        want = reference.instantaneous_table(facts, _KIND)
+        if recovered != want:
+            return (
+                False,
+                f"recovered table diverges from the acked-facts oracle "
+                f"({len(facts)} acked facts, {len(recovered)} recovered "
+                f"rows vs {len(want)} expected) -- an acked write was "
+                f"lost or applied more than once",
+                len(recovered),
+            )
+        check_tree(tree)
+        return True, "", len(recovered)
+    except Exception as exc:  # noqa: BLE001
+        return False, f"recovered tree is unusable: {exc!r}", 0
+    finally:
+        try:
+            store.close()
+        except Exception:  # noqa: BLE001 - best effort
+            pass
+
+
+def run_rescheck(
+    *,
+    seed: int = 0,
+    connections: int = 4,
+    writes_per_connection: int = 250,
+    plan: Optional[ChaosPlan] = None,
+    kill_after: float = 2.5,
+    restarts: int = 1,
+    min_faults: int = 500,
+    client_timeout: float = 0.4,
+    give_up_after: float = 90.0,
+    batch_max: int = 16,
+    batch_delay: float = 0.002,
+    out_dir: Optional[str] = None,
+    workdir: Optional[str] = None,
+) -> RescheckResult:
+    """Run the full chaos + kill/restart + exactly-once verification.
+
+    Returns a :class:`RescheckResult`; ``ok`` requires *all* of:
+
+    * the recovered tree equals the acked-facts oracle (exactly once),
+    * it passes the structural audit,
+    * every write acked (no indeterminate outcomes left behind),
+    * at least ``min_faults`` faults were injected,
+    * the server was killed and restarted ``restarts`` times.
+    """
+    plan = plan or DEFAULT_PLAN
+    result = RescheckResult(seed=seed, min_faults=min_faults)
+    own_workdir = workdir is None
+    if own_workdir:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-rescheck-")
+        workdir = tmp.name
+    assert workdir is not None
+    path = os.path.join(workdir, "rescheck.sbt")
+    port = _free_port()
+    started = time.perf_counter()
+    proc = _spawn_server(path, port, batch_max=batch_max, batch_delay=batch_delay)
+    proxy: Optional[ChaosProxy] = None
+    try:
+        _wait_ready(port, proc)
+        proxy = ChaosProxy("127.0.0.1", port, plan=plan, seed=seed).start()
+
+        writes_done = threading.Event()
+        write_box: Dict[str, Any] = {}
+
+        def drive() -> None:
+            try:
+                write_box["result"] = run_patient_writes(
+                    proxy.host,
+                    proxy.port,
+                    connections=connections,
+                    writes_per_connection=writes_per_connection,
+                    span=_SPAN,
+                    seed=seed,
+                    timeout=client_timeout,
+                    give_up_after=give_up_after,
+                )
+            except BaseException as exc:  # noqa: BLE001
+                write_box["error"] = exc
+            finally:
+                writes_done.set()
+
+        writer = threading.Thread(target=drive, name="rescheck-drive", daemon=True)
+        writer.start()
+
+        # The kill schedule: SIGKILL the server mid-run, restart it on
+        # the same port, `restarts` times.  The patient writers ride
+        # through the outage; the dedup window rides through it in the
+        # page file header.
+        for _ in range(restarts):
+            if writes_done.wait(timeout=kill_after):
+                break  # run finished before this kill slot
+            proc.kill()
+            proc.wait()
+            result.restarts += 1
+            proc = _spawn_server(
+                path, port, batch_max=batch_max, batch_delay=batch_delay
+            )
+            _wait_ready(port, proc)
+
+        writer.join()
+        if "error" in write_box:
+            raise write_box["error"]
+        result.writes = write_box["result"]
+        result.proxy_connections = proxy.connections
+        result.injected = dict(proxy.injected)
+        result.total_injected = proxy.total_injected
+    finally:
+        if proxy is not None:
+            proxy.stop()
+        proc.kill()
+        proc.wait()
+        result.duration_s = time.perf_counter() - started
+
+    ok, detail, rows = _verify_final(path, result.writes.facts)
+    result.recovered_rows = rows
+    problems: List[str] = []
+    if not ok:
+        problems.append(detail)
+    if result.writes.unacked:
+        problems.append(
+            f"{result.writes.unacked} writes never acked (indeterminate)"
+        )
+    if result.total_injected < min_faults:
+        problems.append(
+            f"only {result.total_injected} faults injected"
+            f" (need >= {min_faults}); raise probabilities or write count"
+        )
+    if result.restarts < restarts:
+        problems.append(
+            f"only {result.restarts}/{restarts} server kills happened"
+            f" (run finished too fast; lower --kill-after)"
+        )
+    result.ok = not problems
+    result.detail = "; ".join(problems)
+
+    if out_dir is not None:
+        benchlib.write_bench_json(
+            out_dir, "resilience", result.series(), extra=result.extra()
+        )
+    if own_workdir:
+        tmp.cleanup()
+    return result
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-rescheck",
+        description="Drive exactly-once writes through a chaos proxy "
+        "against a SIGKILLed-and-restarted server; verify no acked "
+        "write is lost or double-applied.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--writes", type=int, default=250,
+                        help="writes per connection")
+    parser.add_argument("--kill-after", type=float, default=2.5,
+                        help="seconds before each server SIGKILL")
+    parser.add_argument("--restarts", type=int, default=1,
+                        help="number of kill+restart cycles")
+    parser.add_argument("--min-faults", type=int, default=500,
+                        help="fail unless at least this many faults injected")
+    parser.add_argument("--drop", type=float, default=DEFAULT_PLAN.drop)
+    parser.add_argument("--delay", type=float, default=DEFAULT_PLAN.delay)
+    parser.add_argument("--duplicate", type=float,
+                        default=DEFAULT_PLAN.duplicate)
+    parser.add_argument("--truncate", type=float,
+                        default=DEFAULT_PLAN.truncate)
+    parser.add_argument("--kill", type=float, default=DEFAULT_PLAN.kill)
+    parser.add_argument("--out", default=None,
+                        help="directory for BENCH_resilience.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="bounded variant for CI: fewer writes, "
+                        "lower fault floor")
+    # Child-process mode (internal).
+    parser.add_argument("--serve-child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--path", help=argparse.SUPPRESS)
+    parser.add_argument("--port", type=int, default=0, help=argparse.SUPPRESS)
+    parser.add_argument("--batch-max", type=int, default=16,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--batch-delay", type=float, default=0.002,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.serve_child:
+        if not args.path or not args.port:
+            parser.error("--serve-child needs --path and --port")
+        return _serve_child(args)
+
+    kwargs: Dict[str, Any] = dict(
+        seed=args.seed,
+        connections=args.connections,
+        writes_per_connection=args.writes,
+        kill_after=args.kill_after,
+        restarts=args.restarts,
+        min_faults=args.min_faults,
+        plan=ChaosPlan(
+            drop=args.drop,
+            delay=args.delay,
+            duplicate=args.duplicate,
+            truncate=args.truncate,
+            kill=args.kill,
+        ),
+        out_dir=args.out,
+        batch_max=args.batch_max,
+        batch_delay=args.batch_delay,
+    )
+    if args.quick:
+        kwargs.update(
+            connections=3,
+            writes_per_connection=60,
+            min_faults=30,
+            kill_after=1.0,
+            give_up_after=45.0,
+        )
+    result = run_rescheck(**kwargs)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

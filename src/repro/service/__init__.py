@@ -3,16 +3,25 @@
 The package splits along the wire:
 
 * :mod:`repro.service.protocol` -- length-prefixed JSON framing and the
-  request/reply/error vocabulary shared by both sides.
+  request/reply/error vocabulary shared by both sides, including the
+  idempotency-key and deadline fields of the resilience contract.
 * :mod:`repro.service.server` -- the asyncio TCP server
   (:class:`TemporalAggregateServer`) with group-commit write batching,
+  exactly-once idempotency dedup, admission control, deadline shedding,
   per-connection backpressure, and graceful drain, plus
   :class:`ServerHandle` for running it on a background thread.
+* :mod:`repro.service.dedup` -- the bounded per-client idempotency
+  window (:class:`DedupWindow`) and its journaled persistence format.
 * :mod:`repro.service.client` -- a small blocking
-  :class:`ServiceClient` with timeouts and bounded retries.
+  :class:`ServiceClient` with timeouts, safe exactly-once retries
+  (capped exponential backoff with jitter and a retry budget), and a
+  circuit breaker.
+* :mod:`repro.service.chaos` -- a deterministic frame-aware network
+  chaos proxy (:class:`ChaosProxy`) for the resilience harness.
 * :mod:`repro.service.loadgen` -- a closed-loop load generator that
   drives a running server and verifies replies against the in-process
-  reference oracle.
+  reference oracle, plus the patient exactly-once write driver used by
+  :mod:`repro.rescheck`.
 * :mod:`repro.service.top` -- the ``repro top`` live dashboard
   (pure rendering + a poll loop over the ``stats`` op).
 
@@ -21,9 +30,17 @@ Requests carry an optional ``trace`` field (see
 correlated span records for every sampled request.
 """
 
-from .client import ServiceClient, ServiceError, TransportError
+from .chaos import ChaosPlan, ChaosProxy
+from .client import (
+    CircuitOpenError,
+    ServiceClient,
+    ServiceError,
+    TransportError,
+)
+from .dedup import DedupWindow
 from .protocol import (
     ERR_BAD_REQUEST,
+    ERR_DEADLINE,
     ERR_FAULT,
     ERR_INTERNAL,
     ERR_OVERLOADED,
@@ -45,6 +62,10 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "TransportError",
+    "CircuitOpenError",
+    "DedupWindow",
+    "ChaosPlan",
+    "ChaosProxy",
     "ProtocolError",
     "FrameTooLarge",
     "MAX_FRAME",
@@ -53,6 +74,7 @@ __all__ = [
     "ERR_UNSUPPORTED",
     "ERR_FAULT",
     "ERR_TIMEOUT",
+    "ERR_DEADLINE",
     "ERR_OVERLOADED",
     "ERR_SHUTTING_DOWN",
     "ERR_INTERNAL",

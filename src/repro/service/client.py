@@ -1,13 +1,32 @@
 """A small blocking client for the temporal-aggregate service.
 
 Stdlib sockets, one request in flight per call (request/response), with
-per-call timeouts and bounded reconnect-and-retry.  Retries fire only
-on *transport* failures (connect refused, timeout, connection reset);
-a structured server error is raised once as :class:`ServiceError` and
-never retried.  Note the usual caveat: retrying a write whose reply was
-lost can apply it twice -- the service's write path is at-least-once
-under client retries, which is fine for the benchmark/test workloads
-this client serves (each fact is independently generated).
+per-call timeouts and bounded reconnect-and-retry.
+
+**Exactly-once writes.**  Every mutating request carries an idempotency
+key ``(client, seq)`` (see :mod:`repro.service.protocol`): the server
+applies each key at most once and replays the original reply for
+duplicates, so retrying a write whose reply was lost is *safe* -- it
+can never double-apply a fact, even through a chaos proxy that drops,
+duplicates, or truncates frames.  Callers that retry a logical write
+across ``_request`` failures themselves (the resilience loadgen does)
+must pass the same ``seq`` to every attempt; :meth:`ServiceClient.next_seq`
+hands out fresh ones.
+
+**Retries.**  Transport failures (connect refused, timeout, reset,
+mid-frame EOF) and the server's explicitly retryable rejections
+(``overloaded``, ``shutting_down``) are retried with capped exponential
+backoff and deterministic-seedable jitter, honoring the server's
+``retry_after`` hint and a per-call *retry budget* -- the total time a
+call may spend sleeping between attempts is bounded no matter how many
+retries are configured.  Any other structured server error is raised
+once as :class:`ServiceError` and never retried.
+
+**Circuit breaker.**  After ``circuit_threshold`` consecutive failed
+attempts the client stops hammering the server: calls fail fast with
+:class:`CircuitOpenError` until ``circuit_cooldown`` elapses, then one
+trial request half-opens the circuit (success closes it, failure
+re-opens it).
 
     from repro.service.client import ServiceClient
 
@@ -21,13 +40,26 @@ from __future__ import annotations
 
 import socket
 import time
+import uuid
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.intervals import Interval
+from ..faults import derive_rng
 from ..obs import trace
 from . import protocol as wire
 
-__all__ = ["ServiceClient", "ServiceError", "TransportError"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "TransportError",
+    "CircuitOpenError",
+]
+
+#: Server rejections that are safe and sensible to retry: the request
+#: was not applied (overload shedding happens before the write queue;
+#: drain rejections happen before enqueue), and with idempotency keys a
+#: lost-reply retry is deduplicated server-side anyway.
+RETRYABLE_ERRORS = frozenset({wire.ERR_OVERLOADED, wire.ERR_SHUTTING_DOWN})
 
 
 class ServiceError(RuntimeError):
@@ -35,24 +67,33 @@ class ServiceError(RuntimeError):
 
     ``trace_id`` is populated from the error object when the server ran
     the failed request under a trace (``server_error`` replies carry
-    it), else None.
+    it); ``retry_after`` from overload/drain rejections.
     """
 
     def __init__(
-        self, err_type: str, message: str, trace_id: Optional[str] = None
+        self,
+        err_type: str,
+        message: str,
+        trace_id: Optional[str] = None,
+        retry_after: Optional[float] = None,
     ) -> None:
         super().__init__(f"[{err_type}] {message}")
         self.type = err_type
         self.message = message
         self.trace_id = trace_id
+        self.retry_after = retry_after
 
 
 class TransportError(ConnectionError):
-    """Could not complete a request after the configured retries."""
+    """Could not complete a request within the retry/budget bounds."""
+
+
+class CircuitOpenError(TransportError):
+    """Failing fast: the client's circuit breaker is open."""
 
 
 class ServiceClient:
-    """Blocking request/response client with timeouts and retries."""
+    """Blocking request/response client with timeouts and safe retries."""
 
     def __init__(
         self,
@@ -62,14 +103,37 @@ class ServiceClient:
         timeout: float = 5.0,
         retries: int = 2,
         retry_backoff: float = 0.05,
+        retry_backoff_max: float = 2.0,
+        retry_budget: float = 5.0,
+        circuit_threshold: int = 8,
+        circuit_cooldown: float = 0.5,
+        client_id: Optional[str] = None,
+        jitter_seed: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self.retry_budget = retry_budget
+        self.circuit_threshold = circuit_threshold
+        self.circuit_cooldown = circuit_cooldown
+        #: Idempotency identity: unique per client instance by default.
+        self.client_id = client_id or uuid.uuid4().hex[:16]
+        #: Deadline stamped on every request (ms), or None.
+        self.deadline_ms = deadline_ms
+        self._rng = (
+            derive_rng(jitter_seed, "client", self.client_id)
+            if jitter_seed is not None
+            else derive_rng(uuid.uuid4().hex)
+        )
         self._sock: Optional[socket.socket] = None
         self._next_id = 0
+        self._seq = 0
+        self._failures = 0  # consecutive failed attempts
+        self._open_until: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Transport
@@ -90,9 +154,75 @@ class ServiceClient:
             finally:
                 self._sock = None
 
+    # ------------------------------------------------------------------
+    # Retry machinery
+    # ------------------------------------------------------------------
+    def backoff_delay(self, attempt: int, hint: Optional[float] = None) -> float:
+        """Sleep before retry *attempt* (1-based): capped exponential,
+        jittered to [0.5x, 1.0x], floored at the server's ``retry_after``
+        hint when one was given."""
+        delay = min(
+            self.retry_backoff * (2 ** (attempt - 1)), self.retry_backoff_max
+        )
+        delay *= 0.5 + 0.5 * self._rng.random()
+        if hint is not None:
+            delay = max(delay, float(hint))
+        return delay
+
+    def _check_circuit(self) -> None:
+        if self._open_until is None:
+            return
+        now = time.monotonic()
+        if now < self._open_until:
+            raise CircuitOpenError(
+                f"circuit open for {self._open_until - now:.2f}s more "
+                f"after {self._failures} consecutive failures"
+            )
+        # Half-open: admit one trial; a single failure re-opens.
+        self._open_until = None
+        self._failures = max(self.circuit_threshold - 1, 0)
+
+    def _note_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self.circuit_threshold:
+            self._open_until = time.monotonic() + self.circuit_cooldown
+
+    def _note_success(self) -> None:
+        self._failures = 0
+        self._open_until = None
+
+    @property
+    def circuit_open(self) -> bool:
+        return (
+            self._open_until is not None
+            and time.monotonic() < self._open_until
+        )
+
+    def _recv_reply(
+        self, sock, expect_id: Any, *, max_skip: int = 8
+    ) -> Optional[Dict[str, Any]]:
+        """Read frames until the reply matching *expect_id* arrives.
+
+        A chaos proxy may duplicate a request frame, producing an extra
+        reply; without id matching that stale reply would be taken as
+        the answer to the *next* request and desynchronize the stream.
+        """
+        for _ in range(max_skip + 1):
+            reply = wire.recv_frame_blocking(sock)
+            if reply is None:
+                return None
+            if reply.get("id") == expect_id:
+                return reply
+        raise wire.ProtocolError(
+            f"no reply with id {expect_id!r} within {max_skip + 1} frames"
+        )
+
     def _request(self, op: str, **fields: Any) -> Any:
+        self._check_circuit()
         self._next_id += 1
         message = {"op": op, "id": self._next_id, **fields}
+        if self.deadline_ms is not None and "deadline_ms" not in message:
+            message["deadline_ms"] = self.deadline_ms
         # The trace root: one client.request span covers the whole call,
         # retries included; the context rides in the frame so the server
         # hangs its spans below ours.  Unsampled requests carry nothing.
@@ -103,36 +233,61 @@ class ServiceClient:
         started = time.perf_counter()
         attempts = 0
         ok = False
+        slept = 0.0
+        hint: Optional[float] = None
         try:
             last_exc: Optional[Exception] = None
             for attempt in range(self.retries + 1):
                 attempts = attempt + 1
                 if attempt:
-                    time.sleep(self.retry_backoff * attempt)
+                    delay = self.backoff_delay(attempt, hint)
+                    if slept + delay > self.retry_budget:
+                        last_exc = last_exc or TransportError("retry budget spent")
+                        break
+                    slept += delay
+                    time.sleep(delay)
+                hint = None
                 try:
                     sock = self._connect()
                     sock.sendall(frame)
-                    reply = wire.recv_frame_blocking(sock)
+                    reply = self._recv_reply(sock, message["id"])
                 except (OSError, wire.ProtocolError) as exc:
                     self.close()
                     last_exc = exc
+                    self._note_failure()
                     continue
                 if reply is None:  # server hung up cleanly; retry
                     self.close()
                     last_exc = ConnectionError("server closed the connection")
+                    self._note_failure()
                     continue
                 if reply.get("ok"):
                     ok = True
+                    self._note_success()
                     return reply.get("result")
                 error = reply.get("error") or {}
-                raise ServiceError(
-                    error.get("type", "unknown"),
+                err_type = error.get("type", "unknown")
+                exc = ServiceError(
+                    err_type,
                     error.get("message", ""),
                     error.get("trace_id"),
+                    error.get("retry_after"),
                 )
+                if err_type in RETRYABLE_ERRORS:
+                    last_exc = exc
+                    hint = exc.retry_after
+                    self._note_failure()
+                    continue
+                # A definitive structured answer: the transport works.
+                self._note_success()
+                raise exc
+            if isinstance(last_exc, ServiceError):
+                # Out of retries on a retryable rejection: surface the
+                # server's own answer, not a transport wrapper.
+                raise last_exc
             raise TransportError(
-                f"request {op!r} failed after {self.retries + 1} attempts:"
-                f" {last_exc}"
+                f"request {op!r} failed after {attempts} attempts"
+                f" ({slept:.2f}s of backoff): {last_exc}"
             )
         finally:
             if ctx is not None:
@@ -149,16 +304,48 @@ class ServiceClient:
     def ping(self) -> bool:
         return self._request("ping") == "pong"
 
-    def insert(self, value: Any, start, end) -> int:
-        """Insert one fact; returns once its group commit applied."""
-        return self._request("insert", value=value, start=start, end=end)[
-            "applied"
-        ]
+    def next_seq(self) -> int:
+        """Allocate the idempotency sequence number for one logical write.
 
-    def batch_insert(self, facts: Iterable[Sequence[Any]]) -> int:
-        """Insert ``[value, start, end]`` triples in one request."""
+        Callers managing their own retry loops allocate the seq *once*
+        and pass it to every attempt of that write.
+        """
+        self._seq += 1
+        return self._seq
+
+    def insert(self, value: Any, start, end, *, seq: Optional[int] = None) -> int:
+        """Insert one fact exactly once; returns once its commit applied."""
+        return self.insert_result(value, start, end, seq=seq)["applied"]
+
+    def insert_result(
+        self, value: Any, start, end, *, seq: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Like :meth:`insert`, returning the full result dict.
+
+        The resilience harness reads the ``duplicate`` flag off it to
+        count how many acks were served by the server's dedup window.
+        """
+        return self._request(
+            "insert",
+            value=value,
+            start=start,
+            end=end,
+            client=self.client_id,
+            seq=self.next_seq() if seq is None else seq,
+        )
+
+    def batch_insert(
+        self, facts: Iterable[Sequence[Any]], *, seq: Optional[int] = None
+    ) -> int:
+        """Insert ``[value, start, end]`` triples in one idempotent request."""
         triples = [list(fact)[:3] for fact in facts]
-        return self._request("batch_insert", facts=triples)["applied"]
+        result = self._request(
+            "batch_insert",
+            facts=triples,
+            client=self.client_id,
+            seq=self.next_seq() if seq is None else seq,
+        )
+        return result["applied"]
 
     def lookup(self, t) -> Any:
         """Finalized aggregate value at instant *t*."""

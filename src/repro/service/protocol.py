@@ -23,6 +23,27 @@ of :class:`repro.obs.trace.TraceContext` -- propagates the client's
 trace into the server; servers ignore it when tracing is off and
 treat a malformed value as absent.
 
+Three further optional request fields carry the resilience contract:
+
+* ``"client"`` (non-empty string) and ``"seq"`` (positive integer) form
+  an *idempotency key* on mutating requests.  The server applies each
+  ``(client, seq)`` pair at most once and replays the original reply
+  for duplicates, with ``"duplicate": true`` added to the result -- a
+  client may therefore blindly retry a write whose reply was lost.
+  Sequence numbers must be monotonically increasing per client; keys
+  older than the server's dedup window are answered as duplicates with
+  ``"applied": 0`` (their original reply has been evicted).
+* ``"deadline_ms"`` (non-negative number) is the request's remaining
+  time budget in milliseconds, measured from the moment the frame is
+  read off the socket.  A server sheds the request with
+  ``ERR_DEADLINE`` if it expires before dispatch (e.g. while queued
+  behind admission control); a reply to an expired request would be
+  wasted work the client has already given up on.
+
+Overload rejections (``ERR_OVERLOADED``) and graceful-drain rejections
+(``ERR_SHUTTING_DOWN``) may carry ``"retry_after"`` (seconds) inside
+the error object -- a hint for the client's backoff.
+
 Replies::
 
     {"ok": true,  "result": ...}
@@ -61,6 +82,7 @@ __all__ = [
     "ERR_UNSUPPORTED",
     "ERR_FAULT",
     "ERR_TIMEOUT",
+    "ERR_DEADLINE",
     "ERR_OVERLOADED",
     "ERR_SHUTTING_DOWN",
     "ERR_INTERNAL",
@@ -79,6 +101,7 @@ ERR_UNKNOWN_OP = "unknown_op"
 ERR_UNSUPPORTED = "unsupported"
 ERR_FAULT = "fault_injected"
 ERR_TIMEOUT = "timeout"
+ERR_DEADLINE = "deadline_exceeded"
 ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_INTERNAL = "internal"
@@ -104,6 +127,10 @@ def encode_frame(message: Dict[str, Any]) -> bytes:
 def decode_length(header: bytes) -> int:
     """Parse and bound-check a 4-byte length prefix."""
     (length,) = _LEN.unpack(header)
+    # The wire format is unsigned, but callers holding an already-parsed
+    # int (tests, proxies) go through the same bound check.
+    if length < 0:
+        raise ProtocolError(f"negative frame length {length}")
     if length > MAX_FRAME:
         raise FrameTooLarge(f"frame of {length} bytes exceeds {MAX_FRAME}")
     return length
@@ -160,16 +187,20 @@ def error_reply(
     request: Optional[Dict[str, Any]] = None,
     *,
     trace_id: Optional[str] = None,
+    retry_after: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Build a structured error reply, echoing the request id if present.
 
     ``trace_id``, when given, lands inside the error object so a client
     (or an operator grepping the trace file) can join the failure with
-    its span records.
+    its span records.  ``retry_after`` (seconds) is the backoff hint
+    overload and drain rejections carry.
     """
     error: Dict[str, Any] = {"type": err_type, "message": message}
     if trace_id is not None:
         error["trace_id"] = trace_id
+    if retry_after is not None:
+        error["retry_after"] = retry_after
     reply: Dict[str, Any] = {"ok": False, "error": error}
     if request is not None and "id" in request:
         reply["id"] = request["id"]

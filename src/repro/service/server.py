@@ -23,13 +23,33 @@ never the loop.  The moving parts:
   injected fault, a shard lock timeout -- produces an ``{"ok": false,
   "error": {...}}`` reply on the same connection.  Only unframeable
   garbage closes the connection (after a best-effort error frame).
-* **Graceful drain.**  ``stop()`` closes the listener, flushes the
-  pending write batch, waits for in-flight requests to reply, and only
-  then closes connections.
+* **Exactly-once writes.**  Mutating requests may carry an idempotency
+  key ``(client, seq)``; applied keys are remembered in a
+  :class:`~repro.service.dedup.DedupWindow` and duplicates are answered
+  by replaying the original reply (``"duplicate": true``) instead of
+  re-applying -- blind client retries cannot double-count a SUM.  When
+  the shards are store-backed, the window is serialized into the page
+  file's header metadata *inside* the group commit, so dedup state and
+  tree data survive a crash-restart atomically.
+* **Durable acks.**  With store-backed shards, every group-commit flush
+  ends in :meth:`~repro.sharding.ShardedTree.commit` before the batch's
+  waiters are acknowledged: an acked write is on disk, mirroring the
+  pager's acked-write contract over the network.
+* **Overload protection.**  Admission control bounds the *global*
+  in-flight request count and bytes (``max_inflight`` /
+  ``max_inflight_bytes``); requests beyond the bound are rejected
+  immediately with ``ERR_OVERLOADED`` and a ``retry_after`` hint,
+  before they consume a queue slot.  Requests carrying ``deadline_ms``
+  are shed with ``ERR_DEADLINE`` if their budget expired while queued.
+* **Graceful drain.**  ``stop()`` closes the listener, flushes (and,
+  when durable, commits) the pending write batch, waits for in-flight
+  requests to reply, and only then closes connections.  Writes arriving
+  during the drain get ``ERR_SHUTTING_DOWN``.
 * **Observability.**  Per-op counters and latency histograms land in a
   :class:`~repro.obs.MetricsRegistry` under ``service.<op>.*`` (reusing
-  the ``op.*`` record machinery), plus ``service.batch.size`` and flush
-  counters; the ``stats`` op serves them to clients.
+  the ``op.*`` record machinery), plus ``service.batch.size``, flush,
+  dedup, overload, and deadline counters; the ``stats`` op serves them
+  to clients.
 """
 
 from __future__ import annotations
@@ -46,15 +66,45 @@ from ..faults import SimulatedCrash
 from ..obs import trace
 from ..obs.health import record_health, sharded_health
 from ..sharding import ShardedTree, ShardingError, WindowUnsupportedError
+from . import dedup as dedup_mod
 from . import protocol as wire
+from .dedup import DedupWindow
 
 __all__ = ["TemporalAggregateServer", "ServerHandle"]
+
+#: Header-metadata key the dedup window is persisted under.
+DEDUP_META_KEY = "service.dedup"
 
 
 def _number(value: Any, field: str) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise wire.ProtocolError(f"field {field!r} must be a number")
     return value
+
+
+class _Draining(Exception):
+    """A write arrived while the server is draining."""
+
+
+class _DeadlineExpired(Exception):
+    """A request's propagated deadline lapsed before dispatch."""
+
+
+class _CommitFailed(Exception):
+    """The batch applied but its durability commit failed."""
+
+
+def _idem_key(request: Dict[str, Any]) -> Optional[dedup_mod.IdemKey]:
+    """Validate and extract the request's idempotency key, if any."""
+    client = request.get("client")
+    seq = request.get("seq")
+    if client is None and seq is None:
+        return None
+    if not isinstance(client, str) or not client:
+        raise wire.ProtocolError("field 'client' must be a non-empty string")
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 1:
+        raise wire.ProtocolError("field 'seq' must be a positive integer")
+    return client, seq
 
 
 class TemporalAggregateServer:
@@ -71,6 +121,9 @@ class TemporalAggregateServer:
         queue_limit: int = 32,
         drain_timeout: float = 5.0,
         health_interval: float = 0.0,
+        max_inflight: int = 256,
+        max_inflight_bytes: int = 32 * 1024 * 1024,
+        dedup_window: int = 128,
         registry: Optional[obs.MetricsRegistry] = None,
         executor: Optional[ThreadPoolExecutor] = None,
     ) -> None:
@@ -78,6 +131,8 @@ class TemporalAggregateServer:
             raise ValueError("batch_max must be at least 1")
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
+        if max_inflight < 1 or max_inflight_bytes < 1:
+            raise ValueError("inflight bounds must be positive")
         self.sharded = sharded
         self.host = host
         self.port = port
@@ -86,6 +141,8 @@ class TemporalAggregateServer:
         self.queue_limit = queue_limit
         self.drain_timeout = drain_timeout
         self.health_interval = health_interval
+        self.max_inflight = max_inflight
+        self.max_inflight_bytes = max_inflight_bytes
         self.registry = registry if registry is not None else obs.MetricsRegistry()
         self._executor = executor or ThreadPoolExecutor(
             max_workers=max(4, sharded.num_shards + 2),
@@ -96,15 +153,32 @@ class TemporalAggregateServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._draining = False
         self._inflight: set = set()
+        self._inflight_bytes = 0
         self._connections: set = set()
         # Group-commit state (only touched from the event loop).  Each
         # entry carries the waiter's trace context (or None) so a flush
-        # can replay its spans under every sampled participant.
+        # can replay its spans under every sampled participant, plus the
+        # request's idempotency key (or None).
         self._pending: List[
-            Tuple[List[Tuple[Any, Interval]], asyncio.Future, Optional[trace.TraceContext]]
+            Tuple[
+                List[Tuple[Any, Interval]],
+                asyncio.Future,
+                Optional[trace.TraceContext],
+                Optional[dedup_mod.IdemKey],
+            ]
         ] = []
         self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._flush_lock: Optional[asyncio.Lock] = None
         self._health_task: Optional[asyncio.Task] = None
+        # Exactly-once state: applied keys, and keys whose batch is in
+        # flight (duplicates of those join the batch's future instead of
+        # enqueueing a second apply).
+        self._durable = sharded.durable
+        self._dedup = DedupWindow(per_client=dedup_window)
+        self._dedup_pending: Dict[dedup_mod.IdemKey, asyncio.Future] = {}
+        loaded = self._dedup.load(sharded.get_meta(DEDUP_META_KEY))
+        if loaded:
+            self.registry.counter("service.dedup.loaded").inc(loaded)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -112,6 +186,7 @@ class TemporalAggregateServer:
     async def start(self) -> None:
         """Bind and start accepting; ``self.port`` holds the real port."""
         self._loop = asyncio.get_running_loop()
+        self._flush_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -202,12 +277,37 @@ class TemporalAggregateServer:
                     break
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
+                arrival = asyncio.get_running_loop().time()
+                # Admission control: a request beyond the global bounds
+                # is rejected *now*, before it holds a queue slot --
+                # shedding load costs one error frame, not a thread or a
+                # growing queue.
+                if (
+                    len(self._inflight) >= self.max_inflight
+                    or self._inflight_bytes + length > self.max_inflight_bytes
+                ):
+                    self.registry.counter("service.overload.rejected").inc()
+                    await self._send(
+                        writer, write_lock,
+                        wire.error_reply(
+                            wire.ERR_OVERLOADED,
+                            f"server over capacity ({len(self._inflight)} "
+                            f"requests, {self._inflight_bytes} bytes in flight)",
+                            request,
+                            retry_after=self._retry_after(),
+                        ),
+                        request,
+                    )
+                    continue
                 await slots.acquire()  # backpressure: stop reading when full
                 task = asyncio.ensure_future(
-                    self._serve_request(request, writer, write_lock, slots)
+                    self._serve_request(request, writer, write_lock, slots, arrival)
                 )
                 self._inflight.add(task)
-                task.add_done_callback(self._inflight.discard)
+                self._inflight_bytes += length
+                task.add_done_callback(
+                    lambda t, n=length: self._request_done(t, n)
+                )
         finally:
             self._connections.discard(writer)
             self.registry.counter("service.connections.closed").inc()
@@ -215,6 +315,14 @@ class TemporalAggregateServer:
                 writer.close()
             except Exception:
                 pass
+
+    def _request_done(self, task, nbytes: int) -> None:
+        self._inflight.discard(task)
+        self._inflight_bytes -= nbytes
+
+    def _retry_after(self) -> float:
+        """Backoff hint for overload/drain rejections (seconds)."""
+        return max(4 * self.batch_delay, 0.05)
 
     async def _send(
         self, writer, write_lock, reply: Dict[str, Any], request=None
@@ -244,9 +352,13 @@ class TemporalAggregateServer:
             except ConnectionError:
                 pass
 
-    async def _serve_request(self, request, writer, write_lock, slots) -> None:
+    async def _serve_request(
+        self, request, writer, write_lock, slots, arrival=None
+    ) -> None:
         loop = asyncio.get_running_loop()
         started = loop.time()
+        if arrival is None:
+            arrival = started
         op = request.get("op")
         # The request's trace hop: a child of the client's span,
         # covering the whole server-side dispatch.  Spans inside the
@@ -258,7 +370,16 @@ class TemporalAggregateServer:
             if ctx_in is not None:
                 sctx = ctx_in.child()
         try:
+            self._check_deadline(request, arrival, loop)
             reply = await self._dispatch(request, sctx)
+        except _DeadlineExpired as exc:
+            self.registry.counter("service.deadline.shed").inc()
+            reply = wire.error_reply(wire.ERR_DEADLINE, str(exc), request)
+        except _Draining as exc:
+            reply = wire.error_reply(
+                wire.ERR_SHUTTING_DOWN, str(exc), request,
+                retry_after=self._retry_after(),
+            )
         except wire.ProtocolError as exc:
             reply = wire.error_reply(wire.ERR_BAD_REQUEST, str(exc), request)
         except (WindowUnsupportedError,) as exc:
@@ -309,15 +430,13 @@ class TemporalAggregateServer:
             return wire.ok_reply("pong", request)
         if op == "insert":
             facts = [self._fact(request)]
-            applied = await self._enqueue_write(facts, sctx)
-            return wire.ok_reply({"applied": applied}, request)
+            return await self._write_op(facts, request, sctx)
         if op == "batch_insert":
             raw = request.get("facts")
             if not isinstance(raw, list) or not raw:
                 raise wire.ProtocolError("batch_insert needs a non-empty 'facts' list")
             facts = [self._fact_from_triple(item) for item in raw]
-            applied = await self._enqueue_write(facts, sctx)
-            return wire.ok_reply({"applied": applied}, request)
+            return await self._write_op(facts, request, sctx)
         if op == "lookup":
             t = _number(request.get("t"), "t")
             value = await self._run(self.sharded.lookup_final, t, ctx=sctx)
@@ -340,6 +459,72 @@ class TemporalAggregateServer:
         return wire.error_reply(
             wire.ERR_UNKNOWN_OP, f"unknown op {raise_op}", request
         )
+
+    def _check_deadline(self, request, arrival, loop) -> None:
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is None:
+            return
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise wire.ProtocolError("field 'deadline_ms' must be a number")
+        waited_ms = (loop.time() - arrival) * 1e3
+        if waited_ms >= deadline_ms:
+            raise _DeadlineExpired(
+                f"deadline of {deadline_ms}ms expired after "
+                f"{waited_ms:.1f}ms on the server"
+            )
+
+    async def _write_op(
+        self,
+        facts: List[Tuple[Any, Interval]],
+        request: Dict[str, Any],
+        sctx: Optional[trace.TraceContext],
+    ) -> Dict[str, Any]:
+        """Apply a mutating request exactly once (per idempotency key)."""
+        idem = _idem_key(request)
+        if idem is not None:
+            replay = await self._check_duplicate(idem)
+            if replay is not None:
+                return wire.ok_reply(replay, request)
+        applied = await self._enqueue_write(facts, sctx, idem)
+        return wire.ok_reply({"applied": applied}, request)
+
+    async def _check_duplicate(
+        self, idem: dedup_mod.IdemKey
+    ) -> Optional[Dict[str, Any]]:
+        """Resolve a duplicate delivery, or return None for a fresh key.
+
+        A key whose original batch is still in flight *joins* that
+        batch's future rather than enqueueing a second apply (the
+        chaos proxy duplicates frames faster than a flush completes).
+        """
+        while True:
+            status, stored = self._dedup.lookup(*idem)
+            if status == dedup_mod.HIT:
+                self.registry.counter("service.dedup.replays").inc()
+                result = dict(stored) if isinstance(stored, dict) else {"applied": 0}
+                result["duplicate"] = True
+                return result
+            if status == dedup_mod.STALE:
+                # Applied, but the remembered reply has been evicted:
+                # still a duplicate, acknowledged without re-applying.
+                self.registry.counter("service.dedup.replays").inc()
+                self.registry.counter("service.dedup.evicted_replays").inc()
+                return {"applied": 0, "duplicate": True, "evicted": True}
+            pending = self._dedup_pending.get(idem)
+            if pending is None:
+                return None
+            self.registry.counter("service.dedup.joins").inc()
+            try:
+                await asyncio.shield(pending)
+            except Exception:
+                # The original apply failed (its own waiter carries the
+                # error); this duplicate re-enters as a fresh write.
+                return None
+            # The flush records applied keys before resolving futures,
+            # so the re-lookup now replays (or, if racing eviction,
+            # answers stale).
 
     def _fact(self, request: Dict[str, Any]) -> Tuple[Any, Interval]:
         value = request.get("value")
@@ -401,6 +586,16 @@ class TemporalAggregateServer:
                 "pending": len(self._pending),
                 "size": batch_size,
             },
+            "resilience": {
+                "durable": self._durable,
+                "dedup": self._dedup.stats(),
+                "inflight": len(self._inflight),
+                "inflight_bytes": self._inflight_bytes,
+                "limits": {
+                    "max_inflight": self.max_inflight,
+                    "max_inflight_bytes": self.max_inflight_bytes,
+                },
+            },
         }
 
     # ------------------------------------------------------------------
@@ -410,13 +605,16 @@ class TemporalAggregateServer:
         self,
         facts: List[Tuple[Any, Interval]],
         sctx: Optional[trace.TraceContext] = None,
+        idem: Optional[dedup_mod.IdemKey] = None,
     ) -> int:
         if self._draining:
-            raise ShardingError("server is draining; write rejected")
+            raise _Draining("server is draining; retry against the new instance")
         assert self._loop is not None
         future: asyncio.Future = self._loop.create_future()
-        self._pending.append((facts, future, sctx))
-        pending_facts = sum(len(f) for f, _, _ in self._pending)
+        self._pending.append((facts, future, sctx, idem))
+        if idem is not None:
+            self._dedup_pending[idem] = future
+        pending_facts = sum(len(f) for f, _, _, _ in self._pending)
         if pending_facts >= self.batch_max:
             if self._flush_handle is not None:
                 self._flush_handle.cancel()
@@ -438,54 +636,108 @@ class TemporalAggregateServer:
             self._loop.create_task(self._flush_batch())
 
     async def _flush_batch(self) -> None:
+        # Flushes are serialized: each one snapshots the dedup window
+        # into its commit payload, and two interleaved snapshots could
+        # otherwise persist each other's keys out of order.
+        assert self._flush_lock is not None
+        async with self._flush_lock:
+            await self._flush_batch_locked()
+
+    async def _flush_batch_locked(self) -> None:
         batch, self._pending = self._pending, []
         if not batch:
             return
-        all_facts = [fact for facts, _, _ in batch for fact in facts]
+        all_facts = [fact for facts, _, _, _ in batch for fact in facts]
         self.registry.counter("service.batch.flushes").inc()
         self.registry.histogram(
             "service.batch.size", bounds=(1, 2, 5, 10, 20, 50, 100, 200, 500)
         ).record(len(all_facts))
+        # The batch's own idempotency keys are serialized into the
+        # commit payload *before* the apply (dedup-before-ack): after a
+        # crash, a key is remembered iff its batch committed.  They are
+        # recorded in the in-memory window only after success.
+        idem_entries = [
+            (idem, {"applied": len(facts)})
+            for facts, _, _, idem in batch
+            if idem is not None
+        ]
+        payload = self._dedup.encode_with(idem_entries) if self._durable else None
         # One flush serves several requests; its shard/tree spans are
         # recorded once (trace-agnostically) and replayed under every
         # sampled participant's trace after the apply.
-        participants = [sctx for _, _, sctx in batch if sctx is not None]
+        participants = [sctx for _, _, sctx, _ in batch if sctx is not None]
         collector = (
             trace.SpanCollector() if trace.TRACING and participants else None
         )
         assert self._loop is not None
         started = self._loop.time()
         try:
-            if collector is not None:
-                await self._run(self._apply_recorded, all_facts, collector)
-            else:
-                await self._run(self.sharded.batch_insert, all_facts)
+            await self._run(self._apply_batch, all_facts, payload, collector)
+        except _CommitFailed as exc:
+            # The batch is applied in memory but its durability commit
+            # failed (disk fault): waiters get the error, yet the keys
+            # must be remembered -- a retry would otherwise double-apply
+            # against the still-running process.  The acked-means-
+            # durable contract is downgraded for these keys until the
+            # next successful commit persists them.
+            self.registry.counter("service.batch.commit_failures").inc()
+            self._record_batch(idem_entries, batch)
+            self._replay_flush(collector, participants, batch, started)
+            self._fail_batch(batch, exc.__cause__ or exc)
         except Exception as exc:
             self._replay_flush(collector, participants, batch, started)
-            for _, future, _ in batch:
-                if not future.done():
-                    future.set_exception(exc)
-            # The exception now belongs to the waiters; if several share
-            # it, asyncio would warn about unretrieved futures otherwise.
-            for _, future, _ in batch:
-                if future.done():
-                    future.exception()
+            for _, _, _, idem in batch:
+                if idem is not None:
+                    self._dedup_pending.pop(idem, None)
+            self._fail_batch(batch, exc)
         else:
+            if self._durable:
+                self.registry.counter("service.batch.commits").inc()
+            self._record_batch(idem_entries, batch)
             self._replay_flush(collector, participants, batch, started)
-            for _, future, _ in batch:
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.set_result(True)
 
-    def _apply_recorded(self, facts, collector) -> int:
-        with collector.recording():
-            return self.sharded.batch_insert(facts)
+    def _apply_batch(self, facts, payload, collector) -> int:
+        """Executor half of a flush: apply the batch, then commit it."""
+        if collector is not None:
+            with collector.recording():
+                applied = self.sharded.batch_insert(facts)
+        else:
+            applied = self.sharded.batch_insert(facts)
+        if self._durable:
+            meta = {DEDUP_META_KEY: payload} if payload is not None else None
+            try:
+                self.sharded.commit(meta)
+            except Exception as exc:
+                raise _CommitFailed(str(exc)) from exc
+        return applied
+
+    def _record_batch(self, idem_entries, batch) -> None:
+        """Remember the batch's applied keys; unregister their futures."""
+        for (client, seq), result in idem_entries:
+            self._dedup.record(client, seq, result)
+        for _, _, _, idem in batch:
+            if idem is not None:
+                self._dedup_pending.pop(idem, None)
+
+    def _fail_batch(self, batch, exc: BaseException) -> None:
+        for _, future, _, _ in batch:
+            if not future.done():
+                future.set_exception(exc)
+        # The exception now belongs to the waiters; if several share
+        # it, asyncio would warn about unretrieved futures otherwise.
+        for _, future, _, _ in batch:
+            if future.done():
+                future.exception()
 
     def _replay_flush(self, collector, participants, batch, started) -> None:
         if collector is None:
             return
         assert self._loop is not None
         wall_us = (self._loop.time() - started) * 1e6
-        all_facts = sum(len(facts) for facts, _, _ in batch)
+        all_facts = sum(len(facts) for facts, _, _, _ in batch)
         for index, sctx in enumerate(participants):
             flush_ctx = sctx.child()
             trace.emit_span(

@@ -424,6 +424,60 @@ class ShardedTree:
         for shard in self.shards:
             check_tree(shard.tree)
 
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        """Whether any shard store supports transactional commits."""
+        return any(
+            getattr(shard.tree.store, "commit", None) is not None
+            for shard in self.shards
+        )
+
+    def commit(self, meta: Optional[Dict[str, str]] = None) -> int:
+        """Commit every shard store that supports it; returns the count.
+
+        This is the service layer's group-commit durability point: the
+        server calls it after a write batch applied, *before* the
+        batch's waiters are acknowledged, so an acked write is durable.
+        ``meta`` entries are written into each store's header metadata
+        inside the same commit -- the pager journals the header page,
+        so metadata (the dedup window) and tree data are atomic per
+        store.  Stores without a ``commit`` method (in-memory shards)
+        are skipped.
+
+        Caveat: commits are per store.  A crash *between* two shard
+        commits can leave a spanning fact applied in a prefix of its
+        shards; single-store deployments (what ``repro-rescheck``
+        verifies) have no such window.
+        """
+        committed = 0
+        for shard in self.shards:
+            store = shard.tree.store
+            commit = getattr(store, "commit", None)
+            if commit is None:
+                continue
+            with shard.lock.write_locked(shard.write_timeout):
+                if meta:
+                    for key, value in meta.items():
+                        store.set_meta(key, value)
+                commit()
+            committed += 1
+        return committed
+
+    def get_meta(self, key: str) -> List[str]:
+        """Collect a metadata value from every shard store that has it."""
+        values: List[str] = []
+        for shard in self.shards:
+            get = getattr(shard.tree.store, "get_meta", None)
+            if get is None:
+                continue
+            value = get(key)
+            if value is not None:
+                values.append(value)
+        return values
+
     def close(self) -> None:
         """Close every shard's node store (no-op for in-memory stores)."""
         for shard in self.shards:
