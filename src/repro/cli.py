@@ -494,9 +494,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
     Prints the latency-percentile table and throughput summary, writes
     ``BENCH_service.json`` under ``--out``, and exits non-zero if any
-    reply disagreed with the reference oracle.
+    reply disagreed with the reference oracle.  ``--compare`` runs the
+    codec/pipeline-depth matrix instead (JSON depth-1 baseline vs
+    pipelined cells on both codecs) and records the speedup.
     """
-    from .service.loadgen import run_loadgen
+    from .service.loadgen import run_codec_comparison, run_loadgen
 
     span = None
     if args.lo is not None or args.hi is not None:
@@ -504,6 +506,31 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             raise SystemExit("error: pass both --lo and --hi, or neither")
         span = (_number(args.lo), _number(args.hi))
     try:
+        if args.compare:
+            summary = run_codec_comparison(
+                args.host,
+                args.port,
+                connections=args.connections,
+                ops_per_connection=args.ops,
+                span=span,
+                seed=args.seed,
+                out_dir=args.out,
+            )
+            for cell in summary["cells"]:
+                print(
+                    f"{cell.codec:6s} depth={cell.pipeline:3d}"
+                    f" tput={cell.throughput:9.1f} ops/s"
+                    f" errors={cell.errors}"
+                    f" verified={'OK' if cell.verified_ok else 'FAILED'}"
+                )
+            baseline = summary["baseline"]
+            print(
+                f"speedup vs {baseline.codec} depth={baseline.pipeline}:"
+                f" {summary['speedup']:.1f}x"
+            )
+            if args.out:
+                print(f"wrote {os.path.join(args.out, 'BENCH_service.json')}")
+            return 0 if all(c.verified_ok for c in summary["cells"]) else 1
         result = run_loadgen(
             args.host,
             args.port,
@@ -511,6 +538,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             ops_per_connection=args.ops,
             span=span,
             seed=args.seed,
+            codec=args.codec,
+            pipeline=args.pipeline,
             out_dir=args.out,
         )
     except ConnectionError as exc:
@@ -720,6 +749,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "from the server's shard boundaries)")
     p_loadgen.add_argument("--hi", help="workload span end")
     p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument("--codec", default="auto",
+                           choices=("auto", "binary", "json"),
+                           help="wire codec: auto negotiates binary and "
+                           "falls back to json (default auto)")
+    p_loadgen.add_argument("--pipeline", type=int, default=1,
+                           help="max in-flight requests per connection "
+                           "(default 1: one request at a time)")
+    p_loadgen.add_argument("--compare", action="store_true",
+                           help="run the codec/pipeline-depth comparison "
+                           "matrix instead of a single workload")
     p_loadgen.add_argument("--out", metavar="DIR",
                            help="write BENCH_service.json under DIR")
     p_loadgen.set_defaults(fn=cmd_loadgen)

@@ -12,13 +12,21 @@ full happy path a fresh checkout should support:
 5. boot the sharded TCP service on an ephemeral port, run a verified
    smoke workload through the blocking client, check its stats, and
    drain it cleanly (:mod:`repro.service`),
-6. run a bounded end-to-end resilience check (exactly-once writes
+6. run the wire-protocol speedup gate: a pipelined binary-codec
+   workload must beat the sequential JSON-codec baseline by a healthy
+   multiple (the full bench records ~5x or better; the gate uses a
+   conservative floor so CI noise cannot flake it),
+7. run a bounded end-to-end resilience check (exactly-once writes
    through the chaos proxy against a SIGKILLed-and-restarted server,
-   via ``repro-rescheck --quick``) and write ``BENCH_resilience.json``,
-7. run the observability-overhead gate (tracing disabled vs. a
+   on BOTH wire codecs, via ``repro-rescheck --quick --codec both``)
+   and write ``BENCH_resilience.json``,
+8. run the observability-overhead gate (tracing disabled vs. a
    hand-inlined baseline vs. tracing at 1% sampling; fails if the
    disabled path regresses) and write ``BENCH_trace_overhead.json``,
-8. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
+9. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
+
+``--quick`` bounds the run for CI: a smaller scratch index and no
+pytest stage (CI runs the suite as its own job).
 
 Exit status is non-zero as soon as any stage fails, so this doubles as
 a cheap CI smoke target.
@@ -109,12 +117,69 @@ def _service_smoke() -> int:
     return 0
 
 
+def _pipeline_gate(threshold: float = 2.5) -> int:
+    """Gate the wire-protocol win: pipelined binary vs sequential JSON.
+
+    The recorded benchmark (``repro loadgen --compare``) shows ~5x or
+    better; this gate uses a conservative floor so a noisy shared CI
+    runner cannot flake it, while still catching any regression that
+    collapses the pipelined binary path back toward the baseline.
+    """
+    from .service import ServerHandle
+    from .service.loadgen import run_loadgen
+    from .sharding import ShardedTree
+
+    span = (0, 1_000_000)
+    mix = {"insert": 0.5, "lookup": 0.5}
+    throughput = {}
+    for codec, pipeline, ops in (("json", 1, 150), ("binary", 32, 600)):
+        sharded = ShardedTree("sum", num_shards=4, span=span)
+        with ServerHandle.start(sharded) as handle:
+            res = run_loadgen(
+                handle.host,
+                handle.port,
+                connections=4,
+                ops_per_connection=ops,
+                span=span,
+                mix=mix,
+                seed=11,
+                codec=codec,
+                pipeline=pipeline,
+            )
+        if res.errors or not res.verified_ok:
+            print(
+                f"FAIL: {codec} depth={pipeline} run unhealthy"
+                f" (errors={res.errors}, verified_ok={res.verified_ok})"
+            )
+            return 1
+        throughput[codec] = res.throughput
+        print(
+            f"{codec:6s} depth={pipeline:2d}: {res.throughput:8.0f} ops/s"
+            f" ({res.total_ops} verified ops)",
+            flush=True,
+        )
+    speedup = throughput["binary"] / throughput["json"]
+    print(
+        f"pipelined-binary speedup over sequential JSON: {speedup:.1f}x"
+        f" (gate: >= {threshold:.1f}x)",
+        flush=True,
+    )
+    if speedup < threshold:
+        print("FAIL: wire-protocol speedup regressed below the gate")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-quickcheck", description=__doc__.splitlines()[0]
     )
     parser.add_argument(
         "--no-tests", action="store_true", help="skip the pytest stage"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="bounded CI variant: smaller scratch index, no pytest stage",
     )
     parser.add_argument(
         "-n", type=int, default=2000, help="tuples in the scratch index"
@@ -126,6 +191,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write BENCH_trace_overhead.json under DIR",
     )
     args = parser.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 1000)
 
     with tempfile.TemporaryDirectory(prefix="repro-quickcheck-") as scratch:
         csv_path = os.path.join(scratch, "facts.csv")
@@ -158,10 +225,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if status:
         return status
 
-    _stage("resilience check (chaos proxy + server kill, rescheck --quick)")
+    _stage("wire-protocol speedup gate (pipelined binary vs JSON)")
+    status = _pipeline_gate()
+    if status:
+        return status
+
+    _stage("resilience check (chaos + server kill, both codecs)")
     from . import rescheck
 
-    rescheck_args = ["--quick"]
+    rescheck_args = ["--quick", "--codec", "both"]
     if args.out:
         rescheck_args += ["--out", args.out]
     status = rescheck.main(rescheck_args)
@@ -179,7 +251,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("FAIL: instrumentation overhead on the disabled path")
         return 1
 
-    if args.no_tests:
+    if args.no_tests or args.quick:
         return 0
 
     _stage("unit tests (pytest -q)")

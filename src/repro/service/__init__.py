@@ -2,20 +2,25 @@
 
 The package splits along the wire:
 
-* :mod:`repro.service.protocol` -- length-prefixed JSON framing and the
+* :mod:`repro.service.protocol` -- the wire format: length-prefixed
+  frames carrying either a struct-packed binary codec (negotiated per
+  connection, version 1) or JSON (debugging / old clients), plus the
   request/reply/error vocabulary shared by both sides, including the
   idempotency-key and deadline fields of the resilience contract.
 * :mod:`repro.service.server` -- the asyncio TCP server
   (:class:`TemporalAggregateServer`) with group-commit write batching,
   exactly-once idempotency dedup, admission control, deadline shedding,
-  per-connection backpressure, and graceful drain, plus
-  :class:`ServerHandle` for running it on a background thread.
+  per-connection backpressure, inline read/write fast paths, and
+  graceful drain, plus :class:`ServerHandle` for running it on a
+  background thread.
 * :mod:`repro.service.dedup` -- the bounded per-client idempotency
   window (:class:`DedupWindow`) and its journaled persistence format.
-* :mod:`repro.service.client` -- a small blocking
-  :class:`ServiceClient` with timeouts, safe exactly-once retries
-  (capped exponential backoff with jitter and a retry budget), and a
-  circuit breaker.
+* :mod:`repro.service.client` -- a blocking, fully pipelined
+  :class:`ServiceClient`: many in-flight requests per connection with
+  out-of-order reply matching by request id, a background reader
+  thread, per-request futures, timeouts, safe exactly-once retries
+  (capped exponential backoff with jitter and a shrinking deadline
+  budget), and a circuit breaker.
 * :mod:`repro.service.chaos` -- a deterministic frame-aware network
   chaos proxy (:class:`ChaosProxy`) for the resilience harness.
 * :mod:`repro.service.loadgen` -- a closed-loop load generator that
@@ -39,6 +44,9 @@ from .client import (
 )
 from .dedup import DedupWindow
 from .protocol import (
+    BINARY_VERSION,
+    CODEC_BINARY,
+    CODEC_JSON,
     ERR_BAD_REQUEST,
     ERR_DEADLINE,
     ERR_FAULT,
@@ -50,6 +58,8 @@ from .protocol import (
     ERR_UNKNOWN_OP,
     ERR_UNSUPPORTED,
     MAX_FRAME,
+    SUPPORTED_CODECS,
+    ConnectionClosedMidFrame,
     FrameTooLarge,
     ProtocolError,
 )
@@ -68,7 +78,12 @@ __all__ = [
     "ChaosProxy",
     "ProtocolError",
     "FrameTooLarge",
+    "ConnectionClosedMidFrame",
     "MAX_FRAME",
+    "CODEC_BINARY",
+    "CODEC_JSON",
+    "SUPPORTED_CODECS",
+    "BINARY_VERSION",
     "ERR_BAD_REQUEST",
     "ERR_UNKNOWN_OP",
     "ERR_UNSUPPORTED",

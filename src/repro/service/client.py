@@ -1,7 +1,22 @@
-"""A small blocking client for the temporal-aggregate service.
+"""A pipelined blocking client for the temporal-aggregate service.
 
-Stdlib sockets, one request in flight per call (request/response), with
-per-call timeouts and bounded reconnect-and-retry.
+Stdlib sockets.  One connection carries **many in-flight requests**: a
+background reader thread matches reply frames to waiting callers by
+request id, so replies may arrive out of order (and stale or duplicated
+replies -- a chaos proxy can manufacture both -- are simply discarded
+when no caller is waiting on their id).  The synchronous methods
+(:meth:`ServiceClient.insert`, :meth:`~ServiceClient.lookup`, ...) send
+one request and wait for its reply; :meth:`ServiceClient.submit` sends
+without waiting and returns a :class:`ReplyFuture`, which is how a
+caller keeps a deep pipeline of requests in flight.
+
+**Codecs.**  By default (``codec="auto"``) a fresh connection sends a
+JSON ``hello`` offering the binary codec; servers that speak it switch
+the connection to struct-packed binary frames, old servers answer
+``unknown_op`` and the connection stays JSON.  ``codec="binary"``
+demands binary (raising :class:`ServiceError` if the server cannot);
+``codec="json"`` skips negotiation entirely -- the legacy wire format,
+useful against old servers and for debugging with a packet capture.
 
 **Exactly-once writes.**  Every mutating request carries an idempotency
 key ``(client, seq)`` (see :mod:`repro.service.protocol`): the server
@@ -20,7 +35,11 @@ backoff and deterministic-seedable jitter, honoring the server's
 ``retry_after`` hint and a per-call *retry budget* -- the total time a
 call may spend sleeping between attempts is bounded no matter how many
 retries are configured.  Any other structured server error is raised
-once as :class:`ServiceError` and never retried.
+once as :class:`ServiceError` and never retried.  A request carrying a
+``deadline_ms`` budget re-stamps the *remaining* budget on every
+attempt (elapsed time and backoff sleeps subtracted) and stops
+retrying once it reaches zero -- a retry cannot spend the caller's
+budget several times over.
 
 **Circuit breaker.**  After ``circuit_threshold`` consecutive failed
 attempts the client stops hammering the server: calls fail fast with
@@ -34,11 +53,15 @@ re-opens it).
         svc.insert(2, 10, 40)
         svc.lookup(19)                  # -> 2
         svc.rangeq(0, 50)               # -> [(2, Interval(10, 40)), ...]
+
+        futures = [svc.submit("lookup", t=t) for t in range(32)]
+        values = [f.result() for f in futures]   # 32 requests, 1 round trip
 """
 
 from __future__ import annotations
 
 import socket
+import threading
 import time
 import uuid
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -50,6 +73,7 @@ from . import protocol as wire
 
 __all__ = [
     "ServiceClient",
+    "ReplyFuture",
     "ServiceError",
     "TransportError",
     "CircuitOpenError",
@@ -92,8 +116,242 @@ class CircuitOpenError(TransportError):
     """Failing fast: the client's circuit breaker is open."""
 
 
+class _Pending:
+    """One in-flight request's reply slot (event-based future)."""
+
+    __slots__ = ("_event", "_reply", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reply: Optional[Dict[str, Any]] = None
+        self._error: Optional[BaseException] = None
+
+    def complete(self, reply: Dict[str, Any]) -> None:
+        self._reply = reply
+        self._event.set()
+
+    def fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    def wait(self, timeout: Optional[float]) -> Dict[str, Any]:
+        if not self._event.wait(timeout):
+            raise socket.timeout(f"no reply within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._reply is not None
+        return self._reply
+
+
+class _Connection:
+    """One socket with a background reader matching replies by id.
+
+    The reader thread owns the receive side; senders share the socket
+    under ``_send_lock``.  When the connection dies -- EOF, reset, a
+    protocol violation from the peer, or :meth:`close` -- it *shatters*:
+    every pending request fails with the same error and the connection
+    refuses new registrations, so no caller blocks on a reply that can
+    never arrive.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float) -> None:
+        sock = socket.create_connection((host, port), timeout=connect_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The reader blocks in recv indefinitely; per-request timeouts
+        # live on the waiting side (``_Pending.wait``), not the socket.
+        sock.settimeout(None)
+        self.sock = sock
+        #: Wire codec for frames sent on this connection; replies are
+        #: decoded by auto-detection, so flipping this after a ``hello``
+        #: is the entire client side of codec negotiation.
+        self.codec = wire.CODEC_JSON
+        self._send_lock = threading.Lock()
+        self._outbox = bytearray()
+        self._lock = threading.Lock()
+        self._pending: Dict[Any, _Pending] = {}
+        self._dead: Optional[BaseException] = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name="svc-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._dead is None
+
+    def register(self, request_id: Any) -> _Pending:
+        pending = _Pending()
+        with self._lock:
+            if self._dead is not None:
+                raise ConnectionError(
+                    f"connection already failed: {self._dead}"
+                ) from self._dead
+            self._pending[request_id] = pending
+        return pending
+
+    def forget(self, request_id: Any) -> None:
+        with self._lock:
+            self._pending.pop(request_id, None)
+
+    def send(self, frame: bytes, flush: bool = True) -> None:
+        """Queue one frame; ``flush=False`` corks it for a later burst.
+
+        Corking lets a pipelined caller pay one ``sendall`` system call
+        per burst instead of one per request; :meth:`flush` (or the
+        next flushing send) pushes the whole outbox at once.
+        """
+        with self._send_lock:
+            self._outbox += frame
+            if flush or len(self._outbox) >= 256 * 1024:
+                out, self._outbox = self._outbox, bytearray()
+                self.sock.sendall(out)
+
+    def flush(self) -> None:
+        with self._send_lock:
+            if self._outbox:
+                out, self._outbox = self._outbox, bytearray()
+                self.sock.sendall(out)
+
+    def _read_loop(self) -> None:
+        """Reader thread: chunked recv, frame parse, reply matching.
+
+        Reads large chunks into a local buffer instead of two ``recv``
+        calls per frame -- under pipelining a whole burst of replies
+        often arrives in one segment and costs one system call.
+        """
+        buf = bytearray()
+        recv = self.sock.recv
+        try:
+            while True:
+                chunk = recv(256 * 1024)
+                if not chunk:
+                    if buf:
+                        raise wire.ConnectionClosedMidFrame(
+                            "connection closed mid-frame"
+                        )
+                    raise ConnectionError("server closed the connection")
+                buf += chunk
+                offset = 0
+                buffered = len(buf)
+                while buffered - offset >= 4:
+                    length = int.from_bytes(buf[offset:offset + 4], "big")
+                    if length > wire.MAX_FRAME:
+                        raise wire.FrameTooLarge(
+                            f"frame of {length} bytes exceeds {wire.MAX_FRAME}"
+                        )
+                    if buffered - offset - 4 < length:
+                        break
+                    body = bytes(buf[offset + 4:offset + 4 + length])
+                    offset += 4 + length
+                    self._dispatch_reply(wire.decode_body(body))
+                if offset:
+                    del buf[:offset]
+        except BaseException as exc:  # noqa: BLE001 -- reaped via shatter
+            self._shatter(exc)
+
+    def _dispatch_reply(self, reply: Dict[str, Any]) -> None:
+        waiter: Optional[_Pending] = None
+        if "id" in reply:
+            with self._lock:
+                waiter = self._pending.pop(reply["id"], None)
+        if waiter is not None:
+            waiter.complete(reply)
+        # No waiter: a stale or duplicated reply (a chaos proxy can
+        # duplicate request frames) -- discard it; matching by id
+        # keeps the pipeline synchronized regardless.
+
+    def _shatter(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._dead is None:
+                self._dead = exc
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for waiter in pending:
+            waiter.fail(exc)
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._shatter(ConnectionError("client closed the connection"))
+
+
+class ReplyFuture:
+    """Handle to one pipelined request submitted with
+    :meth:`ServiceClient.submit`; :meth:`result` blocks for its reply."""
+
+    def __init__(
+        self,
+        client: "ServiceClient",
+        pending: _Pending,
+        op: str,
+        ctx,
+        started: float,
+    ) -> None:
+        self._client = client
+        self._pending = pending
+        self._op = op
+        self._ctx = ctx
+        self._started = started
+        self._done = False
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The request's result, or the error it failed with.
+
+        Raises :class:`ServiceError` for structured server errors and
+        :class:`TransportError` (or the underlying ``OSError``) when
+        the connection died before the reply arrived.  No retries: a
+        pipelined caller resubmits itself if it wants another attempt
+        (writes carry idempotency keys, so resubmission is safe).
+        """
+        if self._done:
+            raise RuntimeError("result() already consumed")
+        self._done = True
+        ok = False
+        try:
+            try:
+                reply = self._pending.wait(
+                    self._client.timeout if timeout is None else timeout
+                )
+            except socket.timeout:
+                # This reply can still arrive and be matched to a new
+                # request's id; kill the connection rather than risk it.
+                self._client.close()
+                self._client._note_failure()
+                raise
+            except (OSError, wire.ProtocolError):
+                self._client._note_failure()
+                raise
+            if reply.get("ok"):
+                ok = True
+                self._client._note_success()
+                return reply.get("result")
+            error = reply.get("error") or {}
+            err_type = error.get("type", "unknown")
+            exc = ServiceError(
+                err_type,
+                error.get("message", ""),
+                error.get("trace_id"),
+                error.get("retry_after"),
+            )
+            if err_type in RETRYABLE_ERRORS:
+                self._client._note_failure()
+            else:
+                self._client._note_success()  # a definitive answer
+            raise exc
+        finally:
+            if self._ctx is not None:
+                trace.emit_span(
+                    self._ctx,
+                    "client.request",
+                    (time.perf_counter() - self._started) * 1e6,
+                    attrs={"op": self._op, "attempts": 1, "ok": ok},
+                )
+
+
 class ServiceClient:
-    """Blocking request/response client with timeouts and safe retries."""
+    """Blocking pipelined client with timeouts and safe retries."""
 
     def __init__(
         self,
@@ -110,7 +368,10 @@ class ServiceClient:
         client_id: Optional[str] = None,
         jitter_seed: Optional[int] = None,
         deadline_ms: Optional[float] = None,
+        codec: str = "auto",
     ) -> None:
+        if codec not in ("auto", wire.CODEC_BINARY, wire.CODEC_JSON):
+            raise ValueError(f"unknown codec {codec!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -122,14 +383,17 @@ class ServiceClient:
         self.circuit_cooldown = circuit_cooldown
         #: Idempotency identity: unique per client instance by default.
         self.client_id = client_id or uuid.uuid4().hex[:16]
-        #: Deadline stamped on every request (ms), or None.
+        #: Deadline budget stamped on every request (ms), or None.
         self.deadline_ms = deadline_ms
+        #: Requested codec mode: "auto", "binary" (strict), or "json".
+        self.codec = codec
         self._rng = (
             derive_rng(jitter_seed, "client", self.client_id)
             if jitter_seed is not None
             else derive_rng(uuid.uuid4().hex)
         )
-        self._sock: Optional[socket.socket] = None
+        self._conn: Optional[_Connection] = None
+        self._id_lock = threading.Lock()
         self._next_id = 0
         self._seq = 0
         self._failures = 0  # consecutive failed attempts
@@ -138,21 +402,69 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _connect(self) -> socket.socket:
-        if self._sock is None:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
+    def _alloc_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _connect(self) -> _Connection:
+        conn = self._conn
+        if conn is not None and conn.alive:
+            return conn
+        conn = _Connection(self.host, self.port, self.timeout)
+        try:
+            if self.codec != wire.CODEC_JSON:
+                self._negotiate(conn)
+        except BaseException:
+            conn.close()
+            raise
+        self._conn = conn
+        return conn
+
+    def _negotiate(self, conn: _Connection) -> None:
+        """Send ``hello`` (always JSON) and adopt the server's codec.
+
+        In ``"auto"`` mode a server that rejects ``hello`` -- an old
+        build answering ``unknown_op`` or ``bad_request`` -- leaves the
+        connection on JSON.  In strict ``"binary"`` mode anything short
+        of a binary grant is a :class:`ServiceError`.
+        """
+        request_id = self._alloc_id()
+        message = {
+            "op": "hello",
+            "id": request_id,
+            "codecs": [wire.CODEC_BINARY, wire.CODEC_JSON],
+        }
+        pending = conn.register(request_id)
+        conn.send(wire.encode_frame(message, wire.CODEC_JSON))
+        reply = pending.wait(self.timeout)
+        if reply.get("ok"):
+            granted = (reply.get("result") or {}).get("codec")
+            if granted in wire.SUPPORTED_CODECS:
+                conn.codec = granted
+        elif self.codec == wire.CODEC_BINARY:
+            error = reply.get("error") or {}
+            raise ServiceError(
+                error.get("type", "unknown"),
+                f"server rejected codec negotiation: "
+                f"{error.get('message', '')}",
             )
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._sock = sock
-        return self._sock
+        if self.codec == wire.CODEC_BINARY and conn.codec != wire.CODEC_BINARY:
+            raise ServiceError(
+                wire.ERR_UNSUPPORTED,
+                f"server granted codec {conn.codec!r}, binary required",
+            )
+
+    @property
+    def negotiated_codec(self) -> Optional[str]:
+        """The live connection's wire codec, or None when disconnected."""
+        conn = self._conn
+        return conn.codec if conn is not None and conn.alive else None
 
     def close(self) -> None:
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            finally:
-                self._sock = None
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
 
     # ------------------------------------------------------------------
     # Retry machinery
@@ -198,67 +510,119 @@ class ServiceClient:
             and time.monotonic() < self._open_until
         )
 
-    def _recv_reply(
-        self, sock, expect_id: Any, *, max_skip: int = 8
-    ) -> Optional[Dict[str, Any]]:
-        """Read frames until the reply matching *expect_id* arrives.
+    # ------------------------------------------------------------------
+    # Request paths
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Push any corked (``flush=False``) submissions to the socket."""
+        conn = self._conn
+        if conn is not None and conn.alive:
+            try:
+                conn.flush()
+            except OSError:
+                self.close()
+                self._note_failure()
+                raise
 
-        A chaos proxy may duplicate a request frame, producing an extra
-        reply; without id matching that stale reply would be taken as
-        the answer to the *next* request and desynchronize the stream.
+    def submit(self, op: str, flush: bool = True, **fields: Any) -> ReplyFuture:
+        """Send one request without waiting; returns a :class:`ReplyFuture`.
+
+        This is the pipelining path: submit many, then collect results.
+        With ``flush=False`` the frame is corked in the connection's
+        outbox -- call :meth:`flush` after the burst so the whole batch
+        leaves in one system call (and do call it: a corked request
+        gets no reply until something flushes).  A transport failure
+        while sending raises immediately; failures after that surface
+        from :meth:`ReplyFuture.result`.  No retry loop -- resubmit on
+        failure if desired (safe for writes, which carry idempotency
+        keys).
         """
-        for _ in range(max_skip + 1):
-            reply = wire.recv_frame_blocking(sock)
-            if reply is None:
-                return None
-            if reply.get("id") == expect_id:
-                return reply
-        raise wire.ProtocolError(
-            f"no reply with id {expect_id!r} within {max_skip + 1} frames"
-        )
+        self._check_circuit()
+        message = dict(fields)
+        message["op"] = op
+        if self.deadline_ms is not None and "deadline_ms" not in message:
+            message["deadline_ms"] = self.deadline_ms
+        ctx = trace.new_trace()
+        if ctx is not None:
+            message["trace"] = ctx.to_wire()
+        started = time.perf_counter()
+        try:
+            conn = self._connect()
+            request_id = self._alloc_id()
+            message["id"] = request_id
+            frame = wire.encode_frame(message, conn.codec)
+            pending = conn.register(request_id)
+            try:
+                conn.send(frame, flush)
+            except BaseException:
+                conn.forget(request_id)
+                raise
+        except (OSError, wire.ProtocolError):
+            self.close()
+            self._note_failure()
+            raise
+        return ReplyFuture(self, pending, op, ctx, started)
 
     def _request(self, op: str, **fields: Any) -> Any:
         self._check_circuit()
-        self._next_id += 1
-        message = {"op": op, "id": self._next_id, **fields}
-        if self.deadline_ms is not None and "deadline_ms" not in message:
-            message["deadline_ms"] = self.deadline_ms
+        #: Total deadline budget for the call, retries included; each
+        #: attempt is stamped with what *remains* of it.  A non-numeric
+        #: budget is passed through verbatim so the server's own
+        #: validation rejects it.
+        budget = fields.pop("deadline_ms", self.deadline_ms)
+        if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+            if budget is not None:
+                fields["deadline_ms"] = budget
+            budget = None
         # The trace root: one client.request span covers the whole call,
         # retries included; the context rides in the frame so the server
         # hangs its spans below ours.  Unsampled requests carry nothing.
         ctx = trace.new_trace()
-        if ctx is not None:
-            message["trace"] = ctx.to_wire()
-        frame = wire.encode_frame(message)
         started = time.perf_counter()
         attempts = 0
         ok = False
         slept = 0.0
         hint: Optional[float] = None
+
+        def remaining_ms() -> float:
+            return float(budget) - (time.perf_counter() - started) * 1e3
+
         try:
             last_exc: Optional[Exception] = None
             for attempt in range(self.retries + 1):
                 attempts = attempt + 1
                 if attempt:
+                    if budget is not None and remaining_ms() <= 0:
+                        # The caller's budget is gone: a retry would
+                        # only be shed server-side.  Stop here.
+                        break
                     delay = self.backoff_delay(attempt, hint)
                     if slept + delay > self.retry_budget:
                         last_exc = last_exc or TransportError("retry budget spent")
                         break
                     slept += delay
                     time.sleep(delay)
+                    if budget is not None and remaining_ms() <= 0:
+                        break  # the backoff sleep spent the rest of it
                 hint = None
+                message = {"op": op, **fields}
+                if budget is not None:
+                    # Attempt 0 carries the full budget (a 0 budget is
+                    # still *sent*, so the server sheds it -- that is
+                    # the deadline contract's observable behavior).
+                    message["deadline_ms"] = max(0.0, remaining_ms())
+                if ctx is not None:
+                    message["trace"] = ctx.to_wire()
                 try:
-                    sock = self._connect()
-                    sock.sendall(frame)
-                    reply = self._recv_reply(sock, message["id"])
+                    conn = self._connect()
+                    message["id"] = self._alloc_id()
+                    frame = wire.encode_frame(message, conn.codec)
+                    pending = conn.register(message["id"])
+                    conn.send(frame)
+                    reply = pending.wait(self.timeout)
                 except (OSError, wire.ProtocolError) as exc:
                     self.close()
                     last_exc = exc
-                    self._note_failure()
-                    continue
-                if reply is None:  # server hung up cleanly; retry
-                    self.close()
-                    last_exc = ConnectionError("server closed the connection")
                     self._note_failure()
                     continue
                 if reply.get("ok"):
@@ -327,6 +691,26 @@ class ServiceClient:
         """
         return self._request(
             "insert",
+            value=value,
+            start=start,
+            end=end,
+            client=self.client_id,
+            seq=self.next_seq() if seq is None else seq,
+        )
+
+    def submit_insert(
+        self,
+        value: Any,
+        start,
+        end,
+        *,
+        seq: Optional[int] = None,
+        flush: bool = True,
+    ) -> ReplyFuture:
+        """Pipelined :meth:`insert_result`: idempotent, non-blocking."""
+        return self.submit(
+            "insert",
+            flush=flush,
             value=value,
             start=start,
             end=end,

@@ -1,10 +1,21 @@
 """Closed-loop load generator for the temporal-aggregate service.
 
-``N`` worker threads each open one connection and run a closed loop
-(next request only after the previous reply) of mixed ``insert`` /
-``lookup`` / ``rangeq`` traffic -- plus ``window`` probes when the
-server's kind supports them -- recording per-operation latencies and
-verifying every read against the in-process reference oracle.
+``N`` worker threads each open one connection and run a closed loop of
+mixed ``insert`` / ``lookup`` / ``rangeq`` traffic -- plus ``window``
+probes when the server's kind supports them -- recording per-operation
+latencies and verifying every read against the in-process reference
+oracle.
+
+With ``pipeline=1`` the loop is strictly request/response (next request
+only after the previous reply).  With ``pipeline=k`` each worker keeps
+*bursts* of up to ``k`` requests in flight on its one connection via
+:meth:`ServiceClient.submit`.  Bursts are **homogeneous** -- all
+inserts or all reads -- and a burst's replies are all collected before
+the next burst starts, so at every read the worker's acked-fact list is
+still a complete oracle: reads in one burst never race the same
+worker's writes, and other workers' writes are invisible to it by band
+ownership (below).  ``codec`` selects the wire format per connection
+("auto", "binary", or "json").
 
 Verification under concurrency works by *time-band ownership*: the
 server's span is cut into one disjoint half-open band per worker, and a
@@ -43,6 +54,7 @@ __all__ = [
     "LoadgenResult",
     "PatientWriteResult",
     "run_loadgen",
+    "run_codec_comparison",
     "run_patient_writes",
     "percentile",
 ]
@@ -69,6 +81,8 @@ class LoadgenResult:
         self.kind: str = ""
         self.duration_s: float = 0.0
         self.connections: int = 0
+        self.codec: str = "json"
+        self.pipeline: int = 1
         self.ops: Dict[str, int] = {}
         self.errors: int = 0
         self.latencies_s: Dict[str, List[float]] = {}
@@ -106,6 +120,8 @@ class LoadgenResult:
         return {
             "kind": self.kind,
             "connections": self.connections,
+            "codec": self.codec,
+            "pipeline": self.pipeline,
             "duration_s": round(self.duration_s, 6),
             "ops": dict(self.ops),
             "total_ops": self.total_ops,
@@ -133,6 +149,7 @@ class LoadgenResult:
     def render(self) -> str:
         lines = [
             f"service loadgen: kind={self.kind} connections={self.connections}"
+            f" codec={self.codec} pipeline={self.pipeline}"
             f" ops={self.total_ops} errors={self.errors}"
             f" throughput={self.throughput:.0f} ops/s"
             f" duration={self.duration_s:.2f}s",
@@ -162,6 +179,8 @@ class _Worker(threading.Thread):
         mix: Dict[str, float],
         seed: int,
         timeout: float,
+        codec: str = "auto",
+        pipeline: int = 1,
     ) -> None:
         super().__init__(name=f"loadgen-{index}", daemon=True)
         self.index = index
@@ -173,16 +192,30 @@ class _Worker(threading.Thread):
         self.mix = mix
         self.rng = random.Random(seed)
         self.timeout = timeout
+        self.codec = codec
+        self.pipeline = max(1, pipeline)
         self.result = LoadgenResult()
         self.facts: List[Tuple[Any, Tuple[int, int]]] = []
         self.error: Optional[BaseException] = None
+        # Reads recorded for post-run verification: (op, args, reply,
+        # len(self.facts) at read time).  The oracle rescans every
+        # acked fact per read -- running it inside the timed loop would
+        # contend with the service under test for CPU and understate
+        # throughput, so the timed loop only records and the check runs
+        # after the clock stops.  Exactness is preserved: facts are
+        # append-only and the recorded prefix length pins each read's
+        # oracle set.
+        self._deferred: List[Tuple[str, Any, Any, int]] = []
 
     def run(self) -> None:
         try:
             with ServiceClient(
-                self.host, self.port, timeout=self.timeout
+                self.host, self.port, timeout=self.timeout, codec=self.codec
             ) as client:
-                self._loop(client)
+                if self.pipeline > 1:
+                    self._loop_pipelined(client)
+                else:
+                    self._loop(client)
         except BaseException as exc:  # surfaced by run_loadgen
             self.error = exc
 
@@ -210,6 +243,131 @@ class _Worker(threading.Thread):
             res.ops[op] = res.ops.get(op, 0) + 1
             res.latencies_s.setdefault(op, []).append(elapsed)
 
+    # ------------------------------------------------------------------
+    def _loop_pipelined(self, client: ServiceClient) -> None:
+        """Homogeneous bursts of up to ``pipeline`` in-flight requests.
+
+        An insert burst's replies are all collected (and its acked facts
+        recorded) before any later read burst is built, so every read's
+        oracle is exact.  Per-request latency is submit-to-reply, which
+        *includes* queueing behind the burst -- deep pipelines trade
+        per-request latency for throughput, and the numbers show it.
+        """
+        lo, hi = self.band
+        ops = list(self.mix)
+        weights = [self.mix[op] for op in ops]
+        res = self.result
+        remaining = self.ops_target
+        while remaining > 0:
+            op = self.rng.choices(ops, weights)[0]
+            depth = min(self.pipeline, remaining)
+            remaining -= depth
+            if op == "insert":
+                self._insert_burst(client, lo, hi, depth)
+            else:
+                self._read_burst(client, op, lo, hi, depth)
+
+    def _insert_burst(self, client, lo: int, hi: int, depth: int) -> None:
+        res = self.result
+        batch = []
+        for _ in range(depth):
+            s, e = self._span(lo, hi)
+            value = self.rng.randint(1, 100)
+            started = time.perf_counter()
+            batch.append(
+                (value, s, e, started,
+                 client.submit_insert(value, s, e, flush=False))
+            )
+        client.flush()  # the whole burst leaves in one system call
+        for value, s, e, started, future in batch:
+            try:
+                future.result()
+            except ServiceError:
+                res.errors += 1
+            else:
+                self.facts.append((value, (s, e)))
+                res.facts_inserted += 1
+            res.ops["insert"] = res.ops.get("insert", 0) + 1
+            res.latencies_s.setdefault("insert", []).append(
+                time.perf_counter() - started
+            )
+
+    def _read_burst(self, client, op: str, lo: int, hi: int, depth: int) -> None:
+        res = self.result
+        batch = []
+        for _ in range(depth):
+            started = time.perf_counter()
+            if op == "lookup":
+                t = self.rng.randint(lo, hi - 1)
+                batch.append(
+                    (t, started, client.submit("lookup", flush=False, t=t))
+                )
+            elif op == "rangeq":
+                s, e = self._span(lo, hi)
+                batch.append(
+                    ((s, e), started,
+                     client.submit("rangeq", flush=False, start=s, end=e))
+                )
+            else:
+                t = self.rng.randint(lo + 1, hi - 1)
+                w = self.rng.randint(0, t - lo)
+                batch.append(
+                    ((t, w), started,
+                     client.submit("window", flush=False, t=t, w=w))
+                )
+        client.flush()
+        for args, started, future in batch:
+            try:
+                got = future.result()
+            except ServiceError:
+                res.errors += 1
+            else:
+                self._deferred.append((op, args, got, len(self.facts)))
+            res.ops[op] = res.ops.get(op, 0) + 1
+            res.latencies_s.setdefault(op, []).append(
+                time.perf_counter() - started
+            )
+
+    def verify_deferred(self) -> None:
+        """Check every recorded read against the oracle (post-run)."""
+        lo, hi = self.band
+        for op, args, got, nfacts in self._deferred:
+            self._verify_read(op, args, got, lo, hi, self.facts[:nfacts])
+        self._deferred.clear()
+
+    def _verify_read(
+        self, op: str, args, got, lo: int, hi: int, facts
+    ) -> None:
+        res = self.result
+        if op == "lookup":
+            t = args
+            want = reference.instantaneous_value(facts, self.kind, t)
+            res.lookups_verified += 1
+            if got != want:
+                res.verify_failures.append(
+                    f"lookup(t={t}) = {got!r}, oracle {want!r}"
+                )
+        elif op == "rangeq":
+            s, e = args
+            for value, rs, _re in got:
+                if not (lo <= rs < hi):
+                    continue
+                want = reference.instantaneous_value(facts, self.kind, rs)
+                res.rows_verified += 1
+                if value != want:
+                    res.verify_failures.append(
+                        f"rangeq({s},{e}) row at {rs} = {value!r},"
+                        f" oracle {want!r}"
+                    )
+        else:
+            t, w = args
+            want = reference.cumulative_value(facts, self.kind, t, w)
+            res.windows_verified += 1
+            if got != want:
+                res.verify_failures.append(
+                    f"window(t={t}, w={w}) = {got!r}, oracle {want!r}"
+                )
+
     def _span(self, lo: int, hi: int) -> Tuple[int, int]:
         width = max(1, (hi - lo) // 8)
         s = self.rng.randint(lo, max(lo, hi - 1 - width))
@@ -226,37 +384,19 @@ class _Worker(threading.Thread):
     def _lookup(self, client: ServiceClient, lo: int, hi: int) -> None:
         t = self.rng.randint(lo, hi - 1)
         got = client.lookup(t)
-        want = reference.instantaneous_value(self.facts, self.kind, t)
-        self.result.lookups_verified += 1
-        if got != want:
-            self.result.verify_failures.append(
-                f"lookup(t={t}) = {got!r}, oracle {want!r}"
-            )
+        self._deferred.append(("lookup", t, got, len(self.facts)))
 
     def _rangeq(self, client: ServiceClient, lo: int, hi: int) -> None:
         s, e = self._span(lo, hi)
         rows = client.rangeq(s, e)
-        for value, interval in rows:
-            t = interval.start
-            if not (lo <= t < hi):
-                continue
-            want = reference.instantaneous_value(self.facts, self.kind, t)
-            self.result.rows_verified += 1
-            if value != want:
-                self.result.verify_failures.append(
-                    f"rangeq({s},{e}) row at {t} = {value!r}, oracle {want!r}"
-                )
+        triples = [(value, iv.start, iv.end) for value, iv in rows]
+        self._deferred.append(("rangeq", (s, e), triples, len(self.facts)))
 
     def _window(self, client: ServiceClient, lo: int, hi: int) -> None:
         t = self.rng.randint(lo + 1, hi - 1)
         w = self.rng.randint(0, t - lo)  # keep [t - w, t] inside the band
         got = client.window(t, w)
-        want = reference.cumulative_value(self.facts, self.kind, t, w)
-        self.result.windows_verified += 1
-        if got != want:
-            self.result.verify_failures.append(
-                f"window(t={t}, w={w}) = {got!r}, oracle {want!r}"
-            )
+        self._deferred.append(("window", (t, w), got, len(self.facts)))
 
 
 def _bands(lo: int, hi: int, n: int) -> List[Tuple[int, int]]:
@@ -279,18 +419,22 @@ def run_loadgen(
     mix: Optional[Dict[str, float]] = None,
     seed: int = 0,
     timeout: float = 10.0,
+    codec: str = "auto",
+    pipeline: int = 1,
     out_dir: Optional[str] = None,
 ) -> LoadgenResult:
     """Drive a running server with a verified closed-loop workload.
 
     Connects, learns the server's kind (and, when *span* is omitted, a
     usable time span from its shard boundaries), fans out
-    ``connections`` closed-loop workers over disjoint time bands, then
-    merges their measurements.  When *out_dir* is given the summary is
-    written there as ``BENCH_service.json``.
+    ``connections`` workers over disjoint time bands -- each keeping up
+    to ``pipeline`` requests in flight on a ``codec`` connection --
+    then merges their measurements.  When *out_dir* is given the
+    summary is written there as ``BENCH_service.json``.
     """
-    with ServiceClient(host, port, timeout=timeout) as probe:
+    with ServiceClient(host, port, timeout=timeout, codec=codec) as probe:
         stats = probe.stats()
+        negotiated = probe.negotiated_codec or codec
     kind = stats["kind"]
     if span is None:
         span = _span_from_boundaries(stats["shards"]["boundaries"])
@@ -316,6 +460,8 @@ def run_loadgen(
             mix,
             seed * 10_007 + i,
             timeout,
+            codec,
+            pipeline,
         )
         for i, band in enumerate(_bands(lo, hi, connections))
     ]
@@ -328,10 +474,14 @@ def run_loadgen(
     for worker in workers:
         if worker.error is not None:
             raise worker.error
+    for worker in workers:
+        worker.verify_deferred()  # oracle runs outside the timed window
 
     merged = LoadgenResult()
     merged.kind = kind
     merged.connections = connections
+    merged.codec = negotiated
+    merged.pipeline = max(1, pipeline)
     merged.duration_s = duration
     merged.tracing_enabled = trace.is_enabled()
     for worker in workers:
@@ -355,6 +505,98 @@ def run_loadgen(
             out_dir, "service", merged.series(), extra=merged.extra()
         )
     return merged
+
+
+def run_codec_comparison(
+    host: str,
+    port: int,
+    *,
+    connections: int = 4,
+    ops_per_connection: int = 500,
+    span: Optional[Tuple[int, int]] = None,
+    depths: Tuple[int, ...] = (1, 8, 32),
+    seed: int = 0,
+    timeout: float = 10.0,
+    out_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Measure both codecs across pipeline depths against one server.
+
+    The baseline cell is ``(json, depth 1)`` -- exactly the old wire
+    protocol and one-in-flight client -- then the JSON codec at the
+    deepest pipeline and the binary codec at every depth in *depths*.
+    Each cell runs a verified 50/50 insert+lookup workload on its own
+    **disjoint slice** of the time span, so one cell's facts can never
+    pollute a later cell's read oracle (bands repeat across runs
+    otherwise).
+
+    Returns ``{"cells": [...], "baseline": ..., "best": ...,
+    "speedup": ...}`` where *speedup* is best-cell throughput over the
+    baseline.  When *out_dir* is given, ``BENCH_service.json`` is
+    written with the best cell's latency series and the whole matrix
+    (plus the speedup) in the extra payload.
+    """
+    deepest = max(depths) if depths else 1
+    cells = [("json", 1)]
+    if deepest > 1:
+        cells.append(("json", deepest))
+    cells.extend(("binary", depth) for depth in sorted(set(depths)))
+    with ServiceClient(host, port, timeout=timeout) as probe:
+        stats = probe.stats()
+    if span is None:
+        span = _span_from_boundaries(stats["shards"]["boundaries"])
+    slices = _bands(int(span[0]), int(span[1]), len(cells))
+    mix = {"insert": 0.5, "lookup": 0.5}
+
+    results: List[LoadgenResult] = []
+    for (codec, depth), cell_span in zip(cells, slices):
+        res = run_loadgen(
+            host,
+            port,
+            connections=connections,
+            ops_per_connection=ops_per_connection,
+            span=cell_span,
+            mix=mix,
+            seed=seed,
+            timeout=timeout,
+            codec=codec,
+            pipeline=depth,
+        )
+        results.append(res)
+
+    baseline = results[0]
+    best = max(results, key=lambda r: r.throughput)
+    speedup = (
+        best.throughput / baseline.throughput if baseline.throughput else 0.0
+    )
+    comparison = {
+        "cells": results,
+        "baseline": baseline,
+        "best": best,
+        "speedup": speedup,
+    }
+    if out_dir is not None:
+        extra = best.extra()
+        extra["codec_matrix"] = [
+            {
+                "codec": r.codec,
+                "pipeline": r.pipeline,
+                "throughput_ops_per_s": round(r.throughput, 2),
+                "total_ops": r.total_ops,
+                "errors": r.errors,
+                "verified_ok": r.verified_ok,
+            }
+            for r in results
+        ]
+        extra["baseline"] = {
+            "codec": baseline.codec,
+            "pipeline": baseline.pipeline,
+            "throughput_ops_per_s": round(baseline.throughput, 2),
+        }
+        extra["pipeline_speedup"] = round(speedup, 2)
+        benchlib.write_bench_json(
+            out_dir, "service", best.series(), extra=extra
+        )
+    return comparison
 
 
 class PatientWriteResult:
@@ -417,6 +659,7 @@ class _PatientWriter(threading.Thread):
         seed: int,
         timeout: float,
         give_up_after: float,
+        codec: str = "auto",
     ) -> None:
         super().__init__(name=f"patient-{index}", daemon=True)
         self.index = index
@@ -427,6 +670,7 @@ class _PatientWriter(threading.Thread):
         self.rng = random.Random(seed)
         self.timeout = timeout
         self.give_up_after = give_up_after
+        self.codec = codec
         self.result = PatientWriteResult()
         self.error: Optional[BaseException] = None
 
@@ -441,6 +685,7 @@ class _PatientWriter(threading.Thread):
                 jitter_seed=self.index,
                 circuit_threshold=6,
                 circuit_cooldown=min(0.25, self.timeout),
+                codec=self.codec,
             )
             with client:
                 self._loop(client)
@@ -499,6 +744,7 @@ def run_patient_writes(
     seed: int = 0,
     timeout: float = 1.0,
     give_up_after: float = 60.0,
+    codec: str = "auto",
 ) -> PatientWriteResult:
     """Fan out patient exactly-once writers; merge what they acked.
 
@@ -517,6 +763,7 @@ def run_patient_writes(
             seed * 10_007 + i,
             timeout,
             give_up_after,
+            codec,
         )
         for i, band in enumerate(_bands(int(span[0]), int(span[1]), connections))
     ]

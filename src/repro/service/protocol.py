@@ -1,14 +1,44 @@
 """The wire protocol of the temporal-aggregate service.
 
 Stdlib-only framing: every message is a 4-byte big-endian length prefix
-followed by a UTF-8 JSON object.  Python's ``json`` module serializes
-the package's infinite endpoints as ``Infinity``/``-Infinity`` and
-parses them back, so unbounded query windows round-trip without a
-special case (both ends of this protocol are this package).
+followed by a body in one of two codecs, distinguished by the body's
+first byte:
+
+* **JSON** (``codec="json"``, the legacy format and debugging fallback):
+  a UTF-8 JSON object.  Python's ``json`` module serializes the
+  package's infinite endpoints as ``Infinity``/``-Infinity`` and parses
+  them back, so unbounded query windows round-trip without a special
+  case (both ends of this protocol are this package).
+* **Binary** (``codec="binary"``, protocol version 1): a struct-packed
+  typed payload beginning with the magic byte ``0xB1`` -- a byte no
+  JSON object body can start with.  Hot operations (``insert``,
+  ``batch_insert``, ``lookup``, ``rangeq``, ``window``, ``ping``) and
+  their replies have fixed typed layouts; anything else (``stats``
+  results, future ops, requests with unusual fields) travels as a
+  JSON object wrapped inside a binary envelope, so the binary codec
+  carries *every* message the JSON codec can.
+
+Both codecs decode to the **same message dicts**, so server dispatch,
+idempotency, deadlines, tracing, and error replies are codec-agnostic;
+:func:`decode_body` auto-detects the codec per frame and a server
+replies in the codec the request arrived in.
+
+**Version negotiation.**  A connection starts in JSON.  A client that
+wants the binary codec sends (as JSON, which every server speaks)::
+
+    {"op": "hello", "id": 1, "codecs": ["binary", "json"]}
+
+and the server answers ``{"ok": true, "result": {"codec": "binary",
+"version": 1, "max_frame": ...}}`` with the first offered codec it
+supports (or ``"json"`` when none is recognized).  From the client's
+next frame on, both directions use the negotiated codec.  Old clients
+never send ``hello`` and keep talking JSON; old servers answer it with
+``unknown_op``, which a client treats as "JSON only".
 
 Requests::
 
     {"op": "ping"}
+    {"op": "hello",        "codecs": ["binary", "json"]}
     {"op": "insert",       "value": 2, "start": 10, "end": 40}
     {"op": "batch_insert", "facts": [[2, 10, 40], [3, 10, 30]]}
     {"op": "lookup",       "t": 19}
@@ -17,11 +47,12 @@ Requests::
     {"op": "stats"}
 
 An optional ``"id"`` field is echoed verbatim in the reply, so clients
-may pipeline requests over one connection.  An optional ``"trace"``
-field -- ``{"id": "<trace_id>", "span": "<span_id>"}``, the wire form
-of :class:`repro.obs.trace.TraceContext` -- propagates the client's
-trace into the server; servers ignore it when tracing is off and
-treat a malformed value as absent.
+may pipeline requests over one connection and match replies out of
+order.  An optional ``"trace"`` field -- ``{"id": "<trace_id>",
+"span": "<span_id>"}``, the wire form of
+:class:`repro.obs.trace.TraceContext` -- propagates the client's trace
+into the server; servers ignore it when tracing is off and treat a
+malformed value as absent.
 
 Three further optional request fields carry the resilience contract:
 
@@ -38,7 +69,9 @@ Three further optional request fields carry the resilience contract:
   read off the socket.  A server sheds the request with
   ``ERR_DEADLINE`` if it expires before dispatch (e.g. while queued
   behind admission control); a reply to an expired request would be
-  wasted work the client has already given up on.
+  wasted work the client has already given up on.  A client retrying a
+  request re-stamps this field with the *remaining* budget on every
+  attempt (backoff sleeps included) and stops retrying at zero.
 
 Overload rejections (``ERR_OVERLOADED``) and graceful-drain rejections
 (``ERR_SHUTTING_DOWN``) may carry ``"retry_after"`` (seconds) inside
@@ -60,20 +93,55 @@ float quotient, MIN/MAX ``NULL`` as JSON null); ``rangeq`` results are
 function over the requested window.  Error ``type`` is one of the
 ``ERR_*`` codes below; a server must reply with a structured error --
 never drop the connection -- for every request it could frame.
+
+Binary frame layout (version 1)
+-------------------------------
+
+After the 4-byte length prefix, a binary body is::
+
+    u8   magic = 0xB1
+    u8   message type
+    u8   envelope flags      bit 0: idempotency key (client + seq)
+                             bit 1: deadline_ms
+                             bit 2: trace context
+                             bit 3: request/reply id
+    [scalar id]              if flag bit 3
+    [u16 len + client utf-8, u64 seq]            if flag bit 0
+    [f64 deadline_ms]                            if flag bit 1
+    [u16 len + trace id, u16 len + span id]      if flag bit 2
+    <typed payload per message type>
+
+Scalars are 1-byte-tagged: NULL, I64 (``>q``), F64 (``>d``, NaN/inf
+allowed), STR (u32 length + UTF-8), TRUE, FALSE.  Whole-valued f64
+*times* are restored to ``int`` on decode (mirroring
+``storage/codec.py``) so binary and JSON decodes of the same logical
+message compare equal.  All integers are big-endian (network order);
+the frame length prefix is shared by both codecs, which keeps
+frame-aware middleboxes (the chaos proxy) codec-agnostic.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "MAX_FRAME",
+    "CODEC_JSON",
+    "CODEC_BINARY",
+    "BINARY_MAGIC",
+    "BINARY_VERSION",
+    "SUPPORTED_CODECS",
     "ProtocolError",
     "FrameTooLarge",
+    "ConnectionClosedMidFrame",
     "encode_frame",
+    "encode_body",
     "decode_body",
+    "codec_of",
+    "negotiate",
     "recv_frame_blocking",
     "error_reply",
     "ok_reply",
@@ -89,12 +157,89 @@ __all__ = [
     "ERR_SERVER",
 ]
 
-#: Upper bound on one frame's JSON body; a length prefix beyond this is
+#: Upper bound on one frame's body; a length prefix beyond this is
 #: treated as a framing error (garbage or a hostile peer), not an
 #: allocation request.
 MAX_FRAME = 8 * 1024 * 1024
 
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+#: Codecs this build speaks, in preference order (``negotiate`` picks
+#: the first offered codec found here).
+SUPPORTED_CODECS = (CODEC_BINARY, CODEC_JSON)
+
+#: First body byte of every binary-codec message.  0xB1 can never begin
+#: a JSON object body (those start with ``{`` or whitespace).
+BINARY_MAGIC = 0xB1
+BINARY_VERSION = 1
+
 _LEN = struct.Struct(">I")
+_HDR = struct.Struct(">BB")  # magic, message type
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+# Envelope flag bits.
+_FLAG_IDEM = 1
+_FLAG_DEADLINE = 2
+_FLAG_TRACE = 4
+_FLAG_ID = 8
+
+# Message types: requests.
+_T_PING = 0x01
+_T_INSERT = 0x02
+_T_BATCH_INSERT = 0x03
+_T_LOOKUP = 0x04
+_T_RANGEQ = 0x05
+_T_WINDOW = 0x06
+_T_STATS = 0x07
+#: Escape hatch: the payload is a JSON request object (odd fields,
+#: future ops); the binary envelope is just framing.
+_T_REQ_JSON = 0x1F
+
+# Message types: replies.
+_T_OK_SCALAR = 0x21
+_T_OK_ROWS = 0x22
+_T_OK_APPLIED = 0x23
+_T_ERR = 0x24
+_T_REPLY_JSON = 0x3F
+
+_REQ_TYPE_FOR_OP = {
+    "ping": _T_PING,
+    "insert": _T_INSERT,
+    "batch_insert": _T_BATCH_INSERT,
+    "lookup": _T_LOOKUP,
+    "rangeq": _T_RANGEQ,
+    "window": _T_WINDOW,
+    "stats": _T_STATS,
+}
+_OP_FOR_REQ_TYPE = {t: op for op, t in _REQ_TYPE_FOR_OP.items()}
+
+#: Per-op payload fields (what the typed layouts carry); a request with
+#: any other non-envelope field falls back to the JSON-wrapped form so
+#: nothing is ever silently dropped.
+_REQ_FIELDS = {
+    "ping": frozenset(),
+    "stats": frozenset(),
+    "insert": frozenset(("value", "start", "end")),
+    "batch_insert": frozenset(("facts",)),
+    "lookup": frozenset(("t",)),
+    "rangeq": frozenset(("start", "end")),
+    "window": frozenset(("t", "w")),
+}
+_ENVELOPE_FIELDS = frozenset(
+    ("op", "id", "client", "seq", "deadline_ms", "trace")
+)
+
+# Scalar tags.
+_TAG_NULL = 0
+_TAG_I64 = 1
+_TAG_F64 = 2
+_TAG_STR = 3
+_TAG_TRUE = 4
+_TAG_FALSE = 5
 
 ERR_BAD_REQUEST = "bad_request"
 ERR_UNKNOWN_OP = "unknown_op"
@@ -109,16 +254,53 @@ ERR_SERVER = "server_error"
 
 
 class ProtocolError(ValueError):
-    """A malformed frame or JSON body."""
+    """A malformed frame or message body (either codec)."""
 
 
 class FrameTooLarge(ProtocolError):
-    """A length prefix exceeding :data:`MAX_FRAME`."""
+    """A length prefix (or encoded body) exceeding :data:`MAX_FRAME`."""
 
 
-def encode_frame(message: Dict[str, Any]) -> bytes:
+class ConnectionClosedMidFrame(ConnectionError):
+    """The peer vanished inside a frame: a transport failure, not a
+    protocol violation -- retryable, unlike :class:`ProtocolError`."""
+
+
+def negotiate(offered: Any) -> str:
+    """Pick the codec for one connection from a client's offer list.
+
+    Returns the first entry of *offered* this build supports; unknown
+    entries are skipped (a newer client may offer codecs we do not
+    have).  An empty, exhausted, or malformed offer resolves to JSON --
+    the codec every peer speaks.
+    """
+    if isinstance(offered, (list, tuple)):
+        for name in offered:
+            if name in SUPPORTED_CODECS:
+                return name
+    return CODEC_JSON
+
+
+def codec_of(body: bytes) -> str:
+    """The codec of a raw frame body (without decoding it)."""
+    if body[:1] == bytes((BINARY_MAGIC,)):
+        return CODEC_BINARY
+    return CODEC_JSON
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_body(message: Dict[str, Any], codec: str = CODEC_JSON) -> bytes:
+    """Serialize one message dict into a frame body in *codec*."""
+    if codec == CODEC_BINARY:
+        return _encode_binary(message)
+    return json.dumps(message, separators=(",", ":")).encode("utf-8")
+
+
+def encode_frame(message: Dict[str, Any], codec: str = CODEC_JSON) -> bytes:
     """Serialize one message to its length-prefixed wire form."""
-    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    body = encode_body(message, codec)
     if len(body) > MAX_FRAME:
         raise FrameTooLarge(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
     return _LEN.pack(len(body)) + body
@@ -137,7 +319,9 @@ def decode_length(header: bytes) -> int:
 
 
 def decode_body(body: bytes) -> Dict[str, Any]:
-    """Parse a frame body into a message dict."""
+    """Parse a frame body into a message dict (codec auto-detected)."""
+    if body[:1] == b"\xb1":
+        return _decode_binary(body)
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -148,13 +332,25 @@ def decode_body(body: bytes) -> Dict[str, Any]:
 
 
 def recv_frame_blocking(sock) -> Optional[Dict[str, Any]]:
-    """Read one frame from a blocking socket; None on clean EOF."""
+    """Read one frame from a blocking socket; None on clean EOF.
+
+    EOF *inside* a frame -- after the header, or partway through the
+    body -- raises :class:`ConnectionClosedMidFrame` (the connection
+    died; retryable), never a :class:`ProtocolError` (the peer sent
+    garbage; not retryable).
+    """
     header = _recv_exactly(sock, _LEN.size)
     if header is None:
         return None
     length = decode_length(header)
     body = _recv_exactly(sock, length)
-    return decode_body(body if body is not None else b"")
+    if body is None:
+        # The peer sent a complete header, then vanished: a transport
+        # failure, not a malformed body.
+        raise ConnectionClosedMidFrame(
+            f"connection closed before the {length}-byte frame body"
+        )
+    return decode_body(body)
 
 
 def _recv_exactly(sock, n: int) -> Optional[bytes]:
@@ -166,13 +362,16 @@ def _recv_exactly(sock, n: int) -> Optional[bytes]:
         chunk = sock.recv(remaining)
         if not chunk:
             if remaining == n:
-                return None  # clean EOF on a frame boundary
-            raise ProtocolError("connection closed mid-frame")
+                return None  # clean EOF on a chunk boundary
+            raise ConnectionClosedMidFrame("connection closed mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
 
 
+# ----------------------------------------------------------------------
+# Reply constructors (codec-agnostic dicts)
+# ----------------------------------------------------------------------
 def ok_reply(result: Any, request: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Build a success reply, echoing the request id if present."""
     reply: Dict[str, Any] = {"ok": True, "result": result}
@@ -205,3 +404,420 @@ def error_reply(
     if request is not None and "id" in request:
         reply["id"] = request["id"]
     return reply
+
+
+# ----------------------------------------------------------------------
+# Binary codec: encoding
+# ----------------------------------------------------------------------
+class _Unpackable(Exception):
+    """Internal: this message has no typed layout; use the JSON wrap."""
+
+
+def _pack_scalar(value: Any, parts: List[bytes]) -> None:
+    """Append one tagged scalar; raise _Unpackable for anything else."""
+    if value is None:
+        parts.append(b"\x00")
+    elif value is True:
+        parts.append(b"\x04")
+    elif value is False:
+        parts.append(b"\x05")
+    elif isinstance(value, int):
+        if -(2**63) <= value < 2**63:
+            parts.append(b"\x01" + _I64.pack(value))
+        else:  # an int outside i64: JSON carries it exactly
+            raise _Unpackable
+    elif isinstance(value, float):
+        parts.append(b"\x02" + _F64.pack(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        if len(raw) >= 2**32:
+            raise _Unpackable
+        parts.append(b"\x03" + _U32.pack(len(raw)) + raw)
+    else:
+        raise _Unpackable
+
+
+def _pack_str16(value: Any, parts: List[bytes]) -> None:
+    if not isinstance(value, str):
+        raise _Unpackable
+    raw = value.encode("utf-8")
+    if len(raw) >= 2**16:
+        raise _Unpackable
+    parts.append(_U16.pack(len(raw)))
+    parts.append(raw)
+
+
+def _pack_time(value: Any, parts: List[bytes]) -> None:
+    """A raw f64 time/number field (no tag; ints restored on decode)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _Unpackable
+    parts.append(_F64.pack(float(value)))
+
+
+def _encode_binary(message: Dict[str, Any]) -> bytes:
+    """Encode one message dict into a binary body.
+
+    Messages without a typed layout are wrapped as JSON inside a binary
+    envelope, so this never refuses anything the JSON codec accepts.
+    """
+    try:
+        if "op" in message:
+            return _encode_binary_request(message)
+        if "ok" in message:
+            return _encode_binary_reply(message)
+    except _Unpackable:
+        pass
+    wrapped = _T_REQ_JSON if "op" in message else _T_REPLY_JSON
+    return _HDR.pack(BINARY_MAGIC, wrapped) + json.dumps(
+        message, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _encode_envelope(message: Dict[str, Any], parts: List[bytes]) -> None:
+    """Append the flags byte and optional envelope fields."""
+    flags = 0
+    tail: List[bytes] = []
+    if "id" in message:
+        flags |= _FLAG_ID
+        _pack_scalar(message["id"], tail)
+    if "client" in message or "seq" in message:
+        client = message.get("client")
+        seq = message.get("seq")
+        if (
+            not isinstance(client, str)
+            or isinstance(seq, bool)
+            or not isinstance(seq, int)
+            or not 0 <= seq < 2**64
+        ):
+            raise _Unpackable  # let the server-side validation see it as-is
+        flags |= _FLAG_IDEM
+        _pack_str16(client, tail)
+        tail.append(_U64.pack(seq))
+    if "deadline_ms" in message:
+        deadline = message["deadline_ms"]
+        if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+            raise _Unpackable
+        flags |= _FLAG_DEADLINE
+        tail.append(_F64.pack(float(deadline)))
+    if "trace" in message:
+        trace = message["trace"]
+        if (
+            not isinstance(trace, dict)
+            or set(trace) != {"id", "span"}
+        ):
+            raise _Unpackable
+        flags |= _FLAG_TRACE
+        _pack_str16(trace["id"], tail)
+        _pack_str16(trace["span"], tail)
+    parts.append(bytes((flags,)))
+    parts.extend(tail)
+
+
+def _encode_binary_request(message: Dict[str, Any]) -> bytes:
+    op = message.get("op")
+    fields = _REQ_FIELDS.get(op)
+    if fields is None:
+        raise _Unpackable  # unknown op: carry it as JSON, verbatim
+    if not set(message) <= (_ENVELOPE_FIELDS | fields):
+        raise _Unpackable  # extra fields must not be dropped
+    for name in fields:
+        if name not in message:
+            raise _Unpackable  # missing field: let the server report it
+    parts: List[bytes] = [_HDR.pack(BINARY_MAGIC, _REQ_TYPE_FOR_OP[op])]
+    _encode_envelope(message, parts)
+    if op == "insert":
+        _pack_scalar(message["value"], parts)
+        _pack_time(message["start"], parts)
+        _pack_time(message["end"], parts)
+    elif op == "batch_insert":
+        facts = message["facts"]
+        if not isinstance(facts, list) or len(facts) >= 2**32:
+            raise _Unpackable
+        parts.append(_U32.pack(len(facts)))
+        for item in facts:
+            if not isinstance(item, (list, tuple)) or len(item) != 3:
+                raise _Unpackable
+            value, start, end = item
+            _pack_scalar(value, parts)
+            _pack_time(start, parts)
+            _pack_time(end, parts)
+    elif op == "lookup":
+        _pack_time(message["t"], parts)
+    elif op == "rangeq":
+        _pack_time(message["start"], parts)
+        _pack_time(message["end"], parts)
+    elif op == "window":
+        _pack_time(message["t"], parts)
+        _pack_time(message["w"], parts)
+    # ping / stats: no payload
+    return b"".join(parts)
+
+
+def _encode_binary_reply(message: Dict[str, Any]) -> bytes:
+    if message.get("ok"):
+        if set(message) - {"ok", "result", "id"}:
+            raise _Unpackable
+        result = message.get("result")
+        parts: List[bytes] = []
+        if isinstance(result, dict):
+            if (
+                not set(result) <= {"applied", "duplicate", "evicted"}
+                or isinstance(result.get("applied"), bool)
+                or not isinstance(result.get("applied"), int)
+                or not 0 <= result["applied"] < 2**32
+            ):
+                raise _Unpackable
+            parts.append(_HDR.pack(BINARY_MAGIC, _T_OK_APPLIED))
+            _encode_envelope(message, parts)
+            parts.append(_U32.pack(result["applied"]))
+            rflags = (1 if result.get("duplicate") is True else 0) | (
+                2 if result.get("evicted") is True else 0
+            )
+            # Flag fields must be exactly True or absent to round-trip.
+            if ("duplicate" in result) != bool(rflags & 1):
+                raise _Unpackable
+            if ("evicted" in result) != bool(rflags & 2):
+                raise _Unpackable
+            parts.append(bytes((rflags,)))
+        elif isinstance(result, list):
+            if len(result) >= 2**32:
+                raise _Unpackable
+            parts.append(_HDR.pack(BINARY_MAGIC, _T_OK_ROWS))
+            _encode_envelope(message, parts)
+            parts.append(_U32.pack(len(result)))
+            for row in result:
+                if not isinstance(row, (list, tuple)) or len(row) != 3:
+                    raise _Unpackable
+                value, start, end = row
+                _pack_scalar(value, parts)
+                _pack_time(start, parts)
+                _pack_time(end, parts)
+        else:
+            parts.append(_HDR.pack(BINARY_MAGIC, _T_OK_SCALAR))
+            _encode_envelope(message, parts)
+            _pack_scalar(result, parts)
+        return b"".join(parts)
+    # Error reply.
+    if set(message) - {"ok", "error", "id"}:
+        raise _Unpackable
+    error = message.get("error")
+    if not isinstance(error, dict) or not set(error) <= {
+        "type", "message", "trace_id", "retry_after"
+    }:
+        raise _Unpackable
+    parts = [_HDR.pack(BINARY_MAGIC, _T_ERR)]
+    _encode_envelope(message, parts)
+    _pack_str16(error.get("type"), parts)
+    _pack_str16(error.get("message"), parts)
+    eflags = 0
+    tail: List[bytes] = []
+    if "trace_id" in error:
+        eflags |= 1
+        _pack_str16(error["trace_id"], tail)
+    if "retry_after" in error:
+        retry_after = error["retry_after"]
+        if isinstance(retry_after, bool) or not isinstance(
+            retry_after, (int, float)
+        ):
+            raise _Unpackable
+        eflags |= 2
+        tail.append(_F64.pack(float(retry_after)))
+    parts.append(bytes((eflags,)))
+    parts.extend(tail)
+    return b"".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Binary codec: decoding
+# ----------------------------------------------------------------------
+def _restore_num(x: float) -> Any:
+    """Give whole-valued finite doubles back their int identity."""
+    if math.isfinite(x) and x == int(x):
+        return int(x)
+    return x
+
+
+class _Reader:
+    """Bounds-checked cursor over a binary body."""
+
+    __slots__ = ("buf", "off")
+
+    def __init__(self, buf: bytes, off: int) -> None:
+        self.buf = buf
+        self.off = off
+
+    def _take(self, fmt: struct.Struct) -> Any:
+        try:
+            (value,) = fmt.unpack_from(self.buf, self.off)
+        except struct.error:
+            raise ProtocolError("truncated binary frame") from None
+        self.off += fmt.size
+        return value
+
+    def u8(self) -> int:
+        if self.off >= len(self.buf):
+            raise ProtocolError("truncated binary frame")
+        value = self.buf[self.off]
+        self.off += 1
+        return value
+
+    def u16(self) -> int:
+        return self._take(_U16)
+
+    def u32(self) -> int:
+        return self._take(_U32)
+
+    def u64(self) -> int:
+        return self._take(_U64)
+
+    def f64(self) -> float:
+        return self._take(_F64)
+
+    def time(self) -> Any:
+        return _restore_num(self._take(_F64))
+
+    def raw(self, n: int) -> bytes:
+        if self.off + n > len(self.buf):
+            raise ProtocolError("truncated binary frame")
+        chunk = self.buf[self.off:self.off + n]
+        self.off += n
+        return chunk
+
+    def str16(self) -> str:
+        n = self.u16()
+        try:
+            return self.raw(n).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"bad utf-8 in binary frame: {exc}") from None
+
+    def scalar(self) -> Any:
+        tag = self.u8()
+        if tag == _TAG_NULL:
+            return None
+        if tag == _TAG_I64:
+            return self._take(_I64)
+        if tag == _TAG_F64:
+            return self._take(_F64)
+        if tag == _TAG_STR:
+            n = self.u32()
+            try:
+                return self.raw(n).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(
+                    f"bad utf-8 in binary frame: {exc}"
+                ) from None
+        if tag == _TAG_TRUE:
+            return True
+        if tag == _TAG_FALSE:
+            return False
+        raise ProtocolError(f"unknown scalar tag {tag}")
+
+    def expect_end(self) -> None:
+        if self.off != len(self.buf):
+            raise ProtocolError(
+                f"{len(self.buf) - self.off} trailing bytes in binary frame"
+            )
+
+
+def _decode_envelope(reader: _Reader, message: Dict[str, Any]) -> None:
+    flags = reader.u8()
+    if flags & ~(_FLAG_IDEM | _FLAG_DEADLINE | _FLAG_TRACE | _FLAG_ID):
+        raise ProtocolError(f"unknown envelope flags 0x{flags:02x}")
+    if flags & _FLAG_ID:
+        message["id"] = reader.scalar()
+    if flags & _FLAG_IDEM:
+        message["client"] = reader.str16()
+        message["seq"] = reader.u64()
+    if flags & _FLAG_DEADLINE:
+        message["deadline_ms"] = _restore_num(reader.f64())
+    if flags & _FLAG_TRACE:
+        message["trace"] = {"id": reader.str16(), "span": reader.str16()}
+
+
+def _decode_binary(body: bytes) -> Dict[str, Any]:
+    if len(body) < _HDR.size:
+        raise ProtocolError("binary frame shorter than its header")
+    mtype = body[1]
+    if mtype in (_T_REQ_JSON, _T_REPLY_JSON):
+        try:
+            message = json.loads(body[_HDR.size:].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"undecodable wrapped body: {exc}") from None
+        if not isinstance(message, dict):
+            raise ProtocolError("wrapped body must be a JSON object")
+        return message
+    reader = _Reader(body, _HDR.size)
+    op = _OP_FOR_REQ_TYPE.get(mtype)
+    if op is not None:
+        message: Dict[str, Any] = {"op": op}
+        _decode_envelope(reader, message)
+        if op == "insert":
+            message["value"] = reader.scalar()
+            message["start"] = reader.time()
+            message["end"] = reader.time()
+        elif op == "batch_insert":
+            n = reader.u32()
+            facts: List[List[Any]] = []
+            for _ in range(n):
+                value = reader.scalar()
+                facts.append([value, reader.time(), reader.time()])
+            message["facts"] = facts
+        elif op == "lookup":
+            message["t"] = reader.time()
+        elif op == "rangeq":
+            message["start"] = reader.time()
+            message["end"] = reader.time()
+        elif op == "window":
+            message["t"] = reader.time()
+            message["w"] = reader.time()
+        reader.expect_end()
+        return message
+    if mtype == _T_OK_SCALAR:
+        message = {"ok": True}
+        _decode_envelope(reader, message)
+        message["result"] = reader.scalar()
+        reader.expect_end()
+        return message
+    if mtype == _T_OK_ROWS:
+        message = {"ok": True}
+        _decode_envelope(reader, message)
+        n = reader.u32()
+        rows: List[List[Any]] = []
+        for _ in range(n):
+            value = reader.scalar()
+            rows.append([value, reader.time(), reader.time()])
+        message["result"] = rows
+        reader.expect_end()
+        return message
+    if mtype == _T_OK_APPLIED:
+        message = {"ok": True}
+        _decode_envelope(reader, message)
+        result: Dict[str, Any] = {"applied": reader.u32()}
+        rflags = reader.u8()
+        if rflags & ~3:
+            raise ProtocolError(f"unknown applied flags 0x{rflags:02x}")
+        if rflags & 1:
+            result["duplicate"] = True
+        if rflags & 2:
+            result["evicted"] = True
+        message["result"] = result
+        reader.expect_end()
+        return message
+    if mtype == _T_ERR:
+        message = {"ok": False}
+        _decode_envelope(reader, message)
+        error: Dict[str, Any] = {
+            "type": reader.str16(),
+            "message": reader.str16(),
+        }
+        eflags = reader.u8()
+        if eflags & ~3:
+            raise ProtocolError(f"unknown error flags 0x{eflags:02x}")
+        if eflags & 1:
+            error["trace_id"] = reader.str16()
+        if eflags & 2:
+            error["retry_after"] = _restore_num(reader.f64())
+        message["error"] = error
+        reader.expect_end()
+        return message
+    raise ProtocolError(f"unknown binary message type 0x{mtype:02x}")

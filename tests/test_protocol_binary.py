@@ -1,0 +1,496 @@
+"""Tests for the binary wire codec, negotiation, and transport fixes.
+
+Covers the protocol edge cases across BOTH codecs (zero-length frames,
+bodies at/past MAX_FRAME, stale and duplicated replies under
+pipelining, JSON<->binary negotiation interop) plus regression tests
+for two transport bugs: mid-frame EOF must surface as a retryable
+ConnectionClosedMidFrame (not a ProtocolError), and a retried request
+must re-stamp its *remaining* deadline budget, not the full budget.
+"""
+
+import random
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core import reference
+from repro.service import (
+    ServerHandle,
+    ServiceClient,
+    ServiceError,
+    protocol,
+)
+from repro.sharding import ShardedTree
+
+
+@pytest.fixture
+def sum_server():
+    sharded = ShardedTree("sum", num_shards=4, span=(0, 1000),
+                          branching=4, leaf_capacity=4)
+    with ServerHandle.start(sharded, batch_max=8, batch_delay=0.002) as handle:
+        yield handle, sharded
+
+
+def client_for(handle, **kwargs):
+    return ServiceClient(handle.host, handle.port, timeout=5.0, **kwargs)
+
+
+class FakeServer:
+    """A scriptable server: ``handler(message) -> [reply frames]``.
+
+    Lets a test control the exact bytes the client sees -- duplicated
+    replies, stale ids, out-of-order delivery, hostile negotiation.
+    """
+
+    def __init__(self, handler):
+        self.handler = handler
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        self.host, self.port = listener.getsockname()
+        self._listener = listener
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn):
+        try:
+            while True:
+                message = protocol.recv_frame_blocking(conn)
+                if message is None:
+                    return
+                for frame in self.handler(message):
+                    conn.sendall(frame)
+        except (OSError, protocol.ProtocolError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._listener.close()
+
+
+# ----------------------------------------------------------------------
+# Binary codec roundtrips
+# ----------------------------------------------------------------------
+REQUESTS = [
+    {"op": "ping"},
+    {"op": "stats"},
+    {"op": "insert", "value": 5, "start": 10, "end": 40},
+    {"op": "insert", "value": -2.75, "start": 10.25, "end": 40},
+    {"op": "insert", "value": None, "start": 0, "end": 1},
+    {"op": "insert", "value": "tagged", "start": -5, "end": 7},
+    {"op": "insert", "value": True, "start": 0, "end": 1},
+    {"op": "batch_insert", "facts": [[1, 0, 10], [2.5, 3, 4], [None, 5, 6]]},
+    {"op": "batch_insert", "facts": []},
+    {"op": "lookup", "t": 19},
+    {"op": "rangeq", "start": float("-inf"), "end": float("inf")},
+    {"op": "window", "t": 30, "w": 20},
+]
+
+REPLIES = [
+    {"ok": True, "result": None, "id": 1},
+    {"ok": True, "result": 123},
+    {"ok": True, "result": -2.5},
+    {"ok": True, "result": "pong"},
+    {"ok": True, "result": True},
+    {"ok": True, "result": [], "id": 8},
+    {"ok": True, "result": [[5, 10, 20], [None, 20, 30], [2.5, 30, 40.5]],
+     "id": 9},
+    {"ok": True, "result": {"applied": 3}, "id": 2},
+    {"ok": True, "result": {"applied": 0, "duplicate": True, "evicted": True}},
+    {"ok": False, "id": 4,
+     "error": {"type": "overloaded", "message": "busy", "retry_after": 0.25}},
+    {"ok": False,
+     "error": {"type": "server_error", "message": "boom", "trace_id": "ab12"}},
+]
+
+
+class TestBinaryRoundtrip:
+    @pytest.mark.parametrize("message", REQUESTS)
+    def test_requests_roundtrip_on_both_codecs(self, message):
+        body = protocol.encode_body(message, protocol.CODEC_BINARY)
+        assert body[0] == protocol.BINARY_MAGIC
+        assert protocol.codec_of(body) == protocol.CODEC_BINARY
+        assert protocol.decode_body(body) == message
+        json_body = protocol.encode_body(message, protocol.CODEC_JSON)
+        assert protocol.codec_of(json_body) == protocol.CODEC_JSON
+        # Binary and JSON decodes of the same message compare equal.
+        assert protocol.decode_body(json_body) == protocol.decode_body(body)
+
+    @pytest.mark.parametrize("message", REPLIES)
+    def test_replies_roundtrip_on_both_codecs(self, message):
+        body = protocol.encode_body(message, protocol.CODEC_BINARY)
+        assert body[0] == protocol.BINARY_MAGIC
+        assert protocol.decode_body(body) == message
+        json_body = protocol.encode_body(message, protocol.CODEC_JSON)
+        assert protocol.decode_body(json_body) == message
+
+    def test_envelope_fields_roundtrip(self):
+        message = {
+            "op": "insert",
+            "id": 7,
+            "client": "client-1",
+            "seq": 42,
+            "deadline_ms": 250.5,
+            "trace": {"id": "0123456789abcdef", "span": "fedcba98"},
+            "value": 1,
+            "start": 0,
+            "end": 5,
+        }
+        assert protocol.decode_body(
+            protocol.encode_body(message, protocol.CODEC_BINARY)
+        ) == message
+
+    def test_string_request_id_roundtrips(self):
+        message = {"op": "ping", "id": "req-000017"}
+        decoded = protocol.decode_body(
+            protocol.encode_body(message, protocol.CODEC_BINARY)
+        )
+        assert decoded == message and isinstance(decoded["id"], str)
+
+    def test_whole_float_times_restored_to_int(self):
+        body = protocol.encode_body(
+            {"op": "insert", "value": 1, "start": 10.0, "end": 40.0},
+            protocol.CODEC_BINARY,
+        )
+        decoded = protocol.decode_body(body)
+        assert isinstance(decoded["start"], int)
+        assert isinstance(decoded["end"], int)
+
+
+class TestJsonWrapFallback:
+    def test_unknown_op_wrapped_verbatim(self):
+        message = {"op": "frobnicate", "level": 11}
+        body = protocol.encode_body(message, protocol.CODEC_BINARY)
+        assert body[0] == protocol.BINARY_MAGIC
+        assert protocol.decode_body(body) == message
+
+    def test_extra_request_field_not_dropped(self):
+        message = {"op": "lookup", "t": 1, "shard_hint": 3}
+        body = protocol.encode_body(message, protocol.CODEC_BINARY)
+        assert body[1] == protocol._T_REQ_JSON
+        assert protocol.decode_body(body) == message
+
+    def test_stats_reply_wrapped(self):
+        message = {"ok": True, "result": {"shards": {"facts": 9}}, "id": 2}
+        body = protocol.encode_body(message, protocol.CODEC_BINARY)
+        assert body[1] == protocol._T_REPLY_JSON
+        assert protocol.decode_body(body) == message
+
+    def test_int_outside_i64_carried_exactly(self):
+        message = {"op": "lookup", "t": 1, "id": 2**70}
+        body = protocol.encode_body(message, protocol.CODEC_BINARY)
+        assert body[1] == protocol._T_REQ_JSON
+        assert protocol.decode_body(body)["id"] == 2**70
+
+
+class TestBinaryMalformed:
+    def test_truncated_body_rejected(self):
+        body = protocol.encode_body(
+            {"op": "insert", "value": 5, "start": 10, "end": 40},
+            protocol.CODEC_BINARY,
+        )
+        for cut in (1, 2, len(body) // 2, len(body) - 1):
+            with pytest.raises(protocol.ProtocolError):
+                protocol.decode_body(body[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        body = protocol.encode_body({"op": "ping"}, protocol.CODEC_BINARY)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(body + b"\x00")
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(bytes((protocol.BINARY_MAGIC, 0x7E, 0)))
+
+    def test_unknown_envelope_flags_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(
+                bytes((protocol.BINARY_MAGIC, protocol._T_PING, 0x80))
+            )
+
+
+# ----------------------------------------------------------------------
+# Framing edge cases (both codecs share the length prefix)
+# ----------------------------------------------------------------------
+class TestFramingEdges:
+    def test_zero_length_frame_is_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(b"")
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 0))
+            with pytest.raises(protocol.ProtocolError) as excinfo:
+                protocol.recv_frame_blocking(b)
+            # A zero-length frame is the peer's fault, not the network's.
+            assert not isinstance(excinfo.value, ConnectionError)
+        finally:
+            a.close()
+            b.close()
+
+    def test_body_exactly_at_max_frame(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME", 256)
+        probe = protocol.encode_body({"pad": ""}, protocol.CODEC_JSON)
+        message = {"pad": "x" * (256 - len(probe))}
+        frame = protocol.encode_frame(message)
+        assert protocol.decode_length(frame[:4]) == 256
+        assert protocol.decode_body(frame[4:]) == message
+
+    def test_body_one_past_max_frame(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME", 256)
+        probe = protocol.encode_body({"pad": ""}, protocol.CODEC_JSON)
+        message = {"pad": "x" * (257 - len(probe))}
+        with pytest.raises(protocol.FrameTooLarge):
+            protocol.encode_frame(message)
+        with pytest.raises(protocol.FrameTooLarge):
+            protocol.decode_length(struct.pack(">I", 257))
+
+
+class TestMidFrameEofRegression:
+    """EOF inside a frame is a transport failure, never a protocol one."""
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert protocol.recv_frame_blocking(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_header(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00")
+            a.close()
+            with pytest.raises(protocol.ConnectionClosedMidFrame):
+                protocol.recv_frame_blocking(b)
+        finally:
+            b.close()
+
+    def test_eof_after_header_before_body(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 64))
+            a.close()
+            with pytest.raises(protocol.ConnectionClosedMidFrame):
+                protocol.recv_frame_blocking(b)
+        finally:
+            b.close()
+
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_eof_mid_body(self, codec):
+        frame = protocol.encode_frame({"op": "lookup", "t": 7, "id": 1}, codec)
+        a, b = socket.socketpair()
+        try:
+            a.sendall(frame[: len(frame) - 3])
+            a.close()
+            with pytest.raises(protocol.ConnectionClosedMidFrame):
+                protocol.recv_frame_blocking(b)
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_is_retryable_not_protocol(self):
+        # The classification the retry loop depends on.
+        assert issubclass(protocol.ConnectionClosedMidFrame, ConnectionError)
+        assert not issubclass(
+            protocol.ConnectionClosedMidFrame, protocol.ProtocolError
+        )
+
+
+# ----------------------------------------------------------------------
+# Deadline budget across retries (regression)
+# ----------------------------------------------------------------------
+class TestDeadlineBudgetRegression:
+    def test_retries_restamp_remaining_budget(self):
+        seen = []
+
+        def handler(message):
+            if message.get("op") == "hello":
+                return [protocol.encode_frame(
+                    protocol.ok_reply({"codec": "json"}, message))]
+            seen.append(message.get("deadline_ms"))
+            return [protocol.encode_frame(protocol.error_reply(
+                protocol.ERR_OVERLOADED, "busy", message, retry_after=0.05))]
+
+        with FakeServer(handler) as srv:
+            with ServiceClient(
+                srv.host, srv.port, timeout=5.0, codec="json",
+                deadline_ms=150.0, retries=20, retry_backoff=0.04,
+                retry_backoff_max=0.08, retry_budget=30.0,
+                circuit_threshold=1000, jitter_seed=3,
+            ) as svc:
+                with pytest.raises(ServiceError) as excinfo:
+                    svc.lookup(1)
+        assert excinfo.value.type == protocol.ERR_OVERLOADED
+        # It retried, but each attempt carried only what remained of the
+        # 150ms budget -- strictly shrinking, never the full budget again.
+        assert len(seen) >= 2
+        assert seen[0] <= 150.0
+        assert all(later < earlier for earlier, later in zip(seen, seen[1:]))
+        assert all(d > 0 for d in seen)
+        # The budget, not the retry count, ended the loop: with >=50ms of
+        # backoff per retry a 150ms budget cannot fund 20 retries.
+        assert len(seen) <= 5
+
+
+# ----------------------------------------------------------------------
+# Pipelining: reply matching under duplication, staleness, reordering
+# ----------------------------------------------------------------------
+class TestPipelineReplyMatching:
+    def test_duplicate_and_stale_replies_discarded(self):
+        def handler(message):
+            reply = protocol.encode_frame(
+                protocol.ok_reply(message["t"] * 2, message))
+            stale = protocol.encode_frame(
+                protocol.ok_reply(-1, {"id": 999_999_999}))
+            return [reply, reply, stale]
+
+        with FakeServer(handler) as srv:
+            with ServiceClient(srv.host, srv.port, timeout=5.0,
+                               codec="json") as svc:
+                for t in range(5):
+                    assert svc.lookup(t) == t * 2
+
+    def test_out_of_order_replies_matched_by_id(self):
+        buffered = []
+
+        def handler(message):
+            buffered.append(message)
+            if len(buffered) < 3:
+                return []
+            frames = [
+                protocol.encode_frame(protocol.ok_reply(m["t"] * 10, m))
+                for m in reversed(buffered)
+            ]
+            buffered.clear()
+            return frames
+
+        with FakeServer(handler) as srv:
+            with ServiceClient(srv.host, srv.port, timeout=5.0,
+                               codec="json") as svc:
+                futures = [svc.submit("lookup", t=t) for t in (1, 2, 3)]
+                assert [f.result() for f in futures] == [10, 20, 30]
+
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_deep_pipeline_end_to_end(self, sum_server, codec):
+        handle, _ = sum_server
+        rng = random.Random(5)
+        facts = []
+        with client_for(handle, codec=codec) as svc:
+            futures = []
+            for _ in range(60):
+                s = rng.randint(0, 900)
+                e = s + rng.randint(1, 80)
+                v = rng.randint(1, 9)
+                facts.append((v, (s, e)))
+                futures.append(svc.submit_insert(v, s, e, flush=False))
+            svc.flush()
+            assert sum(f.result()["applied"] for f in futures) == 60
+            times = list(range(0, 1000, 37))
+            lookups = [svc.submit("lookup", flush=False, t=t) for t in times]
+            svc.flush()
+            for t, future in zip(times, lookups):
+                assert future.result() == reference.instantaneous_value(
+                    facts, "sum", t)
+
+
+# ----------------------------------------------------------------------
+# Codec negotiation interop
+# ----------------------------------------------------------------------
+class TestNegotiation:
+    def test_negotiate_picks_first_supported(self):
+        assert protocol.negotiate(["binary", "json"]) == "binary"
+        assert protocol.negotiate(["json", "binary"]) == "json"
+        assert protocol.negotiate(["zstd-9", "binary"]) == "binary"
+        assert protocol.negotiate(["zstd-9"]) == "json"
+        assert protocol.negotiate([]) == "json"
+        assert protocol.negotiate("binary") == "json"  # malformed offer
+        assert protocol.negotiate(None) == "json"
+
+    def test_auto_client_negotiates_binary(self, sum_server):
+        handle, _ = sum_server
+        with client_for(handle) as svc:
+            assert svc.ping()
+            assert svc.negotiated_codec == protocol.CODEC_BINARY
+
+    def test_json_client_skips_negotiation(self, sum_server):
+        handle, _ = sum_server
+        with client_for(handle, codec="json") as svc:
+            assert svc.ping()
+            assert svc.negotiated_codec == protocol.CODEC_JSON
+
+    def test_binary_and_json_clients_interop(self, sum_server):
+        handle, _ = sum_server
+        with client_for(handle, codec="binary") as writer:
+            assert writer.insert(5, 10, 40) == 1
+        with client_for(handle, codec="json") as reader:
+            assert reader.lookup(19) == 5
+
+    def test_auto_falls_back_to_json_on_old_server(self):
+        def handler(message):
+            if message.get("op") == "hello":
+                return [protocol.encode_frame(protocol.error_reply(
+                    protocol.ERR_UNKNOWN_OP, "unknown op 'hello'", message))]
+            return [protocol.encode_frame(
+                protocol.ok_reply("pong", message))]
+
+        with FakeServer(handler) as srv:
+            with ServiceClient(srv.host, srv.port, timeout=5.0,
+                               codec="auto") as svc:
+                assert svc.ping()
+                assert svc.negotiated_codec == protocol.CODEC_JSON
+
+    def test_strict_binary_fails_on_old_server(self):
+        def handler(message):
+            return [protocol.encode_frame(protocol.error_reply(
+                protocol.ERR_UNKNOWN_OP, "unknown op", message))]
+
+        with FakeServer(handler) as srv:
+            with ServiceClient(srv.host, srv.port, timeout=5.0,
+                               codec="binary") as svc:
+                with pytest.raises(ServiceError):
+                    svc.ping()
+
+    def test_server_replies_in_arrival_codec(self, sum_server):
+        handle, _ = sum_server
+
+        def recv_raw_body(sock):
+            header = b""
+            while len(header) < 4:
+                header += sock.recv(4 - len(header))
+            (length,) = struct.unpack(">I", header)
+            body = b""
+            while len(body) < length:
+                body += sock.recv(length - len(body))
+            return body
+
+        with socket.create_connection((handle.host, handle.port),
+                                      timeout=5.0) as sock:
+            sock.sendall(protocol.encode_frame(
+                {"op": "ping", "id": 1}, protocol.CODEC_BINARY))
+            body = recv_raw_body(sock)
+            assert body[0] == protocol.BINARY_MAGIC
+            assert protocol.decode_body(body)["result"] == "pong"
+            sock.sendall(protocol.encode_frame(
+                {"op": "ping", "id": 2}, protocol.CODEC_JSON))
+            body = recv_raw_body(sock)
+            assert body[:1] == b"{"
+            assert protocol.decode_body(body)["result"] == "pong"

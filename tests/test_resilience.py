@@ -368,19 +368,32 @@ class TestProtocolHardening:
         handle, _ = sum_server
         rng = derive_rng(11, "fuzz")
         payloads = []
-        for _ in range(60):
+        for _ in range(80):
             choice = rng.random()
-            if choice < 0.3:  # raw garbage bytes, bogus framing
+            if choice < 0.2:  # raw garbage bytes, bogus framing
                 body = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 40)))
                 payloads.append(struct.pack(">I", len(body)) + body)
-            elif choice < 0.5:  # length prefix lies about the body
+            elif choice < 0.35:  # length prefix lies about the body
                 payloads.append(struct.pack(">I", rng.randrange(2**31, 2**32)))
-            elif choice < 0.7:  # valid JSON, not an object
+            elif choice < 0.5:  # valid JSON, not an object
                 body = b"[1, 2, 3]"
                 payloads.append(struct.pack(">I", len(body)) + body)
-            else:  # object, but nonsense fields
+            elif choice < 0.65:  # object, but nonsense fields
                 body = b'{"op": "insert", "value": {}, "seq": -5, "client": 4}'
                 payloads.append(struct.pack(">I", len(body)) + body)
+            elif choice < 0.85:  # binary magic, then garbage
+                body = bytes([protocol.BINARY_MAGIC]) + bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(0, 30))
+                )
+                payloads.append(struct.pack(">I", len(body)) + body)
+            else:  # a valid binary frame, truncated mid-body
+                frame = protocol.encode_frame(
+                    {"op": "insert", "id": 1, "value": 2,
+                     "start": 0, "end": 10},
+                    codec=protocol.CODEC_BINARY,
+                )
+                cut = rng.randrange(5, len(frame))
+                payloads.append(frame[:cut])
         for payload in payloads:
             with socket.create_connection((handle.host, handle.port),
                                           timeout=2.0) as sock:
