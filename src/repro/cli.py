@@ -441,6 +441,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         health_interval=args.health_interval,
         max_inflight=args.max_inflight,
         dedup_window=args.dedup_window,
+        replica_of=args.replica_of,
+        replica_name=args.replica_name,
+        repl_sync=not args.repl_async,
+        repl_ack_timeout=args.repl_ack_timeout,
         # Under --trace the CLI registry already folds span durations;
         # sharing it makes the stats op serve them too.
         registry=obs.get_registry() if obs.is_enabled() else None,
@@ -469,9 +473,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except NotImplementedError:  # pragma: no cover - non-unix loops
             pass
         await server.start()
+        role = (
+            f"replica of {args.replica_of}" if args.replica_of else "primary"
+        )
         print(
             f"serving {sharded.kind.value} over {sharded.num_shards} shards"
-            f" on {server.host}:{server.port}",
+            f" on {server.host}:{server.port} ({role})",
             flush=True,
         )
         await stop.wait()
@@ -561,6 +568,37 @@ def cmd_top(args: argparse.Namespace) -> int:
         interval=args.interval,
         iterations=args.iterations,
     )
+
+
+def cmd_promote(args: argparse.Namespace) -> int:
+    """Promote the replica at ``--host:--port`` to primary."""
+    from .service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port, timeout=15.0) as svc:
+            result = svc._request("promote")
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}")
+    except ConnectionError as exc:
+        raise SystemExit(
+            f"error: cannot reach {args.host}:{args.port}: {exc}"
+        )
+    if result.get("promoted"):
+        print(f"promoted: now primary at commit {result.get('commit')}")
+    else:
+        print(
+            f"already {result.get('role', 'primary')}"
+            f" at commit {result.get('commit')}"
+        )
+    return 0
+
+
+def cmd_readscale(args: argparse.Namespace) -> int:
+    """Measure read scaling across replica counts (see
+    :mod:`repro.service.readscale`); writes BENCH_service.json."""
+    from .service.readscale import main as readscale_main
+
+    return readscale_main(args)
 
 
 def cmd_compact(args: argparse.Namespace) -> int:
@@ -719,7 +757,31 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="tree-health gauge poll period "
                          "(0 disables; default 5)")
+    p_serve.add_argument("--replica-of", metavar="HOST:PORT",
+                         help="start as a read replica following the "
+                         "primary at HOST:PORT: applies its journal "
+                         "stream, serves watermark-tagged reads, and "
+                         "rejects writes with a redirect")
+    p_serve.add_argument("--replica-name",
+                         help="stable follower identity reported to the "
+                         "primary (default: this server's host:port)")
+    p_serve.add_argument("--repl-async", action="store_true",
+                         help="primary acks writes without waiting for "
+                         "follower acks (default: semi-sync)")
+    p_serve.add_argument("--repl-ack-timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="semi-sync wait bound before degrading to "
+                         "async (default 10)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_promote = sub.add_parser(
+        "promote", parents=[common],
+        help="promote a read replica to primary (seals its journal "
+        "stream and starts accepting writes)",
+    )
+    p_promote.add_argument("--host", default="127.0.0.1")
+    p_promote.add_argument("--port", type=int, required=True)
+    p_promote.set_defaults(fn=cmd_promote)
 
     p_top = sub.add_parser(
         "top", parents=[common],
@@ -762,6 +824,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_loadgen.add_argument("--out", metavar="DIR",
                            help="write BENCH_service.json under DIR")
     p_loadgen.set_defaults(fn=cmd_loadgen)
+
+    p_readscale = sub.add_parser(
+        "readscale", parents=[common],
+        help="benchmark aggregate read throughput against 0/1/2 read "
+        "replicas under a write-saturated primary",
+    )
+    p_readscale.add_argument("--duration", type=float, default=6.0,
+                             help="measured seconds per topology cell "
+                             "(default 6)")
+    p_readscale.add_argument("--readers", type=int, default=4,
+                             help="reader processes per cell (default 4)")
+    p_readscale.add_argument("--writers", type=int, default=2,
+                             help="saturating writer processes (default 2)")
+    p_readscale.add_argument("--seed", type=int, default=0)
+    p_readscale.add_argument("--cells", type=int, nargs="*", default=None,
+                             help="replica counts to sweep (default: 0 1 2)")
+    p_readscale.add_argument("--out", dest="out_dir", metavar="DIR",
+                             help="merge the read-scaling series into "
+                             "DIR/BENCH_service.json (default: cwd)")
+    p_readscale.add_argument("--min-speedup", type=float, default=0.0,
+                             help="exit nonzero if the last cell's reads/s "
+                             "is below this multiple of primary-only")
+    p_readscale.set_defaults(fn=cmd_readscale)
 
     p_tql = sub.add_parser(
         "tql", parents=[common],

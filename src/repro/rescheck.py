@@ -47,6 +47,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import os
+import shutil
 import socket
 import subprocess
 import sys
@@ -92,6 +93,8 @@ def _serve_child(args: argparse.Namespace) -> int:
 
     Opens (or reopens, after a kill) the journaled page file, restores
     the dedup window from its header metadata, and serves until killed.
+    With ``--replica-of`` the child starts as a follower of that
+    address (usually the replication-link chaos proxy).
     """
     from .service.server import TemporalAggregateServer
 
@@ -106,6 +109,9 @@ def _serve_child(args: argparse.Namespace) -> int:
             batch_max=args.batch_max,
             batch_delay=args.batch_delay,
             dedup_window=256,
+            replica_of=args.replica_of or None,
+            replica_name=args.replica_name or None,
+            repl_ack_timeout=args.repl_ack_timeout,
         )
         await server.start()
         sys.stdout.write(f"READY {server.port}\n")
@@ -124,27 +130,53 @@ def _free_port() -> int:
 
 
 def _spawn_server(
-    path: str, port: int, *, batch_max: int, batch_delay: float
+    path: str,
+    port: int,
+    *,
+    batch_max: int,
+    batch_delay: float,
+    replica_of: Optional[str] = None,
+    replica_name: Optional[str] = None,
+    repl_ack_timeout: float = 5.0,
+    log_path: Optional[str] = None,
 ) -> subprocess.Popen:
-    proc = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.rescheck",
-            "--serve-child",
-            "--path",
-            path,
-            "--port",
-            str(port),
-            "--batch-max",
-            str(batch_max),
-            "--batch-delay",
-            str(batch_delay),
-        ],
-        stdout=subprocess.DEVNULL,
-        stderr=subprocess.DEVNULL,
-        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
-    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro.rescheck",
+        "--serve-child",
+        "--path",
+        path,
+        "--port",
+        str(port),
+        "--batch-max",
+        str(batch_max),
+        "--batch-delay",
+        str(batch_delay),
+        "--repl-ack-timeout",
+        str(repl_ack_timeout),
+    ]
+    if replica_of:
+        command += ["--replica-of", replica_of]
+    if replica_name:
+        command += ["--replica-name", replica_name]
+    # Child output goes to a per-incarnation log file (appended across
+    # kill+restart cycles of the same path) so a red run can be
+    # diagnosed from the console; see RescheckResult.render().
+    if log_path is not None:
+        log = open(log_path, "ab")
+    else:
+        log = subprocess.DEVNULL
+    try:
+        proc = subprocess.Popen(
+            command,
+            stdout=log,
+            stderr=log,
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+        )
+    finally:
+        if log is not subprocess.DEVNULL:
+            log.close()  # the child holds its own descriptor
     return proc
 
 
@@ -162,6 +194,60 @@ def _wait_ready(port: int, proc: subprocess.Popen, timeout: float = 15.0) -> Non
         except Exception:
             time.sleep(0.05)
     raise RuntimeError(f"server on port {port} not ready within {timeout}s")
+
+
+def _replication_stats(port: int) -> Dict[str, Any]:
+    with ServiceClient("127.0.0.1", port, timeout=1.0, retries=0) as svc:
+        return (svc.stats() or {}).get("replication") or {}
+
+
+def _wait_subscribed(port: int, count: int, timeout: float = 20.0) -> None:
+    """Block until the primary on *port* reports *count* live replicas."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            replicas = _replication_stats(port).get("replicas") or []
+            if sum(1 for r in replicas if r.get("connected")) >= count:
+                return
+        except Exception:
+            pass
+        time.sleep(0.1)
+    raise RuntimeError(
+        f"{count} replica(s) did not subscribe to :{port} within {timeout}s"
+    )
+
+
+def _wait_applied(port: int, commit: int, timeout: float = 20.0) -> None:
+    """Block until the replica on *port* has applied *commit*."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if int(_replication_stats(port).get("applied", -1)) >= commit:
+                return
+        except Exception:
+            pass
+        time.sleep(0.05)
+    raise RuntimeError(
+        f"replica :{port} did not reach commit {commit} within {timeout}s"
+    )
+
+
+def _promote(port: int, timeout: float = 20.0) -> Dict[str, Any]:
+    """Promote the replica on *port*, retrying until it claims primaryhood."""
+    deadline = time.monotonic() + timeout
+    last: Optional[BaseException] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(
+                "127.0.0.1", port, timeout=8.0, retries=0
+            ) as svc:
+                result = svc._request("promote")
+                if result.get("promoted") or result.get("role") == "primary":
+                    return result
+        except Exception as exc:  # noqa: BLE001 - retried until deadline
+            last = exc
+        time.sleep(0.1)
+    raise RuntimeError(f"promotion of 127.0.0.1:{port} failed: {last!r}")
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +269,15 @@ class RescheckResult:
     proxy_connections: int = 0
     writes: Optional[PatientWriteResult] = None
     recovered_rows: int = 0
+    replicas: int = 0
+    failovers: int = 0
+    repl_injected: Dict[str, int] = field(default_factory=dict)
+    #: Pre-failover idempotency key replayed against the promoted
+    #: primary: True iff it answered ``duplicate=true`` (exactly-once
+    #: survived the failover).  None when no failover ran.
+    failover_dedup_ok: Optional[bool] = None
+    plan: Optional[ChaosPlan] = None
+    log_paths: List[str] = field(default_factory=list)
 
     def extra(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -201,6 +296,13 @@ class RescheckResult:
             "proxy_connections": self.proxy_connections,
             "recovered_rows": self.recovered_rows,
         }
+        if self.replicas:
+            payload["replication"] = {
+                "replicas": self.replicas,
+                "failovers": self.failovers,
+                "repl_link_faults": dict(self.repl_injected),
+                "failover_dedup_ok": self.failover_dedup_ok,
+            }
         if self.writes is not None:
             payload["writes"] = self.writes.extra()
         return payload
@@ -228,6 +330,24 @@ class RescheckResult:
             ),
             f"  server kills+restarts: {self.restarts}",
         ]
+        if self.replicas:
+            dedup = (
+                "n/a" if self.failover_dedup_ok is None
+                else ("OK" if self.failover_dedup_ok else "BROKEN")
+            )
+            lines.append(
+                f"  replicas: {self.replicas},"
+                f" failovers: {self.failovers},"
+                f" repl-link faults: "
+                + (
+                    ", ".join(
+                        f"{k}={v}"
+                        for k, v in sorted(self.repl_injected.items())
+                    )
+                    or "none"
+                )
+                + f", cross-failover dedup: {dedup}"
+            )
         if w is not None:
             lines.append(
                 f"  writes: {w.acked} acked in {w.attempts} attempts,"
@@ -240,6 +360,21 @@ class RescheckResult:
             f"  recovered tree: {self.recovered_rows} rows"
             + (f" -- {self.detail}" if self.detail else "")
         )
+        if not self.ok:
+            # Everything needed to reproduce and diagnose the red run
+            # from the console alone: the seed, the exact chaos plan,
+            # and where each child server wrote its output.
+            plan = self.plan or DEFAULT_PLAN
+            lines.append(
+                f"  repro: --seed {self.seed} --codec {self.codec}"
+                f" --drop {plan.drop} --delay {plan.delay}"
+                f" --duplicate {plan.duplicate} --truncate {plan.truncate}"
+                f" --kill {plan.kill}"
+                + (f" --replicas {self.replicas}" if self.replicas else "")
+            )
+            if self.log_paths:
+                lines.append("  server logs:")
+                lines.extend(f"    {path}" for path in self.log_paths)
         return "\n".join(lines)
 
 
@@ -283,6 +418,7 @@ def run_rescheck(
     plan: Optional[ChaosPlan] = None,
     kill_after: float = 2.5,
     restarts: int = 1,
+    replicas: int = 0,
     min_faults: int = 500,
     client_timeout: float = 0.4,
     give_up_after: float = 90.0,
@@ -301,22 +437,91 @@ def run_rescheck(
     * every write acked (no indeterminate outcomes left behind),
     * at least ``min_faults`` faults were injected,
     * the server was killed and restarted ``restarts`` times.
+
+    With ``replicas > 0`` the kill schedule becomes a **failover**: the
+    primary streams its journal to ``replicas`` followers through a
+    second chaos proxy on the replication link, the primary is
+    SIGKILLed mid-run and *never restarted*, replica 0 is promoted and
+    the client proxy retargeted at it (a VIP flip), and the run
+    verifies the *promoted* server's page file against the acked-facts
+    oracle -- plus replays a pre-failover idempotency key against the
+    new primary, which must answer ``duplicate=true``.
     """
     plan = plan or DEFAULT_PLAN
-    result = RescheckResult(seed=seed, codec=codec, min_faults=min_faults)
+    result = RescheckResult(
+        seed=seed, codec=codec, min_faults=min_faults, plan=plan,
+        replicas=replicas,
+    )
     own_workdir = workdir is None
     if own_workdir:
-        tmp = tempfile.TemporaryDirectory(prefix="repro-rescheck-")
-        workdir = tmp.name
+        # Not TemporaryDirectory: a red run must leave the child-server
+        # logs behind for the repro block in render().
+        workdir = tempfile.mkdtemp(prefix="repro-rescheck-")
     assert workdir is not None
     path = os.path.join(workdir, "rescheck.sbt")
+    primary_log = os.path.join(workdir, "primary.log")
+    result.log_paths.append(primary_log)
     port = _free_port()
     started = time.perf_counter()
-    proc = _spawn_server(path, port, batch_max=batch_max, batch_delay=batch_delay)
+    proc = _spawn_server(
+        path, port, batch_max=batch_max, batch_delay=batch_delay,
+        log_path=primary_log,
+    )
     proxy: Optional[ChaosProxy] = None
+    repl_proxy: Optional[ChaosProxy] = None
+    replica_procs: List[subprocess.Popen] = []
+    replica_ports: List[int] = []
+    replica_paths: List[str] = []
+    probe_key: Optional[Tuple[str, int]] = None
+    probe_fact = (7, (_SPAN[0] + 1, _SPAN[0] + 2))
     try:
         _wait_ready(port, proc)
+        if replicas > 0:
+            # Chaos on the replication link too: followers subscribe to
+            # the primary through their own fault-injecting proxy, with
+            # an independent RNG stream.
+            repl_proxy = ChaosProxy(
+                "127.0.0.1", port, plan=plan, seed=seed + 7919
+            ).start()
+            for i in range(replicas):
+                rport = _free_port()
+                rpath = os.path.join(workdir, f"replica{i}.sbt")
+                rlog = os.path.join(workdir, f"replica{i}.log")
+                result.log_paths.append(rlog)
+                replica_ports.append(rport)
+                replica_paths.append(rpath)
+                replica_procs.append(
+                    _spawn_server(
+                        rpath, rport,
+                        batch_max=batch_max, batch_delay=batch_delay,
+                        replica_of=f"127.0.0.1:{repl_proxy.port}",
+                        replica_name=f"127.0.0.1:{rport}",
+                        log_path=rlog,
+                    )
+                )
+            for rport, rproc in zip(replica_ports, replica_procs):
+                _wait_ready(rport, rproc)
+            _wait_subscribed(port, replicas)
+
         proxy = ChaosProxy("127.0.0.1", port, plan=plan, seed=seed).start()
+
+        if replicas > 0:
+            # A probe write whose idempotency key we will replay against
+            # the promoted primary after the failover.  Sent straight to
+            # the primary (not through chaos) and confirmed applied on
+            # replica 0 before the kill slot opens, so the replay below
+            # tests the dedup window's survival, not the link's luck.
+            probe_key = (f"failover-probe-{seed}", 1)
+            with ServiceClient(
+                "127.0.0.1", port, timeout=2.0, retries=3,
+                client_id=probe_key[0],
+            ) as svc:
+                svc.insert_result(
+                    probe_fact[0], probe_fact[1][0], probe_fact[1][1],
+                    seq=probe_key[1],
+                )
+            commit = int(_replication_stats(port).get("commit", 0))
+            _wait_applied(replica_ports[0], commit)
 
         writes_done = threading.Event()
         write_box: Dict[str, Any] = {}
@@ -342,36 +547,93 @@ def run_rescheck(
         writer = threading.Thread(target=drive, name="rescheck-drive", daemon=True)
         writer.start()
 
-        # The kill schedule: SIGKILL the server mid-run, restart it on
-        # the same port, `restarts` times.  The patient writers ride
-        # through the outage; the dedup window rides through it in the
-        # page file header.
-        for _ in range(restarts):
-            if writes_done.wait(timeout=kill_after):
-                break  # run finished before this kill slot
-            proc.kill()
-            proc.wait()
-            result.restarts += 1
-            proc = _spawn_server(
-                path, port, batch_max=batch_max, batch_delay=batch_delay
-            )
-            _wait_ready(port, proc)
+        if replicas > 0:
+            # The failover schedule: SIGKILL the primary mid-run (it
+            # stays dead), flip the client proxy to replica 0 -- the
+            # stable-address move a VIP would make -- and promote it.
+            # Writers see not_primary until the promotion lands and
+            # wait it out under their original idempotency keys.
+            if not writes_done.wait(timeout=kill_after):
+                proc.kill()
+                proc.wait()
+                result.restarts += 1
+                new_primary = replica_ports[0]
+                proxy.retarget("127.0.0.1", new_primary)
+                _promote(new_primary)
+                result.failovers += 1
+                if repl_proxy is not None:
+                    # Best effort: surviving replicas re-subscribe to
+                    # the promoted primary (those too far behind its
+                    # fresh log base are refused and would need a
+                    # re-seed; the harness does not assert on them).
+                    repl_proxy.retarget("127.0.0.1", new_primary)
+        else:
+            # The kill schedule: SIGKILL the server mid-run, restart it
+            # on the same port, `restarts` times.  The patient writers
+            # ride through the outage; the dedup window rides through
+            # it in the page file header.
+            for _ in range(restarts):
+                if writes_done.wait(timeout=kill_after):
+                    break  # run finished before this kill slot
+                proc.kill()
+                proc.wait()
+                result.restarts += 1
+                proc = _spawn_server(
+                    path, port, batch_max=batch_max, batch_delay=batch_delay,
+                    log_path=primary_log,
+                )
+                _wait_ready(port, proc)
 
         writer.join()
         if "error" in write_box:
             raise write_box["error"]
         result.writes = write_box["result"]
+
+        if replicas > 0 and result.failovers and probe_key is not None:
+            # Exactly-once across the failover boundary: replaying the
+            # pre-failover key against the promoted primary must be
+            # answered from its dedup window, not applied again.
+            try:
+                with ServiceClient(
+                    "127.0.0.1", replica_ports[0], timeout=2.0, retries=3,
+                    client_id=probe_key[0],
+                ) as svc:
+                    replay = svc.insert_result(
+                        probe_fact[0], probe_fact[1][0], probe_fact[1][1],
+                        seq=probe_key[1],
+                    )
+                result.failover_dedup_ok = bool(replay.get("duplicate"))
+            except Exception:  # noqa: BLE001 - counted as a failure below
+                result.failover_dedup_ok = False
+
         result.proxy_connections = proxy.connections
         result.injected = dict(proxy.injected)
-        result.total_injected = proxy.total_injected
+        if repl_proxy is not None:
+            result.repl_injected = dict(repl_proxy.injected)
+        result.total_injected = proxy.total_injected + sum(
+            result.repl_injected.values()
+        )
     finally:
         if proxy is not None:
             proxy.stop()
+        if repl_proxy is not None:
+            repl_proxy.stop()
         proc.kill()
         proc.wait()
+        for rproc in replica_procs:
+            rproc.kill()
+            rproc.wait()
         result.duration_s = time.perf_counter() - started
 
-    ok, detail, rows = _verify_final(path, result.writes.facts)
+    # With a failover the survivor of record is the promoted replica:
+    # its page file must contain every acked fact exactly once --
+    # including the probe write, which the oracle therefore includes.
+    verify_path = path
+    facts = list(result.writes.facts)
+    if replicas > 0 and result.failovers:
+        verify_path = replica_paths[0]
+        facts.append(probe_fact)
+    ok, detail, rows = _verify_final(verify_path, facts)
     result.recovered_rows = rows
     problems: List[str] = []
     if not ok:
@@ -385,7 +647,23 @@ def run_rescheck(
             f"only {result.total_injected} faults injected"
             f" (need >= {min_faults}); raise probabilities or write count"
         )
-    if result.restarts < restarts:
+    if replicas > 0:
+        if result.failovers < 1:
+            problems.append(
+                "no failover happened (run finished too fast; "
+                "lower --kill-after)"
+            )
+        elif result.failover_dedup_ok is not True:
+            problems.append(
+                "pre-failover idempotency key was NOT deduplicated by "
+                "the promoted primary (exactly-once broken across "
+                "failover)"
+            )
+        if not result.repl_injected:
+            problems.append(
+                "no faults were injected on the replication link"
+            )
+    elif result.restarts < restarts:
         problems.append(
             f"only {result.restarts}/{restarts} server kills happened"
             f" (run finished too fast; lower --kill-after)"
@@ -397,8 +675,8 @@ def run_rescheck(
         benchlib.write_bench_json(
             out_dir, "resilience", result.series(), extra=result.extra()
         )
-    if own_workdir:
-        tmp.cleanup()
+    if own_workdir and result.ok:
+        shutil.rmtree(workdir, ignore_errors=True)
     return result
 
 
@@ -418,6 +696,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="seconds before each server SIGKILL")
     parser.add_argument("--restarts", type=int, default=1,
                         help="number of kill+restart cycles")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="run N journal-shipping read replicas, "
+                        "SIGKILL the primary mid-run (no restart), "
+                        "promote replica 0, and verify the promoted "
+                        "server -- including dedup across the failover")
     parser.add_argument("--min-faults", type=int, default=500,
                         help="fail unless at least this many faults injected")
     parser.add_argument("--drop", type=float, default=DEFAULT_PLAN.drop)
@@ -446,6 +729,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help=argparse.SUPPRESS)
     parser.add_argument("--batch-delay", type=float, default=0.002,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--replica-of", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--replica-name", default=None,
+                        help=argparse.SUPPRESS)
+    # Generous semi-sync wait for harness children: a flush rides out
+    # replication-link chaos (resubscribe takes ~2s worst case) instead
+    # of degrading to async, so acked writes survive the failover.
+    parser.add_argument("--repl-ack-timeout", type=float, default=5.0,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     if args.serve_child:
@@ -459,6 +750,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         writes_per_connection=args.writes,
         kill_after=args.kill_after,
         restarts=args.restarts,
+        replicas=args.replicas,
         min_faults=args.min_faults,
         plan=ChaosPlan(
             drop=args.drop,

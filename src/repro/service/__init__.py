@@ -28,7 +28,16 @@ The package splits along the wire:
   reference oracle, plus the patient exactly-once write driver used by
   :mod:`repro.rescheck`.
 * :mod:`repro.service.top` -- the ``repro top`` live dashboard
-  (pure rendering + a poll loop over the ``stats`` op).
+  (pure rendering + a poll loop over the ``stats`` op), including the
+  replication panel (per-replica lag on a primary, applied/staleness
+  on a follower).
+* :mod:`repro.service.replication` -- journal shipping between a
+  primary and its read replicas: the CRC-framed record codec, the
+  in-memory :class:`CommitLog` the primary streams from, and the
+  replica-side apply loop lives in the server module.
+* :mod:`repro.service.readscale` -- the ``repro readscale`` benchmark:
+  aggregate read throughput against 0/1/2 replicas under a
+  write-saturated primary.
 
 Requests carry an optional ``trace`` field (see
 :mod:`repro.obs.trace`); with tracing enabled, client and server emit
@@ -51,6 +60,7 @@ from .protocol import (
     ERR_DEADLINE,
     ERR_FAULT,
     ERR_INTERNAL,
+    ERR_NOT_PRIMARY,
     ERR_OVERLOADED,
     ERR_SERVER,
     ERR_SHUTTING_DOWN,
@@ -62,6 +72,12 @@ from .protocol import (
     ConnectionClosedMidFrame,
     FrameTooLarge,
     ProtocolError,
+)
+from .replication import (
+    CommitLog,
+    ReplicationError,
+    decode_records,
+    encode_records,
 )
 from .server import ServerHandle, TemporalAggregateServer
 from .top import render_top, run_top
@@ -92,8 +108,13 @@ __all__ = [
     "ERR_DEADLINE",
     "ERR_OVERLOADED",
     "ERR_SHUTTING_DOWN",
+    "ERR_NOT_PRIMARY",
     "ERR_INTERNAL",
     "ERR_SERVER",
+    "CommitLog",
+    "ReplicationError",
+    "encode_records",
+    "decode_records",
     "render_top",
     "run_top",
 ]

@@ -249,6 +249,19 @@ class ChaosProxy:
             self._conns.append(conn)
             conn.start()
 
+    def retarget(self, upstream_host: str, upstream_port: int) -> None:
+        """Re-point *new* connections at a different upstream.
+
+        Existing proxied connections keep their original upstream until
+        they die (they will, when the old server goes away); the
+        failover harness retargets the proxy at the promoted primary so
+        the client under test keeps one stable address across the
+        failover, exactly like a VIP or load-balancer would provide.
+        """
+        with self._lock:
+            self.upstream_host = upstream_host
+            self.upstream_port = upstream_port
+
     # ------------------------------------------------------------------
     def count(self, kind: str) -> None:
         with self._lock:

@@ -43,9 +43,20 @@ budget several times over.
 
 **Circuit breaker.**  After ``circuit_threshold`` consecutive failed
 attempts the client stops hammering the server: calls fail fast with
-:class:`CircuitOpenError` until ``circuit_cooldown`` elapses, then one
-trial request half-opens the circuit (success closes it, failure
-re-opens it).
+:class:`CircuitOpenError` until ``circuit_cooldown`` elapses, then
+exactly one trial request half-opens the circuit (success closes it,
+failure re-opens it); concurrent callers keep failing fast while the
+trial is in flight.
+
+**Replicas.**  Constructed with ``replicas=["host:port", ...]``, reads
+(``lookup``, ``rangeq``, ``window``) round-robin across the replica
+set and fall back to the primary when a replica fails or reports
+staleness beyond ``max_staleness_s``; every replica-served reply
+records the replica's applied-commit watermark on ``last_watermark`` /
+``last_staleness_s``.  Writes always go to the primary; a
+``not_primary`` rejection (stale routing after a failover) makes the
+client adopt the server's redirect hint -- or probe the replica set
+for the newly promoted primary -- and retry transparently.
 
     from repro.service.client import ServiceClient
 
@@ -100,12 +111,15 @@ class ServiceError(RuntimeError):
         message: str,
         trace_id: Optional[str] = None,
         retry_after: Optional[float] = None,
+        primary: Optional[str] = None,
     ) -> None:
         super().__init__(f"[{err_type}] {message}")
         self.type = err_type
         self.message = message
         self.trace_id = trace_id
         self.retry_after = retry_after
+        #: ``"host:port"`` redirect hint from a replica's write rejection.
+        self.primary = primary
 
 
 class TransportError(ConnectionError):
@@ -326,6 +340,9 @@ class ReplyFuture:
             if reply.get("ok"):
                 ok = True
                 self._client._note_success()
+                if "watermark" in reply:
+                    self._client.last_watermark = reply["watermark"]
+                    self._client.last_staleness_s = reply.get("staleness_s")
                 return reply.get("result")
             error = reply.get("error") or {}
             err_type = error.get("type", "unknown")
@@ -334,6 +351,7 @@ class ReplyFuture:
                 error.get("message", ""),
                 error.get("trace_id"),
                 error.get("retry_after"),
+                error.get("primary"),
             )
             if err_type in RETRYABLE_ERRORS:
                 self._client._note_failure()
@@ -369,6 +387,8 @@ class ServiceClient:
         jitter_seed: Optional[int] = None,
         deadline_ms: Optional[float] = None,
         codec: str = "auto",
+        replicas: Optional[Sequence[str]] = None,
+        max_staleness_s: Optional[float] = None,
     ) -> None:
         if codec not in ("auto", wire.CODEC_BINARY, wire.CODEC_JSON):
             raise ValueError(f"unknown codec {codec!r}")
@@ -398,6 +418,27 @@ class ServiceClient:
         self._seq = 0
         self._failures = 0  # consecutive failed attempts
         self._open_until: Optional[float] = None
+        self._circuit_lock = threading.Lock()
+        self._half_open = False  # a half-open trial request is in flight
+        #: Consistency position of the last read served by a replica:
+        #: its applied-commit watermark and reported staleness (None
+        #: until a watermark-tagged reply arrives).
+        self.last_watermark: Optional[int] = None
+        self.last_staleness_s: Optional[float] = None
+        #: Read fan-out targets ("host:port" strings) and the staleness
+        #: bound a replica read must satisfy to be accepted.
+        self.max_staleness_s = max_staleness_s
+        self._replica_addrs: List[Tuple[str, int]] = []
+        for target in replicas or ():
+            rhost, _, rport = str(target).rpartition(":")
+            try:
+                self._replica_addrs.append((rhost, int(rport)))
+            except ValueError:
+                raise ValueError(
+                    f"replica target must be 'host:port', got {target!r}"
+                ) from None
+        self._replica_clients: List["ServiceClient"] = []
+        self._read_rr = 0
 
     # ------------------------------------------------------------------
     # Transport
@@ -466,42 +507,78 @@ class ServiceClient:
         if conn is not None:
             conn.close()
 
+    def close_all(self) -> None:
+        """Close the primary connection and every replica sub-client."""
+        self.close()
+        subs, self._replica_clients = self._replica_clients, []
+        for sub in subs:
+            sub.close()
+
     # ------------------------------------------------------------------
     # Retry machinery
     # ------------------------------------------------------------------
-    def backoff_delay(self, attempt: int, hint: Optional[float] = None) -> float:
+    def backoff_delay(
+        self,
+        attempt: int,
+        hint: Optional[float] = None,
+        remaining_ms: Optional[float] = None,
+    ) -> float:
         """Sleep before retry *attempt* (1-based): capped exponential,
         jittered to [0.5x, 1.0x], floored at the server's ``retry_after``
-        hint when one was given."""
+        hint when one was given.
+
+        The hint wins even when it exceeds ``retry_backoff_max`` -- the
+        server knows how long its drain or overload will last, and
+        sleeping less just buys another rejection.  What *does* cap the
+        hint is ``remaining_ms``, the caller's unspent ``deadline_ms``
+        budget: sleeping past the deadline would turn a retryable
+        rejection into a guaranteed deadline failure.
+        """
         delay = min(
             self.retry_backoff * (2 ** (attempt - 1)), self.retry_backoff_max
         )
         delay *= 0.5 + 0.5 * self._rng.random()
         if hint is not None:
             delay = max(delay, float(hint))
+        if remaining_ms is not None:
+            delay = min(delay, max(0.0, float(remaining_ms)) / 1e3)
         return delay
 
     def _check_circuit(self) -> None:
-        if self._open_until is None:
-            return
-        now = time.monotonic()
-        if now < self._open_until:
-            raise CircuitOpenError(
-                f"circuit open for {self._open_until - now:.2f}s more "
-                f"after {self._failures} consecutive failures"
-            )
-        # Half-open: admit one trial; a single failure re-opens.
-        self._open_until = None
-        self._failures = max(self.circuit_threshold - 1, 0)
+        with self._circuit_lock:
+            if self._open_until is None:
+                return
+            now = time.monotonic()
+            if now < self._open_until:
+                raise CircuitOpenError(
+                    f"circuit open for {self._open_until - now:.2f}s more "
+                    f"after {self._failures} consecutive failures"
+                )
+            # Half-open: admit exactly ONE trial; concurrent submitters
+            # keep failing fast until that trial resolves (success
+            # closes the circuit, failure re-opens it).  Without the
+            # flag, every caller racing the cooldown expiry would be
+            # admitted at once -- a thundering herd straight into a
+            # server that was overloaded moments ago.
+            if self._half_open:
+                raise CircuitOpenError(
+                    "circuit half-open: a trial request is already in flight"
+                )
+            self._half_open = True
+            self._failures = max(self.circuit_threshold - 1, 0)
 
     def _note_failure(self) -> None:
-        self._failures += 1
-        if self._failures >= self.circuit_threshold:
-            self._open_until = time.monotonic() + self.circuit_cooldown
+        with self._circuit_lock:
+            self._half_open = False
+            self._failures += 1
+            if self._failures >= self.circuit_threshold:
+                self._open_until = time.monotonic() + self.circuit_cooldown
 
     def _note_success(self) -> None:
-        self._failures = 0
-        self._open_until = None
+        with self._circuit_lock:
+            self._half_open = False
+            self._failures = 0
+            self._open_until = None
 
     @property
     def circuit_open(self) -> bool:
@@ -596,7 +673,11 @@ class ServiceClient:
                         # The caller's budget is gone: a retry would
                         # only be shed server-side.  Stop here.
                         break
-                    delay = self.backoff_delay(attempt, hint)
+                    delay = self.backoff_delay(
+                        attempt,
+                        hint,
+                        remaining_ms() if budget is not None else None,
+                    )
                     if slept + delay > self.retry_budget:
                         last_exc = last_exc or TransportError("retry budget spent")
                         break
@@ -624,10 +705,18 @@ class ServiceClient:
                     self.close()
                     last_exc = exc
                     self._note_failure()
+                    if self._replica_addrs and attempt < self.retries:
+                        # The primary may be gone for good (SIGKILL plus
+                        # failover): ask the replicas whether one of
+                        # them has been promoted before retrying.
+                        self._resolve_primary()
                     continue
                 if reply.get("ok"):
                     ok = True
                     self._note_success()
+                    if "watermark" in reply:
+                        self.last_watermark = reply["watermark"]
+                        self.last_staleness_s = reply.get("staleness_s")
                     return reply.get("result")
                 error = reply.get("error") or {}
                 err_type = error.get("type", "unknown")
@@ -636,7 +725,19 @@ class ServiceClient:
                     error.get("message", ""),
                     error.get("trace_id"),
                     error.get("retry_after"),
+                    error.get("primary"),
                 )
+                if err_type == wire.ERR_NOT_PRIMARY:
+                    # We wrote to a replica -- stale routing after a
+                    # promotion.  Adopt the redirect hint (or probe the
+                    # replica set for the new primary) and retry there.
+                    self._note_success()  # the server answered; only the role was wrong
+                    if attempt < self.retries and self._adopt_primary(
+                        exc.primary
+                    ):
+                        last_exc = exc
+                        continue
+                    raise exc
                 if err_type in RETRYABLE_ERRORS:
                     last_exc = exc
                     hint = exc.retry_after
@@ -661,6 +762,99 @@ class ServiceClient:
                     (time.perf_counter() - started) * 1e6,
                     attrs={"op": op, "attempts": attempts, "ok": ok},
                 )
+
+    # ------------------------------------------------------------------
+    # Replica-aware routing
+    # ------------------------------------------------------------------
+    def _replica_client(self, index: int) -> "ServiceClient":
+        """The lazily-built sub-client for replica *index*.
+
+        Sub-clients never retry (``retries=0``): the routing layer above
+        them already fails over to the next replica or the primary, and
+        stacked retry loops would multiply worst-case latency.
+        """
+        while len(self._replica_clients) <= index:
+            rhost, rport = self._replica_addrs[len(self._replica_clients)]
+            self._replica_clients.append(
+                ServiceClient(
+                    rhost,
+                    rport,
+                    timeout=self.timeout,
+                    retries=0,
+                    codec=self.codec,
+                    client_id=f"{self.client_id}:r{len(self._replica_clients)}",
+                )
+            )
+        return self._replica_clients[index]
+
+    def _adopt_primary(self, hint: Optional[str]) -> bool:
+        """Re-point writes at *hint* (``"host:port"``), or probe for one."""
+        if hint:
+            phost, _, pport = str(hint).rpartition(":")
+            try:
+                addr = (phost, int(pport))
+            except ValueError:
+                addr = None
+            if addr is not None:
+                if addr != (self.host, self.port):
+                    self.close()
+                    self.host, self.port = addr
+                return True
+        return self._resolve_primary()
+
+    def _resolve_primary(self) -> bool:
+        """Probe the replica set for whichever node now claims primaryhood.
+
+        After a failover the old primary address is dead and no server
+        is left to send a redirect hint, so the client asks each known
+        replica's ``stats`` for its replication role and adopts the one
+        answering ``"primary"``.
+        """
+        for index in range(len(self._replica_addrs)):
+            sub = self._replica_client(index)
+            try:
+                stats = sub._request("stats")
+            except Exception:
+                continue
+            repl = (stats or {}).get("replication") or {}
+            if repl.get("role") == "primary":
+                addr = self._replica_addrs[index]
+                if addr != (self.host, self.port):
+                    self.close()
+                    self.host, self.port = addr
+                return True
+        return False
+
+    def _read_request(self, op: str, **fields: Any) -> Any:
+        """Serve one read from the replica set, primary as last resort.
+
+        Round-robins across configured replicas.  A replica that fails,
+        or whose reply reports staleness outside ``max_staleness_s``
+        (including the -1 "disconnected from primary" sentinel), is
+        skipped; when every replica is unusable the read falls back to
+        the primary, which is never stale.
+        """
+        if not self._replica_addrs:
+            return self._request(op, **fields)
+        count = len(self._replica_addrs)
+        start_index = self._read_rr
+        self._read_rr = (self._read_rr + 1) % count
+        for offset in range(count):
+            sub = self._replica_client((start_index + offset) % count)
+            try:
+                result = sub._request(op, **fields)
+            except (TransportError, OSError, ServiceError):
+                continue
+            self.last_watermark = sub.last_watermark
+            self.last_staleness_s = sub.last_staleness_s
+            if (
+                self.max_staleness_s is not None
+                and sub.last_staleness_s is not None
+                and not 0 <= sub.last_staleness_s <= self.max_staleness_s
+            ):
+                continue
+            return result
+        return self._request(op, **fields)
 
     # ------------------------------------------------------------------
     # Operations
@@ -733,16 +927,16 @@ class ServiceClient:
 
     def lookup(self, t) -> Any:
         """Finalized aggregate value at instant *t*."""
-        return self._request("lookup", t=t)
+        return self._read_request("lookup", t=t)
 
     def rangeq(self, start, end) -> List[Tuple[Any, Interval]]:
         """Finalized, coalesced step function over ``[start, end)``."""
-        rows = self._request("rangeq", start=start, end=end)
+        rows = self._read_request("rangeq", start=start, end=end)
         return [(value, Interval(s, e)) for value, s, e in rows]
 
     def window(self, t, w) -> Any:
         """Cumulative MIN/MAX over the closed window ``[t - w, t]``."""
-        return self._request("window", t=t, w=w)
+        return self._read_request("window", t=t, w=w)
 
     def stats(self) -> Dict[str, Any]:
         return self._request("stats")
@@ -752,4 +946,4 @@ class ServiceClient:
         return self
 
     def __exit__(self, *exc) -> None:
-        self.close()
+        self.close_all()

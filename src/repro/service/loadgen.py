@@ -638,7 +638,9 @@ class _PatientWriter(threading.Thread):
 
     #: Server errors a patient writer waits out rather than dying on
     #: (everything transient: overload, drain, deadline shed, injected
-    #: faults, shard lock timeouts).
+    #: faults, shard lock timeouts -- and ``not_primary``, which the
+    #: failover harness produces in the window between retargeting
+    #: writers at a replica and that replica's promotion completing).
     WAITABLE = frozenset(
         {
             "overloaded",
@@ -646,6 +648,7 @@ class _PatientWriter(threading.Thread):
             "deadline_exceeded",
             "timeout",
             "fault_injected",
+            "not_primary",
         }
     )
 

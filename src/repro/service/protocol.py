@@ -45,6 +45,21 @@ Requests::
     {"op": "rangeq",       "start": 14, "end": 28}
     {"op": "window",       "t": 30, "w": 20}
     {"op": "stats"}
+    {"op": "subscribe_journal", "from_commit": 0, "replica": "r1"}
+    {"op": "journal_ack",  "commit": 7, "replica": "r1"}
+    {"op": "promote"}
+
+The last three are the replication surface (see
+``repro.service.replication`` and DESIGN.md section 12): a follower
+subscribes to the primary's committed-batch stream, the primary pushes
+``{"op": "journal_batch", "commit": N, "records": "<base64>"}``
+messages down the same connection, and the follower acknowledges each
+applied commit.  Replica read replies carry two extra top-level fields,
+``"watermark"`` (the replica's applied commit sequence) and
+``"staleness_s"`` (seconds since it last heard from the primary; -1.0
+when unknown), so a client can enforce a max-staleness bound.  A write
+sent to a replica fails with ``ERR_NOT_PRIMARY`` whose error object
+may carry a ``"primary": "host:port"`` redirect hint.
 
 An optional ``"id"`` field is echoed verbatim in the reply, so clients
 may pipeline requests over one connection and match replies out of
@@ -105,10 +120,12 @@ After the 4-byte length prefix, a binary body is::
                              bit 1: deadline_ms
                              bit 2: trace context
                              bit 3: request/reply id
+                             bit 4: replica watermark (replies)
     [scalar id]              if flag bit 3
     [u16 len + client utf-8, u64 seq]            if flag bit 0
     [f64 deadline_ms]                            if flag bit 1
     [u16 len + trace id, u16 len + span id]      if flag bit 2
+    [u64 watermark, f64 staleness_s]             if flag bit 4
     <typed payload per message type>
 
 Scalars are 1-byte-tagged: NULL, I64 (``>q``), F64 (``>d``, NaN/inf
@@ -153,6 +170,7 @@ __all__ = [
     "ERR_DEADLINE",
     "ERR_OVERLOADED",
     "ERR_SHUTTING_DOWN",
+    "ERR_NOT_PRIMARY",
     "ERR_INTERNAL",
     "ERR_SERVER",
 ]
@@ -186,6 +204,7 @@ _FLAG_IDEM = 1
 _FLAG_DEADLINE = 2
 _FLAG_TRACE = 4
 _FLAG_ID = 8
+_FLAG_WATERMARK = 16
 
 # Message types: requests.
 _T_PING = 0x01
@@ -249,6 +268,9 @@ ERR_TIMEOUT = "timeout"
 ERR_DEADLINE = "deadline_exceeded"
 ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting_down"
+#: A write (or journal subscription) sent to a replica.  The error
+#: object may carry ``"primary"`` -- a ``"host:port"`` redirect hint.
+ERR_NOT_PRIMARY = "not_primary"
 ERR_INTERNAL = "internal"
 ERR_SERVER = "server_error"
 
@@ -387,19 +409,24 @@ def error_reply(
     *,
     trace_id: Optional[str] = None,
     retry_after: Optional[float] = None,
+    primary: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Build a structured error reply, echoing the request id if present.
 
     ``trace_id``, when given, lands inside the error object so a client
     (or an operator grepping the trace file) can join the failure with
     its span records.  ``retry_after`` (seconds) is the backoff hint
-    overload and drain rejections carry.
+    overload and drain rejections carry.  ``primary`` is the
+    ``"host:port"`` redirect hint a replica attaches to
+    :data:`ERR_NOT_PRIMARY` rejections.
     """
     error: Dict[str, Any] = {"type": err_type, "message": message}
     if trace_id is not None:
         error["trace_id"] = trace_id
     if retry_after is not None:
         error["retry_after"] = retry_after
+    if primary is not None:
+        error["primary"] = primary
     reply: Dict[str, Any] = {"ok": False, "error": error}
     if request is not None and "id" in request:
         reply["id"] = request["id"]
@@ -509,6 +536,20 @@ def _encode_envelope(message: Dict[str, Any], parts: List[bytes]) -> None:
         flags |= _FLAG_TRACE
         _pack_str16(trace["id"], tail)
         _pack_str16(trace["span"], tail)
+    if "watermark" in message or "staleness_s" in message:
+        watermark = message.get("watermark")
+        staleness = message.get("staleness_s")
+        if (
+            isinstance(watermark, bool)
+            or not isinstance(watermark, int)
+            or not 0 <= watermark < 2**64
+            or isinstance(staleness, bool)
+            or not isinstance(staleness, (int, float))
+        ):
+            raise _Unpackable  # odd shapes travel as JSON, verbatim
+        flags |= _FLAG_WATERMARK
+        tail.append(_U64.pack(watermark))
+        tail.append(_F64.pack(float(staleness)))
     parts.append(bytes((flags,)))
     parts.extend(tail)
 
@@ -555,7 +596,7 @@ def _encode_binary_request(message: Dict[str, Any]) -> bytes:
 
 def _encode_binary_reply(message: Dict[str, Any]) -> bytes:
     if message.get("ok"):
-        if set(message) - {"ok", "result", "id"}:
+        if set(message) - {"ok", "result", "id", "watermark", "staleness_s"}:
             raise _Unpackable
         result = message.get("result")
         parts: List[bytes] = []
@@ -602,7 +643,7 @@ def _encode_binary_reply(message: Dict[str, Any]) -> bytes:
         raise _Unpackable
     error = message.get("error")
     if not isinstance(error, dict) or not set(error) <= {
-        "type", "message", "trace_id", "retry_after"
+        "type", "message", "trace_id", "retry_after", "primary"
     }:
         raise _Unpackable
     parts = [_HDR.pack(BINARY_MAGIC, _T_ERR)]
@@ -622,6 +663,9 @@ def _encode_binary_reply(message: Dict[str, Any]) -> bytes:
             raise _Unpackable
         eflags |= 2
         tail.append(_F64.pack(float(retry_after)))
+    if "primary" in error:
+        eflags |= 4
+        _pack_str16(error["primary"], tail)
     parts.append(bytes((eflags,)))
     parts.extend(tail)
     return b"".join(parts)
@@ -721,7 +765,9 @@ class _Reader:
 
 def _decode_envelope(reader: _Reader, message: Dict[str, Any]) -> None:
     flags = reader.u8()
-    if flags & ~(_FLAG_IDEM | _FLAG_DEADLINE | _FLAG_TRACE | _FLAG_ID):
+    if flags & ~(
+        _FLAG_IDEM | _FLAG_DEADLINE | _FLAG_TRACE | _FLAG_ID | _FLAG_WATERMARK
+    ):
         raise ProtocolError(f"unknown envelope flags 0x{flags:02x}")
     if flags & _FLAG_ID:
         message["id"] = reader.scalar()
@@ -732,6 +778,9 @@ def _decode_envelope(reader: _Reader, message: Dict[str, Any]) -> None:
         message["deadline_ms"] = _restore_num(reader.f64())
     if flags & _FLAG_TRACE:
         message["trace"] = {"id": reader.str16(), "span": reader.str16()}
+    if flags & _FLAG_WATERMARK:
+        message["watermark"] = reader.u64()
+        message["staleness_s"] = reader.f64()
 
 
 def _decode_binary(body: bytes) -> Dict[str, Any]:
@@ -811,12 +860,14 @@ def _decode_binary(body: bytes) -> Dict[str, Any]:
             "message": reader.str16(),
         }
         eflags = reader.u8()
-        if eflags & ~3:
+        if eflags & ~7:
             raise ProtocolError(f"unknown error flags 0x{eflags:02x}")
         if eflags & 1:
             error["trace_id"] = reader.str16()
         if eflags & 2:
             error["retry_after"] = _restore_num(reader.f64())
+        if eflags & 4:
+            error["primary"] = reader.str16()
         message["error"] = error
         reader.expect_end()
         return message

@@ -1,0 +1,181 @@
+"""Journal-shipping replication: the record format and the commit log.
+
+A primary ships every committed group-commit batch to its followers as
+one ``journal_batch`` message over the ordinary wire protocol (see
+:mod:`repro.service.protocol`); this module owns the two pieces that
+are pure data:
+
+* **The record blob.**  The on-disk journal cannot be shipped verbatim:
+  it is a *rollback* journal of page pre-images, deleted the moment a
+  commit lands (see ``storage/pager.py``) -- useless for building a
+  second copy.  What replication needs is the *logical* redo stream, so
+  each shipped batch carries one record per client write, encoded in
+  the journal protocol v2 discipline: a length + CRC32 header per
+  record, corruption detected before a single fact is applied.  A
+  record is ``{"facts": [[value, start, end], ...]}`` plus, when the
+  write carried an idempotency key, ``"idem": [client, seq, result]``
+  -- the dedup window therefore rides the stream record by record,
+  which is what keeps exactly-once intact across failover.  Records are
+  framed back-to-back and base64-armored so the blob travels inside
+  either wire codec unchanged.
+
+* **The commit log.**  The primary retains recent batches in memory,
+  tagged with a monotonically increasing **commit sequence number**
+  (the watermark every replica read reports).  A follower subscribes
+  with ``from_commit`` = its applied watermark; the log replays the
+  backlog and the subscription continues live.  The log is bounded by
+  ``cap_bytes``: once truncation drops commits a follower still needs,
+  :meth:`CommitLog.since` raises and the follower must be re-seeded
+  from a copy of the primary's data files.  ``base`` > 0 also encodes
+  "commits happened before this log existed" -- a primary restarted on
+  an existing store restores its head from header metadata and refuses
+  followers that would need the unretained prefix.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ReplicationError",
+    "encode_records",
+    "decode_records",
+    "CommitLog",
+]
+
+#: Per-record header: payload byte length, CRC32 of the payload.
+_REC = struct.Struct(">II")
+
+
+class ReplicationError(RuntimeError):
+    """A corrupt or unserviceable replication stream."""
+
+
+# ----------------------------------------------------------------------
+# Record blob codec (journal v2 discipline: length + CRC32 per record)
+# ----------------------------------------------------------------------
+def encode_records(records: List[Dict[str, Any]]) -> str:
+    """Encode one batch's records into a base64 CRC-framed blob."""
+    parts: List[bytes] = []
+    for record in records:
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        parts.append(_REC.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
+        parts.append(payload)
+    return base64.b64encode(b"".join(parts)).decode("ascii")
+
+
+def decode_records(blob: Any) -> List[Dict[str, Any]]:
+    """Decode and CRC-verify a record blob; raises :class:`ReplicationError`.
+
+    Verification is all-or-nothing: a follower must apply a batch
+    entirely or not at all, so a single bad record rejects the whole
+    blob (the follower resubscribes and the primary re-sends it).
+    """
+    if not isinstance(blob, str):
+        raise ReplicationError("records blob must be a base64 string")
+    try:
+        raw = base64.b64decode(blob.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ReplicationError(f"undecodable records blob: {exc}") from None
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    while offset < len(raw):
+        if offset + _REC.size > len(raw):
+            raise ReplicationError(f"truncated record header at byte {offset}")
+        length, crc = _REC.unpack_from(raw, offset)
+        offset += _REC.size
+        payload = raw[offset:offset + length]
+        if len(payload) != length:
+            raise ReplicationError(f"truncated record payload at byte {offset}")
+        offset += length
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise ReplicationError(
+                f"record CRC mismatch at byte {offset - length}"
+            )
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ReplicationError(f"undecodable record: {exc}") from None
+        if not isinstance(record, dict):
+            raise ReplicationError("record must be a JSON object")
+        records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Primary-side commit log
+# ----------------------------------------------------------------------
+class CommitLog:
+    """Bounded in-memory log of committed batches, numbered from ``base``.
+
+    Commit ``base + 1`` is the first entry retained; :attr:`head` is the
+    newest committed sequence number.  ``skip`` advances the head
+    without retaining a blob (commits on a primary that has never had a
+    subscriber -- nothing will ever ask for them, and a later follower
+    starting from 0 is correctly refused because ``base`` moved).
+    """
+
+    def __init__(self, base: int = 0, cap_bytes: int = 64 * 1024 * 1024) -> None:
+        if base < 0 or cap_bytes < 1:
+            raise ValueError("base must be >= 0 and cap_bytes positive")
+        self.base = base
+        self.cap_bytes = cap_bytes
+        self.truncations = 0
+        self._entries: List[Tuple[int, str, float]] = []  # (seq, blob, mono)
+        self._bytes = 0
+
+    @property
+    def head(self) -> int:
+        return self.base + len(self._entries)
+
+    def append(self, blob: str, now: float) -> int:
+        """Retain one committed batch; returns its commit sequence number."""
+        seq = self.head + 1
+        self._entries.append((seq, blob, now))
+        self._bytes += len(blob)
+        while self._bytes > self.cap_bytes and len(self._entries) > 1:
+            _, old, _ = self._entries.pop(0)
+            self._bytes -= len(old)
+            self.base += 1
+            self.truncations += 1
+        return seq
+
+    def skip(self, now: float) -> int:
+        """Advance the head past an unretained commit; returns its seq."""
+        if self._entries:
+            # Once anything is retained, every later commit must be too
+            # (a hole would silently corrupt a resuming follower).
+            raise ReplicationError("cannot skip past retained commits")
+        self.base += 1
+        return self.base
+
+    def since(self, from_commit: int) -> List[Tuple[int, str, float]]:
+        """Entries after *from_commit*, oldest first.
+
+        Raises :class:`ReplicationError` when the log no longer reaches
+        back that far -- the follower needs a re-seed, not a stream.
+        """
+        if from_commit < self.base:
+            raise ReplicationError(
+                f"replication log starts at commit {self.base}; cannot "
+                f"resume from {from_commit} (re-seed the replica from a "
+                f"copy of the primary's data files)"
+            )
+        return list(self._entries[from_commit - self.base:])
+
+    def broadcast_time(self, seq: int) -> Optional[float]:
+        """Monotonic time commit *seq* was shipped, if still retained."""
+        index = seq - self.base - 1
+        if 0 <= index < len(self._entries):
+            return self._entries[index][2]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CommitLog base={self.base} head={self.head} "
+            f"bytes={self._bytes}>"
+        )

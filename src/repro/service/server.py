@@ -54,12 +54,23 @@ never the loop.  The moving parts:
   the ``op.*`` record machinery), plus ``service.batch.size``, flush,
   dedup, overload, and deadline counters; the ``stats`` op serves them
   to clients.
+* **Replication.**  A primary ships every committed batch to
+  subscribed followers (``subscribe_journal`` / ``journal_batch``, see
+  :mod:`repro.service.replication`) and, by default, holds each
+  write's ack until every live follower has applied it (semi-sync,
+  bounded by ``repl_ack_timeout``).  A server started with
+  ``replica_of`` follows a primary instead of accepting writes: reads
+  are served tagged with the applied-commit watermark, writes are
+  rejected with ``ERR_NOT_PRIMARY`` + a redirect hint, and the
+  ``promote`` op seals the stream and flips the replica into a
+  primary with the exactly-once dedup window intact.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -73,11 +84,21 @@ from ..sharding import ShardedTree, ShardingError, WindowUnsupportedError
 from . import dedup as dedup_mod
 from . import protocol as wire
 from .dedup import DedupWindow
+from .replication import CommitLog, ReplicationError, decode_records, encode_records
 
 __all__ = ["TemporalAggregateServer", "ServerHandle"]
 
 #: Header-metadata key the dedup window is persisted under.
 DEDUP_META_KEY = "service.dedup"
+
+#: Header-metadata key the replication commit watermark is persisted
+#: under.  Written inside every durable group commit (primaries write
+#: their commit-log head, replicas their applied commit), so a restarted
+#: process knows exactly where in the replication stream its on-disk
+#: state sits: a primary restores its commit numbering (and refuses
+#: followers that would need the unretained prefix), a replica resumes
+#: its subscription from the watermark instead of refetching history.
+REPL_COMMIT_META_KEY = "service.repl.commit"
 
 
 def _number(value: Any, field: str) -> float:
@@ -121,6 +142,35 @@ class _CommitFailed(Exception):
     """The batch applied but its durability commit failed."""
 
 
+class _NotPrimary(Exception):
+    """A write reached a replica; the client must redirect."""
+
+
+class _StreamReset(Exception):
+    """The follower must drop and re-establish its subscription
+    (idle link, sequence gap, corrupt batch) -- transient by design:
+    resubscribing from the applied watermark loses nothing."""
+
+
+class _StreamRejected(Exception):
+    """The upstream refused the subscription (wrong shard layout,
+    diverged history, itself a replica); retried slowly -- the
+    condition usually needs an operator (or a promotion) to clear."""
+
+
+class _Subscriber:
+    """One follower's registration on a primary."""
+
+    __slots__ = ("name", "writer", "codec", "acked", "last_ack")
+
+    def __init__(self, name: str, writer, codec: str, acked: int) -> None:
+        self.name = name
+        self.writer = writer
+        self.codec = codec
+        self.acked = acked
+        self.last_ack: Optional[float] = None
+
+
 def _idem_key(request: Dict[str, Any]) -> Optional[dedup_mod.IdemKey]:
     """Validate and extract the request's idempotency key, if any."""
     client = request.get("client")
@@ -153,6 +203,12 @@ class TemporalAggregateServer:
         dedup_window: int = 128,
         registry: Optional[obs.MetricsRegistry] = None,
         executor: Optional[ThreadPoolExecutor] = None,
+        replica_of: Optional[str] = None,
+        replica_name: Optional[str] = None,
+        repl_sync: bool = True,
+        repl_ack_timeout: float = 10.0,
+        repl_heartbeat: float = 0.5,
+        repl_log_cap: int = 64 * 1024 * 1024,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be at least 1")
@@ -206,6 +262,60 @@ class TemporalAggregateServer:
         loaded = self._dedup.load(sharded.get_meta(DEDUP_META_KEY))
         if loaded:
             self.registry.counter("service.dedup.loaded").inc(loaded)
+        # Replication state.  The durable watermark ties the on-disk
+        # tree to a position in the commit stream (see
+        # REPL_COMMIT_META_KEY); both roles restore it on open.
+        restored = 0
+        for raw in sharded.get_meta(REPL_COMMIT_META_KEY):
+            try:
+                restored = max(restored, int(raw))
+            except (TypeError, ValueError):
+                pass
+        self._is_replica = replica_of is not None
+        self._promoted = False
+        self._primary_addr: Optional[Tuple[str, int]] = None
+        if replica_of is not None:
+            try:
+                if isinstance(replica_of, str):
+                    phost, _, pport = replica_of.rpartition(":")
+                    self._primary_addr = (phost, int(pport))
+                else:
+                    phost, pport = replica_of
+                    self._primary_addr = (str(phost), int(pport))
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"replica_of must be 'host:port', got {replica_of!r}"
+                ) from None
+        self.replica_name = replica_name
+        self.repl_sync = repl_sync
+        self.repl_ack_timeout = repl_ack_timeout
+        self.repl_heartbeat = repl_heartbeat
+        self.repl_log_cap = repl_log_cap
+        # Primary side: the bounded commit log and its subscribers.
+        self._commit_log = CommitLog(base=restored, cap_bytes=repl_log_cap)
+        self._stream_id = uuid.uuid4().hex
+        self._had_subscriber = False
+        # True while the semi-sync floor must hold even with zero live
+        # subscriber connections (a follower exists but is mid-reconnect
+        # after a link fault); cleared only by a full ack-timeout
+        # degrade, set again the moment a follower (re)subscribes.
+        self._repl_expected = False
+        self._subscribers: Dict[str, _Subscriber] = {}
+        self._ack_waiters: List[Tuple[int, asyncio.Future]] = []
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        # Follower side: applied watermark and the follow loop.
+        self._applied_commit = restored
+        self._stream_head = restored
+        self._last_stream_mono: Optional[float] = None
+        self._gap_since: Optional[float] = None
+        self._repl_idle = max(3.0 * repl_heartbeat, 2.0)
+        self._repl_connected = False
+        self._repl_last_error: Optional[str] = None
+        self._repl_sealed = False
+        self._follow_task: Optional[asyncio.Task] = None
+        self._follow_writer = None
+        self._repl_stop: Optional[asyncio.Event] = None
+        self._promote_lock: Optional[asyncio.Lock] = None
         # Hot-path bindings, resolved once instead of per request: the
         # profile of the dispatch loop showed registry name lookups and
         # the op if-chain costing more than the tree work for ping-sized
@@ -237,7 +347,9 @@ class TemporalAggregateServer:
         # Disabled alongside fault injection because the overload
         # contract counts slow in-flight requests against
         # ``max_inflight``, and inline inserts do not hold a slot.
-        self._inline_writes = self._inline_reads
+        # Replicas disable it too: their writes must reach the
+        # _NotPrimary rejection in _write_op, not the batch queue.
+        self._inline_writes = self._inline_reads and not self._is_replica
         self._m_fast_writes = self.registry.counter("service.fast_writes")
         self._pending_facts = 0  # mirrors sum(len(f) for f, ... in _pending)
         self._handlers = {
@@ -249,6 +361,8 @@ class TemporalAggregateServer:
             "rangeq": self._op_rangeq,
             "window": self._op_window,
             "stats": self._op_stats,
+            "journal_ack": self._op_journal_ack,
+            "promote": self._op_promote,
         }
 
     # ------------------------------------------------------------------
@@ -258,12 +372,18 @@ class TemporalAggregateServer:
         """Bind and start accepting; ``self.port`` holds the real port."""
         self._loop = asyncio.get_running_loop()
         self._flush_lock = asyncio.Lock()
+        self._promote_lock = asyncio.Lock()
+        self._repl_stop = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         if self.health_interval > 0:
             self._health_task = self._loop.create_task(self._health_loop())
+        if self._is_replica:
+            if self.replica_name is None:
+                self.replica_name = f"{self.host}:{self.port}"
+            self._follow_task = self._loop.create_task(self._follow_loop())
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -277,6 +397,24 @@ class TemporalAggregateServer:
     async def stop(self) -> None:
         """Graceful drain: stop accepting, flush writes, answer in-flight."""
         self._draining = True
+        if self._repl_stop is not None:
+            self._repl_stop.set()
+        if self._follow_task is not None:
+            if self._follow_writer is not None:
+                try:
+                    self._follow_writer.close()
+                except Exception:
+                    pass
+            try:
+                await asyncio.wait_for(
+                    self._follow_task, timeout=self.drain_timeout
+                )
+            except Exception:
+                self._follow_task.cancel()
+            self._follow_task = None
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
         if self._health_task is not None:
             self._health_task.cancel()
             self._health_task = None
@@ -318,6 +456,10 @@ class TemporalAggregateServer:
         """
         health = sharded_health(self.sharded)
         record_health(self.registry, health)
+        try:
+            self._refresh_repl_gauges()
+        except Exception:
+            pass  # gauge refresh races the loop; never fail a scrape
         return health
 
     # ------------------------------------------------------------------
@@ -356,6 +498,29 @@ class TemporalAggregateServer:
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
                 arrival = asyncio.get_running_loop().time()
+                if request.get("op") == "subscribe_journal":
+                    # Subscriptions bypass admission control (one frame
+                    # turns the connection into a push stream) and must
+                    # register atomically with the flush machinery.
+                    await self._subscribe_journal(
+                        request, writer, write_lock, codec
+                    )
+                    continue
+                if request.get("op") == "journal_ack":
+                    # Acks release semi-sync writers; they must never
+                    # queue behind admission control (a primary at
+                    # max_inflight would otherwise deadlock on its own
+                    # followers until the ack timeout).
+                    try:
+                        reply = await self._op_journal_ack(request, None)
+                    except wire.ProtocolError as exc:
+                        reply = wire.error_reply(
+                            wire.ERR_BAD_REQUEST, str(exc), request
+                        )
+                    await self._send(
+                        writer, write_lock, reply, request, codec=codec
+                    )
+                    continue
                 # Admission control: a request beyond the global bounds
                 # is rejected *now*, before it holds a queue slot --
                 # shedding load costs one error frame, not a thread or a
@@ -465,6 +630,8 @@ class TemporalAggregateServer:
         )
         if not reply.get("ok"):
             self._m_errors.inc()
+        elif self._is_replica:
+            self._tag_watermark(reply)
         return reply
 
     async def _fast_insert(
@@ -678,6 +845,11 @@ class TemporalAggregateServer:
             reply = wire.error_reply(wire.ERR_FAULT, str(exc), request)
         except LockTimeout as exc:
             reply = wire.error_reply(wire.ERR_TIMEOUT, str(exc), request)
+        except _NotPrimary as exc:
+            reply = wire.error_reply(
+                wire.ERR_NOT_PRIMARY, str(exc), request,
+                primary=self._primary_hint(),
+            )
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # never let a request kill the server
@@ -696,6 +868,8 @@ class TemporalAggregateServer:
         )
         if not reply.get("ok"):
             self._m_errors.inc()
+        elif self._is_replica and op in ("lookup", "rangeq", "window", "stats"):
+            self._tag_watermark(reply)
         if sctx is not None:
             trace.emit_span(
                 sctx,
@@ -797,6 +971,10 @@ class TemporalAggregateServer:
         sctx: Optional[trace.TraceContext],
     ) -> Dict[str, Any]:
         """Apply a mutating request exactly once (per idempotency key)."""
+        if self._is_replica:
+            raise _NotPrimary(
+                "this server is a read replica; send writes to the primary"
+            )
         idem = _idem_key(request)
         if idem is not None:
             replay = await self._check_duplicate(idem)
@@ -915,6 +1093,7 @@ class TemporalAggregateServer:
                     "max_inflight_bytes": self.max_inflight_bytes,
                 },
             },
+            "replication": self._replication_stats(),
         }
 
     # ------------------------------------------------------------------
@@ -981,7 +1160,18 @@ class TemporalAggregateServer:
             for facts, _, _, idem in batch
             if idem is not None
         ]
-        payload = self._dedup.encode_with(idem_entries) if self._durable else None
+        # The commit's replication sequence number is fixed *before* the
+        # apply so the durable watermark can ride inside the same commit
+        # as the data and dedup pages (one atomic unit per store).
+        commit_seq = None if self._is_replica else self._commit_log.head + 1
+        meta = None
+        if self._durable:
+            meta = {}
+            payload = self._dedup.encode_with(idem_entries)
+            if payload is not None:
+                meta[DEDUP_META_KEY] = payload
+            if commit_seq is not None:
+                meta[REPL_COMMIT_META_KEY] = str(commit_seq)
         # One flush serves several requests; its shard/tree spans are
         # recorded once (trace-agnostically) and replayed under every
         # sampled participant's trace after the apply.
@@ -992,15 +1182,19 @@ class TemporalAggregateServer:
         assert self._loop is not None
         started = self._loop.time()
         try:
-            await self._run(self._apply_batch, all_facts, payload, collector)
+            await self._run(self._apply_batch, all_facts, meta, collector)
         except _CommitFailed as exc:
             # The batch is applied in memory but its durability commit
             # failed (disk fault): waiters get the error, yet the keys
             # must be remembered -- a retry would otherwise double-apply
             # against the still-running process.  The acked-means-
             # durable contract is downgraded for these keys until the
-            # next successful commit persists them.
+            # next successful commit persists them.  The batch still
+            # ships to followers: its facts are in this primary's
+            # memory and will be durable at the next successful commit,
+            # so replicas must mirror them or diverge.
             self.registry.counter("service.batch.commit_failures").inc()
+            await self._finish_replication(batch, commit_seq)
             self._record_batch(idem_entries, batch)
             self._replay_flush(collector, participants, batch, started)
             self._fail_batch(batch, exc.__cause__ or exc)
@@ -1013,6 +1207,7 @@ class TemporalAggregateServer:
         else:
             if self._durable:
                 self.registry.counter("service.batch.commits").inc()
+            await self._finish_replication(batch, commit_seq)
             self._record_batch(idem_entries, batch)
             self._replay_flush(collector, participants, batch, started)
             acks: dict = {}
@@ -1033,7 +1228,7 @@ class TemporalAggregateServer:
             if acks:
                 self._flush_acks(acks)
 
-    def _apply_batch(self, facts, payload, collector) -> int:
+    def _apply_batch(self, facts, meta, collector) -> int:
         """Executor half of a flush: apply the batch, then commit it."""
         if collector is not None:
             with collector.recording():
@@ -1041,7 +1236,6 @@ class TemporalAggregateServer:
         else:
             applied = self.sharded.batch_insert(facts)
         if self._durable:
-            meta = {DEDUP_META_KEY: payload} if payload is not None else None
             try:
                 self.sharded.commit(meta)
             except Exception as exc:
@@ -1097,6 +1291,11 @@ class TemporalAggregateServer:
             return wire.error_reply(wire.ERR_FAULT, str(exc), request)
         if isinstance(exc, LockTimeout):
             return wire.error_reply(wire.ERR_TIMEOUT, str(exc), request)
+        if isinstance(exc, _NotPrimary):
+            return wire.error_reply(
+                wire.ERR_NOT_PRIMARY, str(exc), request,
+                primary=self._primary_hint(),
+            )
         return wire.error_reply(
             wire.ERR_SERVER, f"{type(exc).__name__}: {exc}", request
         )
@@ -1122,6 +1321,639 @@ class TemporalAggregateServer:
             # Durations fold into the registry histograms once, not once
             # per participant sharing the flush.
             collector.replay(flush_ctx, fold=index == 0)
+
+    # ------------------------------------------------------------------
+    # Replication: shared plumbing
+    # ------------------------------------------------------------------
+    def _primary_hint(self) -> Optional[str]:
+        """The redirect hint a replica attaches to write rejections."""
+        if self._primary_addr is None:
+            return None
+        return f"{self._primary_addr[0]}:{self._primary_addr[1]}"
+
+    def _tag_watermark(self, reply: Dict[str, Any]) -> None:
+        """Stamp a replica read reply with its consistency position."""
+        reply["watermark"] = self._applied_commit
+        if self._last_stream_mono is None or self._loop is None:
+            reply["staleness_s"] = -1.0  # never heard from the primary
+        else:
+            reply["staleness_s"] = max(
+                0.0, self._loop.time() - self._last_stream_mono
+            )
+
+    def _replication_stats(self) -> Optional[Dict[str, Any]]:
+        """The ``stats`` op's replication section (None when inert)."""
+        if self._is_replica:
+            staleness = -1.0
+            if self._last_stream_mono is not None and self._loop is not None:
+                staleness = max(0.0, self._loop.time() - self._last_stream_mono)
+            return {
+                "role": "replica",
+                "primary": self._primary_hint(),
+                "applied": self._applied_commit,
+                "head": self._stream_head,
+                "lag_commits": max(0, self._stream_head - self._applied_commit),
+                "staleness_s": staleness,
+                "connected": self._repl_connected,
+                "last_error": self._repl_last_error,
+            }
+        if not self._had_subscriber and not self._promoted:
+            return None  # standalone primary: no replication to report
+        now = self._loop.time() if self._loop is not None else None
+        replicas = []
+        # list(): stats runs in the executor; the loop may be mutating.
+        for sub in list(self._subscribers.values()):
+            entry: Dict[str, Any] = {
+                "name": sub.name,
+                "acked": sub.acked,
+                "lag_commits": max(0, self._commit_log.head - sub.acked),
+                "connected": not sub.writer.is_closing(),
+            }
+            shipped = self._commit_log.broadcast_time(sub.acked + 1)
+            if shipped is not None and now is not None:
+                entry["lag_s"] = max(0.0, now - shipped)
+            else:
+                entry["lag_s"] = 0.0
+            replicas.append(entry)
+        return {
+            "role": "primary",
+            "commit": self._commit_log.head,
+            "stream": self._stream_id,
+            "sync": self.repl_sync,
+            "promoted": self._promoted,
+            "replicas": replicas,
+        }
+
+    def _refresh_repl_gauges(self) -> None:
+        """Publish replication lag as registry gauges (for /metrics)."""
+        stats = self._replication_stats()
+        if stats is None:
+            return
+        gauge = self.registry.gauge
+        if stats["role"] == "replica":
+            gauge("service.repl.applied").set(float(stats["applied"]))
+            gauge("service.repl.head").set(float(stats["head"]))
+            gauge("service.repl.lag_commits").set(float(stats["lag_commits"]))
+            gauge("service.repl.staleness_s").set(stats["staleness_s"])
+            gauge("service.repl.connected").set(1.0 if stats["connected"] else 0.0)
+            return
+        gauge("service.repl.commit").set(float(stats["commit"]))
+        gauge("service.repl.replicas").set(float(len(stats["replicas"])))
+        for entry in stats["replicas"]:
+            name = "".join(
+                ch if ch.isalnum() else "_" for ch in entry["name"]
+            )
+            prefix = f"service.repl.replica.{name}"
+            gauge(f"{prefix}.acked").set(float(entry["acked"]))
+            gauge(f"{prefix}.lag_commits").set(float(entry["lag_commits"]))
+            gauge(f"{prefix}.lag_s").set(float(entry["lag_s"]))
+
+    # ------------------------------------------------------------------
+    # Replication: primary side
+    # ------------------------------------------------------------------
+    async def _subscribe_journal(
+        self, request, writer, write_lock, codec: str
+    ) -> None:
+        """Register a follower and replay its backlog.
+
+        Registration, the backlog snapshot, and the handshake write all
+        happen under the flush lock, so no commit can slip between the
+        snapshot and the live stream -- the follower sees a gap-free
+        sequence.  Stream frames are written directly (one buffered
+        ``write`` per batch, no per-frame drain): the semi-sync ack wait
+        in the flush path is what bounds the send buffer.
+        """
+        if self._is_replica:
+            await self._send(
+                writer, write_lock,
+                wire.error_reply(
+                    wire.ERR_NOT_PRIMARY,
+                    "cannot subscribe to a replica; follow the primary",
+                    request, primary=self._primary_hint(),
+                ),
+                request, codec=codec,
+            )
+            return
+        replica = request.get("replica")
+        from_commit = request.get("from_commit", 0)
+        if not isinstance(replica, str) or not replica:
+            await self._send(
+                writer, write_lock,
+                wire.error_reply(
+                    wire.ERR_BAD_REQUEST,
+                    "field 'replica' must be a non-empty string", request,
+                ),
+                request, codec=codec,
+            )
+            return
+        if (
+            isinstance(from_commit, bool)
+            or not isinstance(from_commit, int)
+            or from_commit < 0
+        ):
+            await self._send(
+                writer, write_lock,
+                wire.error_reply(
+                    wire.ERR_BAD_REQUEST,
+                    "field 'from_commit' must be a non-negative integer",
+                    request,
+                ),
+                request, codec=codec,
+            )
+            return
+        assert self._flush_lock is not None and self._loop is not None
+        async with self._flush_lock:
+            try:
+                backlog = self._commit_log.since(from_commit)
+            except ReplicationError as exc:
+                await self._send(
+                    writer, write_lock,
+                    wire.error_reply(wire.ERR_UNSUPPORTED, str(exc), request),
+                    request, codec=codec,
+                )
+                return
+            sub = self._subscribers.get(replica)
+            if sub is None:
+                sub = _Subscriber(replica, writer, codec, from_commit)
+                self._subscribers[replica] = sub
+            else:
+                # A reconnect keeps the acked watermark (it only moves
+                # forward); the old connection is dead or stale.
+                sub.writer = writer
+                sub.codec = codec
+                sub.acked = max(sub.acked, from_commit)
+            self._had_subscriber = True
+            self._repl_expected = True
+            handshake = wire.ok_reply(
+                {
+                    "stream": self._stream_id,
+                    "commit": self._commit_log.head,
+                    "kind": self.sharded.spec.kind.value,
+                    "boundaries": list(self.sharded.router.boundaries),
+                    "heartbeat_s": self.repl_heartbeat,
+                },
+                request,
+            )
+            frames = [wire.encode_frame(handshake, codec)]
+            for seq, blob, _ in backlog:
+                frames.append(
+                    wire.encode_frame(self._batch_msg(seq, blob), codec)
+                )
+            writer.write(b"".join(frames))
+        self.registry.counter("service.repl.subscribes").inc()
+        self._resolve_ack_waiters()
+        self._refresh_repl_gauges()
+        if self._heartbeat_task is None and self.repl_heartbeat > 0:
+            self._heartbeat_task = self._loop.create_task(
+                self._heartbeat_loop()
+            )
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    def _batch_msg(self, seq: int, blob: str) -> Dict[str, Any]:
+        return {
+            "op": "journal_batch",
+            "commit": seq,
+            "records": blob,
+            "stream": self._stream_id,
+        }
+
+    async def _heartbeat_loop(self) -> None:
+        """Keep follower links warm: gap detection and ack refresh."""
+        try:
+            while True:
+                await asyncio.sleep(self.repl_heartbeat)
+                if not self._subscribers:
+                    continue
+                msg = {
+                    "op": "journal_batch",
+                    "commit": self._commit_log.head,
+                    "heartbeat": True,
+                    "stream": self._stream_id,
+                }
+                for sub in list(self._subscribers.values()):
+                    self._send_subscriber(sub, msg)
+        except asyncio.CancelledError:
+            pass
+
+    def _send_subscriber(self, sub: _Subscriber, msg: Dict[str, Any]) -> None:
+        if sub.writer.is_closing():
+            return
+        try:
+            sub.writer.write(wire.encode_frame(msg, sub.codec))
+        except Exception:
+            pass  # a dead link is detected by pruning, not here
+
+    async def _finish_replication(self, batch, commit_seq) -> None:
+        """Ship one flushed batch and (semi-sync) await follower acks."""
+        if commit_seq is None:
+            return
+        seq = self._ship_batch(batch)
+        if seq != commit_seq:  # pragma: no cover - flushes are serialized
+            raise RuntimeError(
+                f"commit sequence skew: shipped {seq}, persisted {commit_seq}"
+            )
+        # Wait while a follower is *expected*, not merely while one is
+        # connected: during a follower's reconnect after a link fault
+        # the subscriber dict can be empty, and acking unreplicated
+        # writes in that window is exactly the data loss a failover
+        # would then expose.
+        if self.repl_sync and (self._subscribers or self._repl_expected):
+            await self._wait_replicated(seq)
+
+    def _ship_batch(self, batch) -> int:
+        """Record one committed batch in the log; push it to followers.
+
+        Until the first subscriber ever appears the encode is skipped
+        entirely (``CommitLog.skip``) -- a standalone primary pays
+        nothing for replication being possible.
+        """
+        assert self._loop is not None
+        now = self._loop.time()
+        if not self._had_subscriber:
+            return self._commit_log.skip(now)
+        records = []
+        for facts, _, _, idem in batch:
+            record: Dict[str, Any] = {
+                "facts": [[value, iv.start, iv.end] for value, iv in facts]
+            }
+            if idem is not None:
+                record["idem"] = [idem[0], idem[1], {"applied": len(facts)}]
+            records.append(record)
+        blob = encode_records(records)
+        seq = self._commit_log.append(blob, now)
+        self.registry.counter("service.repl.batches_shipped").inc()
+        if self._subscribers:
+            msg = self._batch_msg(seq, blob)
+            for sub in list(self._subscribers.values()):
+                self._send_subscriber(sub, msg)
+        return seq
+
+    def _acked_floor(self) -> float:
+        if not self._subscribers:
+            # -inf while a follower is expected back (hold the floor
+            # through its reconnect); +inf once degraded or standalone.
+            return float("-inf") if self._repl_expected else float("inf")
+        return min(sub.acked for sub in self._subscribers.values())
+
+    def _resolve_ack_waiters(self) -> None:
+        floor = self._acked_floor()
+        pending = []
+        for seq, future in self._ack_waiters:
+            if future.done():
+                continue
+            if seq <= floor:
+                future.set_result(True)
+            else:
+                pending.append((seq, future))
+        self._ack_waiters = pending
+
+    def _prune_subscribers(self) -> None:
+        """Drop followers whose connection is gone; release waiters."""
+        for name, sub in list(self._subscribers.items()):
+            if sub.writer.is_closing():
+                del self._subscribers[name]
+                self.registry.counter("service.repl.subscriber_drops").inc()
+        self._resolve_ack_waiters()
+
+    async def _wait_replicated(self, seq: int) -> None:
+        """Semi-sync commit: hold the ack until every live follower has
+        applied this batch, bounded by ``repl_ack_timeout``.  On timeout
+        the primary degrades to async (counted) rather than stalling
+        writers behind a dead or wedged follower forever."""
+        if self._acked_floor() >= seq:
+            return
+        assert self._loop is not None
+        future: asyncio.Future = self._loop.create_future()
+        self._ack_waiters.append((seq, future))
+        try:
+            await asyncio.wait_for(future, timeout=self.repl_ack_timeout)
+        except asyncio.TimeoutError:
+            self.registry.counter("service.repl.sync_timeouts").inc()
+            self._prune_subscribers()
+            if not self._subscribers:
+                # Every follower is gone and none came back within the
+                # ack timeout: degrade to async (release all waiters)
+                # until one resubscribes.
+                self._repl_expected = False
+                self._resolve_ack_waiters()
+        finally:
+            self._ack_waiters = [
+                (s, f) for s, f in self._ack_waiters if f is not future
+            ]
+
+    async def _op_journal_ack(self, request, sctx) -> Dict[str, Any]:
+        replica = request.get("replica")
+        commit = request.get("commit")
+        if not isinstance(replica, str) or not replica:
+            raise wire.ProtocolError("field 'replica' must be a non-empty string")
+        if isinstance(commit, bool) or not isinstance(commit, int) or commit < 0:
+            raise wire.ProtocolError("field 'commit' must be a non-negative integer")
+        sub = self._subscribers.get(replica)
+        if sub is not None:
+            sub.acked = max(sub.acked, commit)
+            if self._loop is not None:
+                sub.last_ack = self._loop.time()
+            self._resolve_ack_waiters()
+            self._refresh_repl_gauges()
+        return wire.ok_reply({}, request)
+
+    # ------------------------------------------------------------------
+    # Replication: follower side
+    # ------------------------------------------------------------------
+    async def _follow_loop(self) -> None:
+        """Maintain the subscription to the primary until sealed."""
+        assert self._repl_stop is not None
+        backoff = 0.05
+        while not self._repl_stop.is_set():
+            try:
+                await self._follow_once()
+                backoff = 0.05
+            except _StreamReset as exc:
+                self.registry.counter("service.repl.resubscribes").inc()
+                self._repl_last_error = str(exc)
+                backoff = 0.05
+            except _StreamRejected as exc:
+                # The primary said no (diverged, wrong layout, itself a
+                # replica).  Retried slowly: a later promotion over
+                # there may make the subscription valid again.
+                self.registry.counter("service.repl.rejected").inc()
+                self._repl_last_error = str(exc)
+                backoff = max(backoff, 1.0)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self.registry.counter("service.repl.disconnects").inc()
+                self._repl_last_error = f"{type(exc).__name__}: {exc}"
+            if self._repl_stop.is_set():
+                break
+            try:
+                await asyncio.wait_for(
+                    self._repl_stop.wait(), timeout=backoff
+                )
+            except asyncio.TimeoutError:
+                pass
+            backoff = min(backoff * 2, 1.0)
+
+    async def _follow_once(self) -> None:
+        assert self._primary_addr is not None
+        host, port = self._primary_addr
+        reader, writer = await asyncio.open_connection(host, port)
+        self._follow_writer = writer
+        try:
+            subscribe = {
+                "op": "subscribe_journal",
+                "from_commit": self._applied_commit,
+                "replica": self.replica_name,
+            }
+            writer.write(wire.encode_frame(subscribe, wire.CODEC_JSON))
+            await writer.drain()
+            self._repl_connected = True
+            self._refresh_repl_gauges()
+            await self._consume_stream(reader, writer)
+        finally:
+            self._repl_connected = False
+            self._follow_writer = None
+            self._gap_since = None
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _consume_stream(self, reader, writer) -> None:
+        """Pump one subscription connection until it dies or is sealed.
+
+        A link that goes quiet for ``_repl_idle`` (several heartbeat
+        periods) is torn down and re-established -- the cure for every
+        dropped-frame case the chaos proxy can produce, because a fresh
+        ``subscribe_journal`` from the applied watermark re-fetches
+        whatever was lost.
+        """
+        assert self._repl_stop is not None
+        while not self._repl_stop.is_set():
+            try:
+                header = await asyncio.wait_for(
+                    reader.readexactly(4), timeout=self._repl_idle
+                )
+                length = wire.decode_length(header)
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=self._repl_idle
+                )
+            except asyncio.TimeoutError:
+                raise _StreamReset("replication stream idle") from None
+            except (asyncio.IncompleteReadError, ConnectionError):
+                if self._repl_stop.is_set():
+                    return
+                raise _StreamReset("replication stream closed") from None
+            message = wire.decode_body(body)
+            if message.get("op") == "journal_batch":
+                await self._handle_journal_batch(message, writer)
+            elif "ok" in message:
+                if message.get("ok"):
+                    result = message.get("result")
+                    if isinstance(result, dict) and "stream" in result:
+                        self._adopt_handshake(result)
+                    # else: an ack reply to our journal_ack -- ignored.
+                else:
+                    error = message.get("error") or {}
+                    err_type = error.get("type")
+                    detail = f"{err_type}: {error.get('message')}"
+                    if err_type in (
+                        wire.ERR_NOT_PRIMARY,
+                        wire.ERR_UNSUPPORTED,
+                        wire.ERR_BAD_REQUEST,
+                    ):
+                        raise _StreamRejected(detail)
+                    raise _StreamReset(detail)
+            # Anything else on this connection is not for us; skip it.
+
+    def _adopt_handshake(self, result: Dict[str, Any]) -> None:
+        kind = result.get("kind")
+        if kind is not None and kind != self.sharded.spec.kind.value:
+            raise _StreamRejected(
+                f"primary serves kind {kind!r}, this replica holds "
+                f"{self.sharded.spec.kind.value!r}"
+            )
+        boundaries = result.get("boundaries")
+        if boundaries is not None and list(boundaries) != list(
+            self.sharded.router.boundaries
+        ):
+            raise _StreamRejected(
+                "primary shard boundaries differ from this replica's"
+            )
+        head = result.get("commit")
+        if isinstance(head, bool) or not isinstance(head, int):
+            head = self._applied_commit
+        if head < self._applied_commit:
+            raise _StreamRejected(
+                f"primary head {head} is behind this replica's applied "
+                f"commit {self._applied_commit} (diverged history; "
+                f"re-seed one side)"
+            )
+        self._stream_id = result.get("stream") or self._stream_id
+        self._stream_head = max(self._stream_head, head)
+        assert self._loop is not None
+        self._last_stream_mono = self._loop.time()
+        self._refresh_repl_gauges()
+
+    async def _handle_journal_batch(self, message, writer) -> None:
+        commit = message.get("commit")
+        if isinstance(commit, bool) or not isinstance(commit, int):
+            raise _StreamReset(f"journal_batch with bad commit {commit!r}")
+        assert self._loop is not None
+        now = self._loop.time()
+        self._last_stream_mono = now
+        if message.get("heartbeat"):
+            self._stream_head = max(self._stream_head, commit)
+            if self._stream_head > self._applied_commit:
+                # The primary is ahead but no batch frames are arriving:
+                # a dropped frame with nothing behind it to expose the
+                # gap.  Heartbeats carrying a stuck watermark for longer
+                # than the idle window force a resubscribe.
+                if self._gap_since is None:
+                    self._gap_since = now
+                elif now - self._gap_since > self._repl_idle:
+                    raise _StreamReset(
+                        f"stream stalled at commit {self._applied_commit} "
+                        f"with head {self._stream_head}"
+                    )
+            else:
+                self._gap_since = None
+            self._send_ack(writer)
+            self._refresh_repl_gauges()
+            return
+        if commit <= self._applied_commit:
+            # A duplicate delivery (chaos proxy, resubscribe overlap):
+            # already applied, just re-acknowledge.
+            self._send_ack(writer)
+            return
+        if commit != self._applied_commit + 1:
+            raise _StreamReset(
+                f"stream gap: expected commit {self._applied_commit + 1}, "
+                f"got {commit}"
+            )
+        try:
+            records = decode_records(message.get("records"))
+        except ReplicationError as exc:
+            self.registry.counter("service.repl.corrupt_batches").inc()
+            raise _StreamReset(str(exc)) from None
+        await self._apply_replica_records(records, commit)
+        self._gap_since = None
+        self._send_ack(writer)
+        self._refresh_repl_gauges()
+
+    async def _apply_replica_records(self, records, commit: int) -> None:
+        """Apply one shipped batch with the primary's exact discipline.
+
+        The idempotency keys are serialized into the commit payload
+        *before* the apply and recorded in memory after it -- the same
+        dedup-before-ack ordering the primary uses -- so after a
+        promotion the dedup window is exactly as authoritative as it
+        was on the primary at this commit.
+        """
+        facts = []
+        idem_entries = []
+        for record in records:
+            for triple in record.get("facts", ()):
+                value, start, end = triple
+                facts.append((value, Interval(start, end)))
+            idem = record.get("idem")
+            if idem is not None:
+                (client, seq, result) = idem
+                idem_entries.append(((client, int(seq)), result))
+        meta = None
+        if self._durable:
+            meta = {
+                DEDUP_META_KEY: self._dedup.encode_with(idem_entries),
+                REPL_COMMIT_META_KEY: str(commit),
+            }
+        try:
+            await self._run(self._apply_batch, facts, meta, None)
+        except _CommitFailed:
+            # Applied in memory, commit failed: mirror the primary's
+            # degraded-durability handling (the next successful commit
+            # persists everything up to its watermark).
+            self.registry.counter("service.repl.commit_failures").inc()
+        for (client, seq), result in idem_entries:
+            self._dedup.record(client, seq, result)
+        self._applied_commit = commit
+        self._stream_head = max(self._stream_head, commit)
+        self.registry.counter("service.repl.batches_applied").inc()
+        if facts:
+            self.registry.counter("service.repl.facts_applied").inc(len(facts))
+
+    def _send_ack(self, writer) -> None:
+        """Fire-and-forget cumulative ack on the subscription link."""
+        if writer.is_closing():
+            return
+        ack = {
+            "op": "journal_ack",
+            "commit": self._applied_commit,
+            "replica": self.replica_name,
+        }
+        try:
+            writer.write(wire.encode_frame(ack, wire.CODEC_JSON))
+        except Exception:
+            pass
+
+    async def _op_promote(self, request, sctx) -> Dict[str, Any]:
+        """Seal the stream and turn this replica into a primary.
+
+        The follow loop is *awaited out*, never cancelled mid-apply: a
+        batch either fully applied (and is covered by the watermark) or
+        never started, so promotion cannot tear a commit.  The promoted
+        server starts a fresh commit log based at its applied watermark
+        -- its first write becomes commit ``applied + 1`` -- and keeps
+        the dedup window the stream delivered, so pre-failover
+        idempotency keys still answer ``duplicate: true``.
+        """
+        assert self._promote_lock is not None
+        async with self._promote_lock:
+            if not self._is_replica:
+                return wire.ok_reply(
+                    {
+                        "promoted": False,
+                        "role": "primary",
+                        "commit": self._commit_log.head,
+                    },
+                    request,
+                )
+            self._repl_sealed = True
+            assert self._repl_stop is not None
+            self._repl_stop.set()
+            if self._follow_writer is not None:
+                try:
+                    self._follow_writer.close()
+                except Exception:
+                    pass
+            if self._follow_task is not None:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(self._follow_task),
+                        timeout=self.drain_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    self._follow_task.cancel()
+                self._follow_task = None
+            self._commit_log = CommitLog(
+                base=self._applied_commit, cap_bytes=self.repl_log_cap
+            )
+            self._stream_id = uuid.uuid4().hex
+            self._is_replica = False
+            self._promoted = True
+            self._inline_writes = self._inline_reads
+            self.registry.counter("service.repl.promotions").inc()
+            self._refresh_repl_gauges()
+            return wire.ok_reply(
+                {
+                    "promoted": True,
+                    "role": "primary",
+                    "commit": self._applied_commit,
+                },
+                request,
+            )
 
     # ------------------------------------------------------------------
     async def _run(self, fn, *args, ctx: Optional[trace.TraceContext] = None):

@@ -84,6 +84,48 @@ def _span_rows(stats: Dict[str, Any]) -> List[str]:
     return rows
 
 
+def _replication_rows(stats: Dict[str, Any]) -> List[str]:
+    """The replication panel: lag per replica, or this replica's lag.
+
+    Returns no rows for a standalone primary (the server reports no
+    replication section until a follower has ever subscribed).
+    """
+    repl = stats.get("replication")
+    if not repl:
+        return []
+    if repl.get("role") == "replica":
+        staleness = repl.get("staleness_s", -1.0)
+        shown = (
+            f"{staleness:.2f}s" if staleness is not None and staleness >= 0
+            else "never"
+        )
+        return [
+            f"  replica of {repl.get('primary', '?')}"
+            f"  applied {repl.get('applied', 0)}"
+            f"  head {repl.get('head', 0)}"
+            f"  lag {repl.get('lag_commits', 0)} commits"
+            f"  staleness {shown}"
+            f"  {'connected' if repl.get('connected') else 'DISCONNECTED'}"
+        ]
+    rows = [
+        f"  primary at commit {repl.get('commit', 0)}"
+        f"  mode {'semi-sync' if repl.get('sync') else 'async'}"
+        + ("  (promoted)" if repl.get("promoted") else "")
+    ]
+    replicas = repl.get("replicas") or []
+    if not replicas:
+        rows.append("  (no replicas subscribed)")
+    for entry in replicas:
+        rows.append(
+            f"  {entry.get('name', '?'):<22}"
+            f" acked {entry.get('acked', 0):>8}"
+            f"  lag {entry.get('lag_commits', 0):>4} commits"
+            f" / {entry.get('lag_s', 0.0):6.2f}s"
+            f"  {'up' if entry.get('connected') else 'DOWN'}"
+        )
+    return rows
+
+
 def _health_rows(stats: Dict[str, Any]) -> List[str]:
     health = stats.get("health") or {}
     if not health:
@@ -134,6 +176,11 @@ def render_top(
         sections.append("")
         sections.append("span breakdown (traced requests):")
         sections.extend(span_rows)
+    repl_rows = _replication_rows(stats)
+    if repl_rows:
+        sections.append("")
+        sections.append("replication:")
+        sections.extend(repl_rows)
     sections.append("")
     sections.append("shard health:")
     sections.extend(_health_rows(stats))

@@ -305,6 +305,20 @@ class TestClientRetries:
             assert 0.5 * ceiling <= delay <= ceiling
         assert max(delays) <= 0.8
 
+    def test_retry_after_hint_beats_backoff_cap(self):
+        # A server's retry_after is a statement about when capacity
+        # returns; the client must honor it even past its own
+        # retry_backoff_max ceiling instead of hammering early.
+        svc = ServiceClient(jitter_seed=7, client_id="t",
+                            retry_backoff=0.05, retry_backoff_max=0.4)
+        delay = svc.backoff_delay(1, hint=3.0)
+        assert delay >= 3.0
+        # ...but never past the request's remaining deadline budget:
+        # sleeping through the deadline guarantees ERR_DEADLINE.
+        capped = svc.backoff_delay(1, hint=3.0, remaining_ms=250.0)
+        assert capped <= 0.25
+        assert svc.backoff_delay(1, hint=3.0, remaining_ms=0.0) == 0.0
+
     def test_jitter_is_deterministic_per_seed(self):
         a = ServiceClient(jitter_seed=3, client_id="x")
         b = ServiceClient(jitter_seed=3, client_id="x")
@@ -347,6 +361,42 @@ class TestClientRetries:
                 pytest.fail("half-open trial should reach the socket")
             raise
         assert svc.circuit_open  # the failed trial re-opened it
+
+    def test_half_open_admits_exactly_one_concurrent_trial(self):
+        # Callers racing the cooldown expiry must not all be admitted
+        # at once (a thundering herd into a server that was overloaded
+        # moments ago): exactly one trial goes through, the rest keep
+        # failing fast until it resolves.
+        svc = ServiceClient("127.0.0.1", 1, timeout=0.2, retries=0,
+                            circuit_threshold=1, circuit_cooldown=0.05,
+                            jitter_seed=1)
+        svc._note_failure()
+        assert svc.circuit_open
+        time.sleep(0.1)  # cooldown elapsed: the circuit is half-open
+        admitted, rejected = [], []
+        barrier = threading.Barrier(6)
+
+        def probe():
+            barrier.wait()
+            try:
+                svc._check_circuit()
+                admitted.append(1)
+            except CircuitOpenError:
+                rejected.append(1)
+
+        threads = [threading.Thread(target=probe) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(admitted) == 1
+        assert len(rejected) == 5
+        # The trial failing re-opens the circuit for a full cooldown...
+        svc._note_failure()
+        assert svc.circuit_open
+        # ...and succeeding closes it for everyone.
+        svc._note_success()
+        svc._check_circuit()
 
     def test_circuit_closes_on_success(self, sum_server):
         handle, _ = sum_server
