@@ -570,6 +570,80 @@ def cmd_top(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_view(args: argparse.Namespace) -> int:
+    """Manage dynamic materialized views on a running service.
+
+    Verbs: ``create`` declares a view over a base table or another
+    view, ``insert`` feeds change rows into a base table, ``query``
+    reads one or more views at an instant (with ``--pin`` for a
+    consistent multi-view snapshot), ``stats`` dumps the catalog,
+    ``refresh`` forces a refresh, ``drop`` removes a view.
+    """
+    import json
+
+    from .service.client import ServiceClient, ServiceError
+
+    verb = args.view_command
+    try:
+        with ServiceClient(args.host, args.port, timeout=15.0) as svc:
+            if verb == "create":
+                result = svc.create_view(
+                    args.name, args.over, args.agg,
+                    key=args.key, lag=args.lag,
+                )
+                print(
+                    f"created view {result['name']!r}"
+                    f" over {', '.join(result['sources'])}"
+                    f" agg={result['agg']}"
+                    + (f" key={result['key']}" if result.get("key") else "")
+                    + f" lag={result['lag']}"
+                )
+            elif verb == "insert":
+                rows = []
+                for spec in args.row:
+                    parts = spec.split(",")
+                    if len(parts) < 3:
+                        raise SystemExit(
+                            f"error: --row needs value,start,end[,key]: {spec!r}"
+                        )
+                    row = [_number(parts[0]), _number(parts[1]), _number(parts[2])]
+                    if len(parts) > 3:
+                        row.append(",".join(parts[3:]))
+                    rows.append(row)
+                applied = svc.table_insert(args.table, rows)
+                print(f"applied {applied} rows to {args.table!r}")
+            elif verb == "query":
+                if len(args.name) > 1 or args.pin:
+                    result = svc.query_views(
+                        args.name, _number(args.at), pin=args.pin
+                    )
+                    for name in args.name:
+                        reading = result["views"][name]
+                        print(f"{name}: {json.dumps(reading, sort_keys=True)}")
+                else:
+                    reading = svc.query_view(
+                        args.name[0], _number(args.at), key=args.key
+                    )
+                    print(json.dumps(reading, sort_keys=True))
+            elif verb == "stats":
+                print(json.dumps(svc.view_stats(), indent=2, sort_keys=True))
+            elif verb == "refresh":
+                result = svc.refresh_view(args.name)
+                refreshed = result.get("refreshed") or {}
+                shown = ", ".join(
+                    f"{k}+{v}" for k, v in sorted(refreshed.items())
+                ) or "(nothing stale)"
+                print(f"refreshed: {shown} ({result.get('events', 0)} events)")
+            else:  # drop
+                result = svc.drop_view(args.name)
+                print(f"dropped view {result['dropped']!r}")
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}")
+    except ConnectionError as exc:
+        raise SystemExit(f"error: cannot reach {args.host}:{args.port}: {exc}")
+    return 0
+
+
 def cmd_promote(args: argparse.Namespace) -> int:
     """Promote the replica at ``--host:--port`` to primary."""
     from .service.client import ServiceClient, ServiceError
@@ -796,6 +870,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render this many frames then exit "
                        "(default: run until ^C)")
     p_top.set_defaults(fn=cmd_top)
+
+    p_view = sub.add_parser(
+        "view", parents=[common],
+        help="manage dynamic materialized views on a running service "
+        "(create / insert / query / stats / refresh / drop)",
+    )
+    view_common = argparse.ArgumentParser(add_help=False)
+    view_common.add_argument("--host", default="127.0.0.1")
+    view_common.add_argument("--port", type=int, required=True)
+    view_sub = p_view.add_subparsers(dest="view_command", required=True)
+
+    pv_create = view_sub.add_parser(
+        "create", parents=[view_common],
+        help="declare a view over a base table or another view",
+    )
+    pv_create.add_argument("name")
+    pv_create.add_argument("--over", required=True,
+                           help="source relation (base table or view)")
+    pv_create.add_argument("--agg", default="sum",
+                           choices=[k.value for k in AggregateKind])
+    pv_create.add_argument("--key", default=None,
+                           help="payload field to group by (omit for a "
+                           "single ungrouped aggregate)")
+    pv_create.add_argument("--lag", default="downstream",
+                           help="freshness target: '5s', '1h', a number of "
+                           "seconds, or 'downstream' (refresh only when a "
+                           "dependent needs it; default)")
+    pv_create.set_defaults(fn=cmd_view)
+
+    pv_insert = view_sub.add_parser(
+        "insert", parents=[view_common],
+        help="append change rows to a base table (created on first use)",
+    )
+    pv_insert.add_argument("table")
+    pv_insert.add_argument("--row", action="append", required=True,
+                           metavar="VALUE,START,END[,KEY]",
+                           help="one fact (repeatable); the optional "
+                           "fourth field is the grouping key")
+    pv_insert.set_defaults(fn=cmd_view)
+
+    pv_query = view_sub.add_parser(
+        "query", parents=[view_common],
+        help="read one or more views at an instant",
+    )
+    pv_query.add_argument("name", nargs="+")
+    pv_query.add_argument("--at", required=True, help="query instant")
+    pv_query.add_argument("--key", default=None,
+                          help="group key (single grouped view only)")
+    pv_query.add_argument("--pin", action="store_true",
+                          help="refresh all named views to one consistent "
+                          "set of base watermarks before reading")
+    pv_query.set_defaults(fn=cmd_view)
+
+    pv_stats = view_sub.add_parser(
+        "stats", parents=[view_common],
+        help="dump the view catalog (watermarks, staleness, row counts)",
+    )
+    pv_stats.set_defaults(fn=cmd_view)
+
+    pv_refresh = view_sub.add_parser(
+        "refresh", parents=[view_common],
+        help="force a refresh of one view (or every stale view)",
+    )
+    pv_refresh.add_argument("name", nargs="?", default=None)
+    pv_refresh.set_defaults(fn=cmd_view)
+
+    pv_drop = view_sub.add_parser(
+        "drop", parents=[view_common],
+        help="drop a view (refused while other views depend on it)",
+    )
+    pv_drop.add_argument("name")
+    pv_drop.set_defaults(fn=cmd_view)
 
     p_loadgen = sub.add_parser(
         "loadgen", parents=[common],

@@ -151,6 +151,29 @@ def record_health(registry: MetricsRegistry, health: Dict[str, Any]) -> None:
                 registry.gauge(prefix + key).set(float(value))
 
 
+def record_view_gauges(registry: MetricsRegistry, stats: Dict[str, Any]) -> None:
+    """Publish a dynamic-view catalog's stats as ``service.views.*`` gauges.
+
+    One gauge family per view -- ``staleness_s``, ``pending``, ``rows``,
+    ``refreshes``, ``watermark`` (the highest source sequence consumed)
+    -- plus the catalog-wide ``service.views.count``.  These are what
+    the ``repro top`` staleness panel and the Prometheus exposition
+    read.
+    """
+    views = stats.get("views", {})
+    registry.gauge("service.views.count").set(float(len(views)))
+    for name, entry in views.items():
+        prefix = f"service.views.{name}."
+        for key in ("staleness_s", "pending", "rows", "refreshes"):
+            value = entry.get(key)
+            if isinstance(value, (int, float)):
+                registry.gauge(prefix + key).set(float(value))
+        watermarks = entry.get("watermarks") or {}
+        numeric = [v for v in watermarks.values() if isinstance(v, (int, float))]
+        if numeric:
+            registry.gauge(prefix + "watermark").set(float(max(numeric)))
+
+
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------

@@ -16,14 +16,19 @@ full happy path a fresh checkout should support:
    workload must beat the sequential JSON-codec baseline by a healthy
    multiple (the full bench records ~5x or better; the gate uses a
    conservative floor so CI noise cannot flake it),
-7. run a bounded end-to-end resilience check (exactly-once writes
+7. run the dynamic materialized-view stage: a 3-level view DAG (base
+   table -> grouped view -> rollup) driven over the TCP service and
+   checked against the recompute-from-scratch oracle after every tick,
+   then the incremental-vs-recompute measurement (writes
+   ``BENCH_views.json``) with a floor gate on the speedup,
+8. run a bounded end-to-end resilience check (exactly-once writes
    through the chaos proxy against a SIGKILLed-and-restarted server,
    on BOTH wire codecs, via ``repro-rescheck --quick --codec both``)
    and write ``BENCH_resilience.json``,
-8. run the observability-overhead gate (tracing disabled vs. a
+9. run the observability-overhead gate (tracing disabled vs. a
    hand-inlined baseline vs. tracing at 1% sampling; fails if the
    disabled path regresses) and write ``BENCH_trace_overhead.json``,
-9. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
+10. run the unit-test suite (``pytest -q``), unless ``--no-tests``.
 
 ``--quick`` bounds the run for CI: a smaller scratch index and no
 pytest stage (CI runs the suite as its own job).
@@ -114,6 +119,92 @@ def _service_smoke() -> int:
                 flush=True,
             )
     print("service drained cleanly", flush=True)
+    return 0
+
+
+def _views_gate(out_dir: str = "", threshold: float = 1.5) -> int:
+    """The dynamic materialized-view stage: oracle check + speedup gate.
+
+    Part one drives a 3-level DAG (base table -> grouped view -> rollup)
+    over the TCP service and checks the rollup against the
+    recompute-from-scratch oracle after **every** tick of base-table
+    changes.  Part two runs the incremental-vs-recompute measurement
+    (:func:`repro.warehouse.viewbench.run_view_bench`, itself
+    oracle-verified per batch), writes ``BENCH_views.json``, and fails
+    if incremental refresh stops beating recompute by the floor --
+    the recorded benchmark shows ~3.5x at this size; the conservative
+    gate catches a regression that turns refresh back into recompute.
+    """
+    import random
+
+    from .benchlib import Series, write_bench_json
+    from .core import reference
+    from .service import ServerHandle, ServiceClient
+    from .sharding import ShardedTree
+    from .warehouse.viewbench import run_view_bench
+
+    rng = random.Random(23)
+    horizon = 10_000
+    facts = []
+    sharded = ShardedTree("sum", num_shards=2, span=(0, horizon))
+    with ServerHandle.start(sharded, view_tick=0.0) as handle:
+        with ServiceClient(handle.host, handle.port, timeout=10.0) as svc:
+            svc.create_view("by_patient", "doses", "sum",
+                            key="patient", lag="downstream")
+            svc.create_view("total", "by_patient", "sum", lag="downstream")
+            for tick in range(6):
+                rows = []
+                for _ in range(30):
+                    s = rng.randint(0, horizon - 200)
+                    e = s + rng.randint(1, 150)
+                    v = rng.randint(1, 9)
+                    key = f"patient{rng.randrange(5)}"
+                    rows.append([v, s, e, {"patient": key}])
+                    facts.append((v, (s, e)))
+                svc.table_insert("doses", rows)
+                svc.refresh_view()
+                for t in (horizon // 4, horizon // 2, 3 * horizon // 4):
+                    got = svc.query_view("total", t)["value"]
+                    want = reference.instantaneous_value(facts, "sum", t)
+                    if (got or 0) != (want or 0):
+                        print(f"FAIL: tick {tick}: total@{t} = {got},"
+                              f" oracle {want}")
+                        return 1
+            stats = svc.view_stats()
+            per_view = stats["views"]
+            print(
+                f"verified rollup vs oracle after 6 ticks"
+                f" ({len(facts)} base facts);"
+                f" by_patient groups={per_view['by_patient'].get('groups')}"
+                f" refreshes={per_view['total'].get('refreshes')}",
+                flush=True,
+            )
+
+    result = run_view_bench(events=600, batches=8)
+    series = Series("events", result["xs"])
+    series.add("incremental s/refresh", result["incremental_s"])
+    series.add("recompute s/rebuild", result["recompute_s"])
+    print(series.render(with_exponents=False), flush=True)
+    print(
+        f"incremental refresh speedup over recompute-from-scratch:"
+        f" {result['speedup']:.1f}x (gate: >= {threshold:.1f}x)",
+        flush=True,
+    )
+    path = write_bench_json(
+        out_dir or os.getcwd(), "views", series,
+        extra={
+            "events": result["events"],
+            "batches": result["batches"],
+            "total_incremental_s": result["total_incremental_s"],
+            "total_recompute_s": result["total_recompute_s"],
+            "speedup": result["speedup"],
+            "dag": "doses -> by_patient(key=patient) -> total",
+        },
+    )
+    print(f"wrote {path}")
+    if result["speedup"] < threshold:
+        print("FAIL: incremental refresh no longer beats recompute")
+        return 1
     return 0
 
 
@@ -227,6 +318,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     _stage("wire-protocol speedup gate (pipelined binary vs JSON)")
     status = _pipeline_gate()
+    if status:
+        return status
+
+    _stage("dynamic view DAG (oracle check + incremental speedup gate)")
+    status = _views_gate(args.out)
     if status:
         return status
 

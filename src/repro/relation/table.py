@@ -61,6 +61,27 @@ class TemporalRelation:
         self._notify(event)
         return row
 
+    def restore(self, rows) -> None:
+        """Adopt ``(tuple_id, value, valid, payload)`` rows silently.
+
+        Checkpoint-load path: the rows re-enter with their original ids
+        and **no subscriber notification** -- a restored view must not
+        re-emit change events its consumers already processed.  The id
+        counter advances past the highest restored id so later inserts
+        cannot collide.
+        """
+        top = 0
+        for tuple_id, value, valid, payload in rows:
+            if not isinstance(valid, Interval):
+                valid = Interval(*valid)
+            tuple_id = int(tuple_id)
+            self._tuples[tuple_id] = TemporalTuple(
+                tuple_id, value, valid, dict(payload)
+            )
+            top = max(top, tuple_id)
+        next_id = max(top + 1, next(self._ids))
+        self._ids = itertools.count(next_id)
+
     # ------------------------------------------------------------------
     # Subscription
     # ------------------------------------------------------------------

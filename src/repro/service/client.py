@@ -942,6 +942,76 @@ class ServiceClient:
         return self._request("stats")
 
     # ------------------------------------------------------------------
+    # Dynamic views (the create_view/query_view family).  These go to
+    # the primary via _request -- the view catalog lives there and is
+    # not part of the replication stream, so replica routing would read
+    # a catalog that does not exist.
+    # ------------------------------------------------------------------
+    def table_insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Ingest rows into a named view base table (auto-created).
+
+        Each row is ``[value, start, end]``, optionally followed by a
+        payload dict -- or a bare scalar, shorthand for
+        ``{"key": <scalar>}``, the field grouped views key on.
+        """
+        result = self._request("table_insert", table=table,
+                               rows=[list(row) for row in rows])
+        return result["applied"]
+
+    def create_view(
+        self,
+        name: str,
+        over,
+        agg: str = "sum",
+        *,
+        key: Optional[str] = None,
+        lag: Any = "downstream",
+    ) -> Dict[str, Any]:
+        """Declare a dynamic view over base tables and/or other views.
+
+        ``lag`` is the freshness target: seconds, a string like ``"5s"``
+        or ``"1h"``, or ``"downstream"`` (refresh only when a dependent
+        -- or a read -- needs it).  Unknown sources are auto-created as
+        base tables.
+        """
+        return self._request(
+            "create_view", name=name, over=over, agg=agg, key=key, lag=lag
+        )
+
+    def query_view(self, view: str, t, *, key: Any = None) -> Dict[str, Any]:
+        """Read one view at instant *t*.
+
+        Returns ``{"value": ..., "watermark": ..., "staleness_s": ...}``
+        -- the reading plus the source watermark(s) it reflects and how
+        far it trails the base data.  For a grouped view pass ``key``
+        for one group; without it the value is a per-group dict.
+        """
+        return self._request("query_view", view=view, t=t, key=key)
+
+    def query_views(
+        self, views: Sequence[str], t, *, pin: bool = True
+    ) -> Dict[str, Any]:
+        """Read several views at *t* in one consistent snapshot.
+
+        With ``pin`` (the default) the server refreshes the views'
+        shared ancestor closure first and every reading reflects the
+        same base watermarks (returned as ``"base_watermarks"``).
+        """
+        return self._request("query_view", views=list(views), t=t, pin=pin)
+
+    def refresh_view(self, view: Optional[str] = None) -> Dict[str, Any]:
+        """Force a refresh of one view (with its ancestors) or of all."""
+        return self._request("refresh_view", view=view)
+
+    def drop_view(self, view: str) -> Dict[str, Any]:
+        """Drop a view (refused while other views still consume it)."""
+        return self._request("drop_view", view=view)
+
+    def view_stats(self) -> Dict[str, Any]:
+        """The catalog's per-view freshness and cost counters."""
+        return self._request("view_stats")
+
+    # ------------------------------------------------------------------
     def __enter__(self) -> "ServiceClient":
         return self
 

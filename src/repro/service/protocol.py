@@ -48,6 +48,28 @@ Requests::
     {"op": "subscribe_journal", "from_commit": 0, "replica": "r1"}
     {"op": "journal_ack",  "commit": 7, "replica": "r1"}
     {"op": "promote"}
+    {"op": "table_insert", "table": "obs", "rows": [[2, 10, 40, {"k": "a"}]]}
+    {"op": "create_view",  "name": "by_k", "over": ["obs"], "agg": "sum",
+                           "key": "k", "lag": "5s"}
+    {"op": "query_view",   "view": "by_k", "t": 19, "key": "a"}
+    {"op": "query_view",   "views": ["by_k", "tot"], "t": 19, "pin": true}
+    {"op": "refresh_view", "view": "by_k"}
+    {"op": "drop_view",    "view": "by_k"}
+    {"op": "view_stats"}
+
+The ``table_insert``/``create_view``/``query_view``/``refresh_view``/
+``drop_view``/``view_stats`` family is the dynamic materialized-view
+surface (see ``repro.warehouse.dynamic`` and DESIGN.md section 13):
+named base tables ingest rows (``[value, start, end]`` plus an optional
+payload dict, or a bare scalar shorthand for ``{"key": <scalar>}``),
+views declare sources/aggregate/grouping-key/freshness-lag over them,
+and ``query_view`` answers ``{"value": ..., "watermark": ...,
+"staleness_s": ...}`` -- the value, the source sequence number(s) it
+reflects, and how far it trails the base data.  The multi-view form
+with ``"pin"`` refreshes the views' shared ancestor closure first and
+reads them all at one consistent set of base watermarks.  Single-view
+``query_view`` requests and their scalar readings have typed binary
+layouts; the rest of the family travels JSON-wrapped.
 
 The last three are the replication surface (see
 ``repro.service.replication`` and DESIGN.md section 12): a follower
@@ -214,6 +236,7 @@ _T_LOOKUP = 0x04
 _T_RANGEQ = 0x05
 _T_WINDOW = 0x06
 _T_STATS = 0x07
+_T_QUERY_VIEW = 0x08
 #: Escape hatch: the payload is a JSON request object (odd fields,
 #: future ops); the binary envelope is just framing.
 _T_REQ_JSON = 0x1F
@@ -223,6 +246,8 @@ _T_OK_SCALAR = 0x21
 _T_OK_ROWS = 0x22
 _T_OK_APPLIED = 0x23
 _T_ERR = 0x24
+#: A view reading: scalar value + u64 watermark + f64 staleness.
+_T_OK_VIEW = 0x25
 _T_REPLY_JSON = 0x3F
 
 _REQ_TYPE_FOR_OP = {
@@ -233,12 +258,15 @@ _REQ_TYPE_FOR_OP = {
     "rangeq": _T_RANGEQ,
     "window": _T_WINDOW,
     "stats": _T_STATS,
+    "query_view": _T_QUERY_VIEW,
 }
 _OP_FOR_REQ_TYPE = {t: op for op, t in _REQ_TYPE_FOR_OP.items()}
 
 #: Per-op payload fields (what the typed layouts carry); a request with
 #: any other non-envelope field falls back to the JSON-wrapped form so
-#: nothing is ever silently dropped.
+#: nothing is ever silently dropped.  ``query_view`` here is the
+#: single-view form (``key`` always present, ``None`` for ungrouped
+#: reads); the multi-view ``views``/``pin`` form JSON-wraps.
 _REQ_FIELDS = {
     "ping": frozenset(),
     "stats": frozenset(),
@@ -247,6 +275,7 @@ _REQ_FIELDS = {
     "lookup": frozenset(("t",)),
     "rangeq": frozenset(("start", "end")),
     "window": frozenset(("t", "w")),
+    "query_view": frozenset(("view", "t", "key")),
 }
 _ENVELOPE_FIELDS = frozenset(
     ("op", "id", "client", "seq", "deadline_ms", "trace")
@@ -590,6 +619,10 @@ def _encode_binary_request(message: Dict[str, Any]) -> bytes:
     elif op == "window":
         _pack_time(message["t"], parts)
         _pack_time(message["w"], parts)
+    elif op == "query_view":
+        _pack_str16(message["view"], parts)
+        _pack_time(message["t"], parts)
+        _pack_scalar(message["key"], parts)
     # ping / stats: no payload
     return b"".join(parts)
 
@@ -600,7 +633,27 @@ def _encode_binary_reply(message: Dict[str, Any]) -> bytes:
             raise _Unpackable
         result = message.get("result")
         parts: List[bytes] = []
-        if isinstance(result, dict):
+        if isinstance(result, dict) and set(result) == {
+            "value", "watermark", "staleness_s"
+        }:
+            # A single-source view reading; dict watermarks (multi-source
+            # views) and grouped all-keys values JSON-wrap instead.
+            watermark = result["watermark"]
+            staleness = result["staleness_s"]
+            if (
+                isinstance(watermark, bool)
+                or not isinstance(watermark, int)
+                or not 0 <= watermark < 2**64
+                or isinstance(staleness, bool)
+                or not isinstance(staleness, (int, float))
+            ):
+                raise _Unpackable
+            parts.append(_HDR.pack(BINARY_MAGIC, _T_OK_VIEW))
+            _encode_envelope(message, parts)
+            _pack_scalar(result["value"], parts)
+            parts.append(_U64.pack(watermark))
+            parts.append(_F64.pack(float(staleness)))
+        elif isinstance(result, dict):
             if (
                 not set(result) <= {"applied", "duplicate", "evicted"}
                 or isinstance(result.get("applied"), bool)
@@ -819,6 +872,10 @@ def _decode_binary(body: bytes) -> Dict[str, Any]:
         elif op == "window":
             message["t"] = reader.time()
             message["w"] = reader.time()
+        elif op == "query_view":
+            message["view"] = reader.str16()
+            message["t"] = reader.time()
+            message["key"] = reader.scalar()
         reader.expect_end()
         return message
     if mtype == _T_OK_SCALAR:
@@ -850,6 +907,17 @@ def _decode_binary(body: bytes) -> Dict[str, Any]:
         if rflags & 2:
             result["evicted"] = True
         message["result"] = result
+        reader.expect_end()
+        return message
+    if mtype == _T_OK_VIEW:
+        message = {"ok": True}
+        _decode_envelope(reader, message)
+        value = reader.scalar()
+        message["result"] = {
+            "value": value,
+            "watermark": reader.u64(),
+            "staleness_s": reader.f64(),
+        }
         reader.expect_end()
         return message
     if mtype == _T_ERR:

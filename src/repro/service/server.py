@@ -79,8 +79,9 @@ from ..concurrent import LockTimeout
 from ..core.intervals import Interval
 from ..faults import SimulatedCrash
 from ..obs import trace
-from ..obs.health import record_health, sharded_health
+from ..obs.health import record_health, record_view_gauges, sharded_health
 from ..sharding import ShardedTree, ShardingError, WindowUnsupportedError
+from ..warehouse.dynamic import DynamicCatalog, ViewDependencyError
 from . import dedup as dedup_mod
 from . import protocol as wire
 from .dedup import DedupWindow
@@ -209,6 +210,8 @@ class TemporalAggregateServer:
         repl_ack_timeout: float = 10.0,
         repl_heartbeat: float = 0.5,
         repl_log_cap: int = 64 * 1024 * 1024,
+        views: Optional[DynamicCatalog] = None,
+        view_tick: float = 0.05,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be at least 1")
@@ -352,6 +355,15 @@ class TemporalAggregateServer:
         self._inline_writes = self._inline_reads and not self._is_replica
         self._m_fast_writes = self.registry.counter("service.fast_writes")
         self._pending_facts = 0  # mirrors sum(len(f) for f, ... in _pending)
+        # The dynamic-view fleet (see repro.warehouse.dynamic): named
+        # base tables ingested via table_insert, views refreshed by a
+        # background tick at view_tick seconds (<= 0 disables the loop;
+        # lag="downstream" views and pinned reports still refresh
+        # on demand).  The catalog has its own lock, so view ops run in
+        # the executor like tree ops.
+        self.views = views if views is not None else DynamicCatalog()
+        self.view_tick = view_tick
+        self._view_task: Optional[asyncio.Task] = None
         self._handlers = {
             "ping": self._op_ping,
             "hello": self._op_hello,
@@ -363,6 +375,12 @@ class TemporalAggregateServer:
             "stats": self._op_stats,
             "journal_ack": self._op_journal_ack,
             "promote": self._op_promote,
+            "table_insert": self._op_table_insert,
+            "create_view": self._op_create_view,
+            "query_view": self._op_query_view,
+            "refresh_view": self._op_refresh_view,
+            "drop_view": self._op_drop_view,
+            "view_stats": self._op_view_stats,
         }
 
     # ------------------------------------------------------------------
@@ -380,6 +398,8 @@ class TemporalAggregateServer:
         self.port = self._server.sockets[0].getsockname()[1]
         if self.health_interval > 0:
             self._health_task = self._loop.create_task(self._health_loop())
+        if self.view_tick > 0:
+            self._view_task = self._loop.create_task(self._view_tick_loop())
         if self._is_replica:
             if self.replica_name is None:
                 self.replica_name = f"{self.host}:{self.port}"
@@ -418,6 +438,9 @@ class TemporalAggregateServer:
         if self._health_task is not None:
             self._health_task.cancel()
             self._health_task = None
+        if self._view_task is not None:
+            self._view_task.cancel()
+            self._view_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -433,6 +456,12 @@ class TemporalAggregateServer:
             task.cancel()
         for writer in list(self._connections):
             writer.close()
+        try:
+            # Checkpoint the view catalog (a no-op for in-memory ones)
+            # so persisted watermarks reflect everything acknowledged.
+            await self._run(self.views.close)
+        except Exception:
+            self.registry.counter("service.views.close_errors").inc()
         if self._owns_executor:
             self._executor.shutdown(wait=True)
 
@@ -949,6 +978,196 @@ class TemporalAggregateServer:
     async def _op_stats(self, request, sctx) -> Dict[str, Any]:
         return wire.ok_reply(await self._run(self._stats), request)
 
+    # ------------------------------------------------------------------
+    # Dynamic views (see repro.warehouse.dynamic and DESIGN.md 13)
+    # ------------------------------------------------------------------
+    async def _view_tick_loop(self) -> None:
+        """Drive the catalog's refresh scheduler off the event loop.
+
+        Each pass runs in the executor (refreshes take the catalog
+        lock and descend SB-trees); a failing pass is counted, never
+        fatal -- the next tick retries and ``lag="downstream"`` reads
+        still refresh on demand.
+        """
+        try:
+            while True:
+                await asyncio.sleep(self.view_tick)
+                try:
+                    await self._run(self.views.tick)
+                except Exception:
+                    self.registry.counter("service.views.tick_errors").inc()
+        except asyncio.CancelledError:
+            pass
+
+    async def _run_view(self, fn, *args, ctx=None, **kwargs):
+        """Run a catalog operation in the executor, mapping the
+        catalog's validation errors (unknown names, cycles, bad lags,
+        non-maintainable aggregates) to ``bad_request`` -- they are
+        client mistakes, not server faults."""
+        try:
+            if kwargs:
+                return await self._run(lambda: fn(*args, **kwargs), ctx=ctx)
+            return await self._run(fn, *args, ctx=ctx)
+        except wire.ProtocolError:
+            raise
+        except (ViewDependencyError, ValueError) as exc:
+            raise wire.ProtocolError(str(exc)) from None
+
+    def _view_row(self, item) -> Tuple[Any, Interval, Dict[str, Any]]:
+        """Parse one ``table_insert`` row: ``[value, start, end]`` plus
+        an optional payload dict (or a bare scalar shorthand, stored as
+        ``{"key": <scalar>}`` for the common one-key grouping)."""
+        if not isinstance(item, (list, tuple)) or len(item) not in (3, 4):
+            raise wire.ProtocolError(
+                "rows must be [value, start, end] or [value, start, end, payload]"
+            )
+        value = item[0]
+        start = _number(item[1], "start")
+        end = _number(item[2], "end")
+        if value is None:
+            raise wire.ProtocolError("row needs a 'value'")
+        if not start < end:
+            raise wire.ProtocolError(f"empty row interval [{start}, {end})")
+        payload: Dict[str, Any] = {}
+        if len(item) == 4 and item[3] is not None:
+            raw = item[3]
+            if isinstance(raw, dict):
+                if not all(isinstance(k, str) for k in raw):
+                    raise wire.ProtocolError("payload keys must be strings")
+                payload = dict(raw)
+            else:
+                payload = {"key": raw}
+        return value, Interval(start, end), payload
+
+    def _apply_table_rows(self, table: str, rows) -> int:
+        views = self.views
+        with views._lock:
+            if not views.has_node(table):
+                views.create_table(table)
+            for value, interval, payload in rows:
+                views.insert(table, value, interval, **payload)
+        return len(rows)
+
+    async def _op_table_insert(self, request, sctx) -> Dict[str, Any]:
+        if self._is_replica:
+            raise _NotPrimary(
+                "this server is a read replica; send writes to the primary"
+            )
+        table = request.get("table")
+        if not isinstance(table, str) or not table:
+            raise wire.ProtocolError("table_insert needs a 'table' string")
+        raw = request.get("rows")
+        if not isinstance(raw, list) or not raw:
+            raise wire.ProtocolError("table_insert needs a non-empty 'rows' list")
+        rows = [self._view_row(item) for item in raw]
+        applied = await self._run_view(
+            self._apply_table_rows, table, rows, ctx=sctx
+        )
+        return wire.ok_reply({"applied": applied}, request)
+
+    async def _op_create_view(self, request, sctx) -> Dict[str, Any]:
+        if self._is_replica:
+            raise _NotPrimary(
+                "this server is a read replica; send writes to the primary"
+            )
+        name = request.get("name")
+        if not isinstance(name, str) or not name:
+            raise wire.ProtocolError("create_view needs a 'name' string")
+        over = request.get("over")
+        if isinstance(over, str):
+            over = [over]
+        if (
+            not isinstance(over, list)
+            or not over
+            or not all(isinstance(s, str) and s for s in over)
+        ):
+            raise wire.ProtocolError(
+                "create_view needs 'over': a source name or list of names"
+            )
+        key = request.get("key")
+        if key is not None and not isinstance(key, str):
+            raise wire.ProtocolError("field 'key' must be a payload field name")
+
+        def create():
+            from ..warehouse.dynamic import format_lag
+
+            view = self.views.create_view(
+                name,
+                over,
+                request.get("agg", "sum"),
+                key=key,
+                lag=request.get("lag", "downstream"),
+                create_sources=True,
+            )
+            return {
+                "name": view.name,
+                "sources": view.sources,
+                "agg": view.spec.kind.value,
+                "key": view.key_field,
+                "lag": format_lag(view.lag),
+            }
+
+        return wire.ok_reply(await self._run_view(create, ctx=sctx), request)
+
+    async def _op_query_view(self, request, sctx) -> Dict[str, Any]:
+        t = _number(request.get("t"), "t")
+        names = request.get("views")
+        if names is not None:
+            if (
+                not isinstance(names, list)
+                or not names
+                or not all(isinstance(n, str) for n in names)
+            ):
+                raise wire.ProtocolError(
+                    "field 'views' must be a non-empty list of view names"
+                )
+            pin = request.get("pin", True)
+            report = await self._run_view(
+                self.views.report, names, t, pin=bool(pin), ctx=sctx
+            )
+            return wire.ok_reply(report, request)
+        name = request.get("view")
+        if not isinstance(name, str) or not name:
+            raise wire.ProtocolError("query_view needs 'view' (or 'views')")
+        reading = await self._run_view(
+            lambda: self.views.read(name, t, key=request.get("key")).to_json(),
+            ctx=sctx,
+        )
+        return wire.ok_reply(reading, request)
+
+    async def _op_refresh_view(self, request, sctx) -> Dict[str, Any]:
+        if self._is_replica:
+            raise _NotPrimary(
+                "this server is a read replica; send writes to the primary"
+            )
+        name = request.get("view")
+        if name is not None and not isinstance(name, str):
+            raise wire.ProtocolError("field 'view' must be a view name")
+        refreshed = await self._run_view(self.views.refresh, name, ctx=sctx)
+        return wire.ok_reply(
+            {"refreshed": refreshed, "events": sum(refreshed.values())},
+            request,
+        )
+
+    async def _op_drop_view(self, request, sctx) -> Dict[str, Any]:
+        if self._is_replica:
+            raise _NotPrimary(
+                "this server is a read replica; send writes to the primary"
+            )
+        name = request.get("view")
+        if not isinstance(name, str) or not name:
+            raise wire.ProtocolError("drop_view needs a 'view' string")
+        await self._run_view(self.views.drop_view, name, ctx=sctx)
+        return wire.ok_reply({"dropped": name}, request)
+
+    def _view_stats(self) -> Dict[str, Any]:
+        stats = self.views.stats()
+        record_view_gauges(self.registry, stats)
+        return stats
+
+    async def _op_view_stats(self, request, sctx) -> Dict[str, Any]:
+        return wire.ok_reply(await self._run(self._view_stats), request)
+
     def _check_deadline(self, request, arrival, loop) -> None:
         deadline_ms = request.get("deadline_ms")
         if deadline_ms is None:
@@ -1094,6 +1313,7 @@ class TemporalAggregateServer:
                 },
             },
             "replication": self._replication_stats(),
+            "views": self._view_stats(),
         }
 
     # ------------------------------------------------------------------

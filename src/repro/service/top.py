@@ -10,6 +10,9 @@ Polls the ``stats`` service op on an interval and renders, in place:
 * **span breakdown** -- where traced requests spend their time, from
   the ``span.<name>.wall_us`` histograms (only present while tracing
   runs with a registry);
+* **views** -- per-view staleness against the declared ``lag`` target,
+  pending source events, row counts and refresh totals from the dynamic
+  materialized-view catalog (panel appears once a view exists);
 * **health** -- the :func:`repro.obs.health.sharded_health` report the
   ``stats`` op refreshes on every call: fact/piece counts, piece skew,
   compaction debt, and one line per shard (height, nodes, fill,
@@ -126,6 +129,30 @@ def _replication_rows(stats: Dict[str, Any]) -> List[str]:
     return rows
 
 
+def _view_rows(stats: Dict[str, Any]) -> List[str]:
+    """The materialized-view staleness panel: one line per dynamic view.
+
+    Returns no rows while the catalog is empty (most deployments), so
+    the panel only appears once someone has created a view.  Staleness
+    is the age of the oldest base-table event not yet reflected in the
+    view -- the quantity each view's ``lag`` target bounds.
+    """
+    views = (stats.get("views") or {}).get("views") or {}
+    rows = []
+    for name in sorted(views):
+        entry = views[name]
+        staleness = entry.get("staleness_s")
+        shown = f"{staleness:7.2f}s" if staleness is not None else f"{'fresh':>8}"
+        rows.append(
+            f"  {name:<14} lag {str(entry.get('lag', '?')):<10}"
+            f" stale {shown}"
+            f"  pending {entry.get('pending', 0):>5}"
+            f"  rows {entry.get('rows', 0):>6}"
+            f"  refreshes {entry.get('refreshes', 0):>5}"
+        )
+    return rows
+
+
 def _health_rows(stats: Dict[str, Any]) -> List[str]:
     health = stats.get("health") or {}
     if not health:
@@ -181,6 +208,11 @@ def render_top(
         sections.append("")
         sections.append("replication:")
         sections.extend(repl_rows)
+    view_rows = _view_rows(stats)
+    if view_rows:
+        sections.append("")
+        sections.append("views (staleness vs lag target):")
+        sections.extend(view_rows)
     sections.append("")
     sections.append("shard health:")
     sections.extend(_health_rows(stats))

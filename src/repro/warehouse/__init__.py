@@ -1,5 +1,15 @@
 """Temporal data warehouse: maintained views and direct materialization."""
 
+from .dynamic import (
+    DOWNSTREAM,
+    ChangeLog,
+    CycleError,
+    DynamicCatalog,
+    DynamicView,
+    ViewDependencyError,
+    ViewReading,
+    parse_lag,
+)
 from .grouped import GroupedAggregateView
 from .manager import TemporalWarehouse
 from .materialized import MaterializedView
@@ -7,8 +17,16 @@ from .view import ANY_WINDOW, TemporalAggregateView
 
 __all__ = [
     "ANY_WINDOW",
+    "DOWNSTREAM",
+    "ChangeLog",
+    "CycleError",
+    "DynamicCatalog",
+    "DynamicView",
     "GroupedAggregateView",
     "MaterializedView",
     "TemporalAggregateView",
     "TemporalWarehouse",
+    "ViewDependencyError",
+    "ViewReading",
+    "parse_lag",
 ]

@@ -1,0 +1,1109 @@
+"""Dynamic materialized views: a DAG of lag-driven incremental refreshes.
+
+The rest of :mod:`repro.warehouse` maintains each view *eagerly*: every
+base-table change descends the view's SB-tree before the insert call
+returns.  That is the paper's O(log n) bound per change, but it couples
+every writer to every view.  This module adds Snowflake-style *dynamic
+tables* on top of the same machinery:
+
+* every node (base table or view) keeps a :class:`ChangeLog` -- the
+  sequence-numbered stream of :class:`~repro.relation.tuples.ChangeEvent`
+  records the journal already motivates;
+* a :class:`DynamicView` declares its **sources** (base tables or other
+  views), an aggregate kind, an optional grouping key, and a freshness
+  target (``lag="5s"``, ``lag="1h"``, or ``lag="downstream"`` -- refresh
+  only when a dependent needs it);
+* a refresh consumes only the change records recorded since the view's
+  per-source **watermark** (never a full rebuild): each event updates
+  the affected group's SB-tree in O(log n), and only the affected
+  (key, time-range) regions of the view's *output rows* are
+  regenerated and re-emitted as change events for downstream views;
+* the :class:`DynamicCatalog` owns the dependency DAG (cycle rejection
+  at ``create_view`` time), refreshes stale views in topological order
+  on each :meth:`~DynamicCatalog.tick`, persists per-view watermarks
+  and change logs to ``<directory>/dynamic.json`` so refresh survives a
+  restart, and serves reads that report ``(value, as_of_watermark,
+  staleness_s)`` -- optionally pinned to one consistent watermark
+  across several views in a single report query.
+
+Consistency model
+-----------------
+
+A view's state always equals "the aggregate of everything its sources
+had emitted up to ``watermarks``"; refreshes are atomic under the
+catalog lock, so a reader never observes a half-applied batch.  A
+:meth:`~DynamicCatalog.report` with ``pin=True`` refreshes the whole
+ancestor closure of the requested views first, which makes every
+returned value reflect the *same* base-table log heads -- the
+snapshot-consistent multi-view read of PAPERS.md's "Concurrent
+aggregate queries", implemented with batching per refresh tick as "The
+Persistent Buffer Tree" argues (amortize change application, never
+descend per event on the hot path).
+
+MIN/MAX views are maintainable only while their sources never emit
+deletions (paper, Section 3.4).  Because an upstream *view* regenerates
+affected regions by retracting and re-emitting rows, MIN/MAX cannot be
+declared over another view -- :meth:`DynamicCatalog.create_view`
+rejects that shape up front instead of failing mid-refresh.
+
+Output-row semantics: a view materializes one temporal tuple per
+constant interval of its (per-group) aggregate **where the internal
+value differs from the aggregate's initial value** ``v0``; regions
+where the aggregate sits at ``v0`` (no contributing tuples, or exact
+cancellation) carry no row.  Downstream SUM/COUNT/AVG views are
+insensitive to the dropped rows (``v0`` contributes nothing), and the
+recompute-from-scratch oracle in the tests mirrors the same rule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .. import obs
+from ..core.intervals import Interval, Time
+from ..core.sbtree import SBTree
+from ..core.values import AggregateSpec, spec_for
+from ..relation.table import TemporalRelation
+from ..relation.tuples import ChangeEvent, ChangeKind
+
+__all__ = [
+    "DOWNSTREAM",
+    "parse_lag",
+    "format_lag",
+    "ChangeLog",
+    "LogRecord",
+    "ViewReading",
+    "DynamicView",
+    "DynamicCatalog",
+    "ViewDependencyError",
+    "CycleError",
+]
+
+#: Name of the catalog's checkpoint file inside its directory.
+CHECKPOINT_NAME = "dynamic.json"
+
+
+class ViewDependencyError(ValueError):
+    """An invalid DAG operation: unknown source, dependent in the way."""
+
+
+class CycleError(ViewDependencyError):
+    """Creating the view would introduce a dependency cycle."""
+
+
+class _Downstream:
+    """Sentinel lag: refresh only when a dependent (or a reader) needs it."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "DOWNSTREAM"
+
+
+DOWNSTREAM = _Downstream()
+
+_LAG_UNITS = {"ms": 1e-3, "s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_lag(lag: Any) -> Union[float, _Downstream]:
+    """Parse a freshness target: ``"5s"``, ``"1h"``, seconds, ``"downstream"``.
+
+    Numbers are taken as seconds.  Raises ``ValueError`` for anything
+    else (including negative lags).
+    """
+    if lag is DOWNSTREAM or (isinstance(lag, str) and lag.lower() == "downstream"):
+        return DOWNSTREAM
+    if isinstance(lag, bool):
+        raise ValueError(f"invalid lag {lag!r}")
+    if isinstance(lag, (int, float)):
+        if lag < 0:
+            raise ValueError(f"lag must be non-negative, got {lag!r}")
+        return float(lag)
+    if isinstance(lag, str):
+        text = lag.strip().lower()
+        for suffix in sorted(_LAG_UNITS, key=len, reverse=True):
+            if text.endswith(suffix):
+                try:
+                    scale = float(text[: -len(suffix)])
+                except ValueError:
+                    break
+                if scale < 0:
+                    raise ValueError(f"lag must be non-negative, got {lag!r}")
+                return scale * _LAG_UNITS[suffix]
+        try:
+            value = float(text)
+        except ValueError:
+            raise ValueError(f"unparsable lag {lag!r}") from None
+        if value < 0:
+            raise ValueError(f"lag must be non-negative, got {lag!r}")
+        return value
+    raise ValueError(f"unparsable lag {lag!r}")
+
+
+def format_lag(lag: Union[float, _Downstream]) -> Any:
+    """The JSON/wire form of a parsed lag (inverse of :func:`parse_lag`)."""
+    return "downstream" if lag is DOWNSTREAM else lag
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One change-stream entry: a sequence-numbered, timestamped event."""
+
+    seq: int
+    kind: str  # "insert" | "delete"
+    value: Any
+    start: Time
+    end: Time
+    payload: Mapping[str, Any]
+    at: float  # catalog-clock arrival time (for staleness accounting)
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+    def to_json(self) -> List[Any]:
+        return [self.seq, self.kind, self.value, self.start, self.end,
+                dict(self.payload), self.at]
+
+    @classmethod
+    def from_json(cls, raw: Sequence[Any]) -> "LogRecord":
+        seq, kind, value, start, end, payload, at = raw
+        return cls(int(seq), kind, value, start, end, dict(payload), float(at))
+
+
+class ChangeLog:
+    """An append-only, sequence-numbered change stream for one node.
+
+    Sequence numbers start at 1; ``head`` is the last assigned number
+    (0 for an empty log).  Consumers remember a *watermark* -- the last
+    sequence they applied -- and read forward with :meth:`since`.  The
+    log is retained in full so a restored catalog can rebuild a view's
+    trees by replaying exactly the consumed prefix (see
+    :meth:`DynamicCatalog.load`); see DESIGN.md section 13 for the
+    retention trade-off.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[LogRecord] = []
+        self.head = 0
+
+    def append(self, kind: str, value: Any, interval: Interval,
+               payload: Mapping[str, Any], at: float) -> int:
+        self.head += 1
+        self.records.append(
+            LogRecord(self.head, kind, value, interval.start, interval.end,
+                      dict(payload), at)
+        )
+        return self.head
+
+    def since(self, watermark: int) -> List[LogRecord]:
+        """Records with ``seq > watermark``, oldest first."""
+        if watermark >= self.head:
+            return []
+        # Sequence numbers are dense (1..head), so the slice is direct.
+        return self.records[watermark:]
+
+    def upto(self, watermark: int) -> List[LogRecord]:
+        """The consumed prefix ``seq <= watermark`` (restore replay)."""
+        return self.records[:watermark]
+
+    def oldest_pending_at(self, watermark: int) -> Optional[float]:
+        pending = self.since(watermark)
+        return pending[0].at if pending else None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"head": self.head, "records": [r.to_json() for r in self.records]}
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "ChangeLog":
+        log = cls()
+        log.records = [LogRecord.from_json(r) for r in raw.get("records", ())]
+        log.head = int(raw.get("head", len(log.records)))
+        return log
+
+
+class _LogTap:
+    """Relation subscriber appending every change event to a log."""
+
+    def __init__(self, log: ChangeLog, clock) -> None:
+        self.log = log
+        self._clock = clock
+
+    def __call__(self, event: ChangeEvent) -> None:
+        self.log.append(
+            "insert" if event.kind is ChangeKind.INSERT else "delete",
+            event.tuple.value,
+            event.tuple.valid,
+            event.tuple.payload,
+            self._clock(),
+        )
+
+
+class _BaseNode:
+    """A base table registered in the catalog: a relation plus its log."""
+
+    def __init__(self, name: str, relation: TemporalRelation, clock) -> None:
+        self.name = name
+        self.relation = relation
+        self.log = ChangeLog()
+        self._tap = _LogTap(self.log, clock)
+        relation.subscribe(self._tap, replay=True)
+
+    def detach(self) -> None:
+        self.relation.unsubscribe(self._tap)
+
+
+@dataclass
+class ViewReading:
+    """One view read: the value plus its consistency coordinates."""
+
+    value: Any
+    as_of_watermark: Dict[str, int]
+    staleness_s: float
+
+    def to_json(self) -> Dict[str, Any]:
+        watermark: Any = self.as_of_watermark
+        if len(watermark) == 1:
+            watermark = next(iter(watermark.values()))
+        return {
+            "value": self.value,
+            "watermark": watermark,
+            "staleness_s": self.staleness_s,
+        }
+
+
+class DynamicView:
+    """One node of the DAG: sources, an aggregate, and refresh state.
+
+    Not constructed directly -- use :meth:`DynamicCatalog.create_view`,
+    which validates the DAG.  The view owns
+
+    * one SB-tree per group key (created lazily as keys appear in the
+      consumed change stream) holding the paper's aggregate index,
+    * an output :class:`TemporalRelation` materializing the aggregate's
+      constant intervals as temporal tuples (so a view is consumable by
+      further views exactly like a base table), and
+    * ``watermarks`` -- the last consumed sequence number per source.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sources: List[str],
+        kind,
+        *,
+        key: Optional[str] = None,
+        lag: Union[float, _Downstream] = DOWNSTREAM,
+        clock=time.monotonic,
+        branching: int = 32,
+        leaf_capacity: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.sources = list(sources)
+        self.spec: AggregateSpec = spec_for(kind)
+        self.key_field = key
+        self.lag = lag
+        self.watermarks: Dict[str, int] = {src: 0 for src in self.sources}
+        self.relation = TemporalRelation(name)
+        self.log = ChangeLog()
+        self._tap = _LogTap(self.log, clock)
+        self.relation.subscribe(self._tap, replay=True)
+        self._tree_args = dict(branching=branching, leaf_capacity=leaf_capacity)
+        self._trees: Dict[Hashable, SBTree] = {}
+        # Per-group output rows (tuple_id -> row), the view's own
+        # affected-region index: regeneration touches only the rows of
+        # the affected key that overlap the affected time range.
+        self._rows: Dict[Hashable, Dict[int, Any]] = {}
+        self.refreshes = 0
+        self.events_consumed = 0
+        self.rows_emitted = 0
+        self.rows_retracted = 0
+        self.last_refresh_at: Optional[float] = None
+        self.last_refresh_s = 0.0
+
+    # ------------------------------------------------------------------
+    def _tree(self, key: Hashable) -> SBTree:
+        tree = self._trees.get(key)
+        if tree is None:
+            tree = SBTree(self.spec, **self._tree_args)
+            self._trees[key] = tree
+            self._rows[key] = {}
+        return tree
+
+    def _key_of(self, record: LogRecord) -> Hashable:
+        if self.key_field is None:
+            return None
+        return record.payload.get(self.key_field)
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def refresh(self, resolve, now: float) -> int:
+        """Consume every source record past the watermarks; return count.
+
+        *resolve* maps a source name to its node (the catalog).  The
+        affected-region rule: each consumed event updates one group's
+        tree in O(log n); output rows are then regenerated only for the
+        union of (key, time-range) regions the batch touched.
+        """
+        batches: List[Tuple[str, List[LogRecord]]] = []
+        for src in self.sources:
+            node = resolve(src)
+            batch = node.log.since(self.watermarks[src])
+            if batch:
+                batches.append((src, batch))
+        if not batches:
+            return 0
+        if not self.spec.invertible:
+            # Two-phase, like the eager views: veto before any mutation
+            # so a non-maintainable batch cannot half-apply.
+            for _, batch in batches:
+                for record in batch:
+                    if record.kind == "delete":
+                        raise ValueError(
+                            f"view {self.name!r}: {self.spec.kind} aggregates "
+                            "cannot be maintained under deletions (paper, "
+                            "Section 3.4); the source change stream "
+                            "retracted a tuple"
+                        )
+        started = time.perf_counter()
+        affected: Dict[Hashable, List[Interval]] = {}
+        consumed = 0
+        for src, batch in batches:
+            for record in batch:
+                key = self._key_of(record)
+                tree = self._tree(key)
+                if record.kind == "insert":
+                    tree.insert(record.value, record.interval)
+                else:
+                    tree.delete(record.value, record.interval)
+                affected.setdefault(key, []).append(record.interval)
+                consumed += 1
+            self.watermarks[src] = batch[-1].seq
+        for key, intervals in affected.items():
+            for lo, hi in _merge_spans(intervals):
+                self._regenerate(key, lo, hi)
+        self.refreshes += 1
+        self.events_consumed += consumed
+        self.last_refresh_at = now
+        self.last_refresh_s = time.perf_counter() - started
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.record_op(obs.OpRecord(
+                op=f"view.{self.name}.refresh",
+                wall_us=self.last_refresh_s * 1e6,
+            ))
+        return consumed
+
+    def _regenerate(self, key: Hashable, lo: Time, hi: Time) -> None:
+        """Rebuild this group's output rows over one affected span.
+
+        The span is first widened to fully cover any existing row it
+        overlaps (rows of one group are disjoint, so one widening pass
+        reaches a fixpoint); the covered rows are retracted, and the
+        group's tree is range-queried once to emit the new constant
+        intervals.  Rows whose internal value is ``v0`` are elided (see
+        the module docstring).
+        """
+        rows = self._rows.setdefault(key, {})
+        stale = []
+        for tuple_id, row in rows.items():
+            if row.valid.start < hi and row.valid.end > lo:
+                stale.append(row)
+                lo = min(lo, row.valid.start)
+                hi = max(hi, row.valid.end)
+        for row in stale:
+            del rows[row.tuple_id]
+            self.relation.delete(row)  # emits DELETE downstream via the tap
+            self.rows_retracted += 1
+        if not lo < hi:  # pragma: no cover - spans are non-empty by construction
+            return
+        step = self._trees[key].range_query(Interval(lo, hi)).coalesce(self.spec.eq)
+        payload = {} if self.key_field is None else {self.key_field: key}
+        for value, interval in step:
+            if self.spec.is_initial(value):
+                continue
+            final = self.spec.finalize(value)
+            if final is None:
+                continue
+            row = self.relation.insert(final, interval, **payload)
+            rows[row.tuple_id] = row
+            self.rows_emitted += 1
+
+    # ------------------------------------------------------------------
+    # Reads (values come from the trees: always consistent with the
+    # watermarks, never mid-regeneration)
+    # ------------------------------------------------------------------
+    def value_at(self, t: Time, key: Hashable = None) -> Any:
+        """Finalized value at *t* for one group (or the single group)."""
+        tree = self._trees.get(key)
+        if tree is None:
+            return self.spec.finalize(self.spec.v0)
+        return tree.lookup_final(t)
+
+    def values_at(self, t: Time) -> Dict[Hashable, Any]:
+        """Every known group's finalized value at *t*."""
+        return {key: tree.lookup_final(t) for key, tree in self._trees.items()}
+
+    def keys(self):
+        return self._trees.keys()
+
+    def row_count(self) -> int:
+        return len(self.relation)
+
+    def pending_from(self, resolve) -> int:
+        """Unconsumed source records (0 when fully fresh)."""
+        return sum(
+            resolve(src).log.head - self.watermarks[src] for src in self.sources
+        )
+
+    def oldest_pending_at(self, resolve) -> Optional[float]:
+        stamps = [
+            resolve(src).log.oldest_pending_at(self.watermarks[src])
+            for src in self.sources
+        ]
+        stamps = [s for s in stamps if s is not None]
+        return min(stamps) if stamps else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DynamicView {self.name!r} {self.spec.kind} over {self.sources} "
+            f"lag={format_lag(self.lag)!r} watermarks={self.watermarks}>"
+        )
+
+
+def _merge_spans(intervals: List[Interval]) -> List[Tuple[Time, Time]]:
+    """Collapse intervals into disjoint (lo, hi) spans, sorted."""
+    spans = sorted((iv.start, iv.end) for iv in intervals)
+    merged: List[Tuple[Time, Time]] = []
+    for lo, hi in spans:
+        if merged and lo <= merged[-1][1]:
+            last_lo, last_hi = merged[-1]
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class DynamicCatalog:
+    """The view fleet: a DAG of dynamic views over base change streams.
+
+    Thread-safe (one re-entrant lock serializes every public method),
+    so the TCP service can drive it from its executor pool while the
+    refresh tick runs.  With *directory*, :meth:`save` checkpoints the
+    whole catalog -- definitions, watermarks, change logs, and output
+    rows -- to ``dynamic.json``; :meth:`load` (or constructing over a
+    directory holding a checkpoint) restores it and resumes refresh
+    from the persisted watermarks.
+
+    *warehouse*, when given, shares base tables with a
+    :class:`~repro.warehouse.manager.TemporalWarehouse`: catalog tables
+    resolve to warehouse relations and the warehouse's ``drop_table``
+    consults this catalog for dependents.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        warehouse=None,
+        clock=time.monotonic,
+        branching: int = 32,
+        leaf_capacity: Optional[int] = None,
+    ) -> None:
+        self.directory = directory
+        self.warehouse = warehouse
+        self.clock = clock
+        self._tree_args = dict(branching=branching, leaf_capacity=leaf_capacity)
+        self._lock = threading.RLock()
+        self._tables: Dict[str, _BaseNode] = {}
+        self._views: Dict[str, DynamicView] = {}
+        self._order: List[str] = []  # creation order == a topological order
+        self.ticks = 0
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            if os.path.exists(os.path.join(directory, CHECKPOINT_NAME)):
+                self.load()
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def _node(self, name: str):
+        node = self._tables.get(name)
+        if node is not None:
+            return node
+        view = self._views.get(name)
+        if view is not None:
+            return view
+        raise ViewDependencyError(f"unknown table or view {name!r}")
+
+    def has_node(self, name: str) -> bool:
+        return name in self._tables or name in self._views
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def view_names(self) -> List[str]:
+        return list(self._views)
+
+    def view(self, name: str) -> DynamicView:
+        view = self._views.get(name)
+        if view is None:
+            raise ViewDependencyError(f"unknown view {name!r}")
+        return view
+
+    def create_table(self, name: str) -> TemporalRelation:
+        """Register a base table (creating the relation if needed).
+
+        Bound to a warehouse, the relation is the warehouse's (created
+        there when missing); standalone catalogs own their relations.
+        """
+        with self._lock:
+            if self.has_node(name):
+                raise ValueError(f"table or view {name!r} already exists")
+            if self.warehouse is not None:
+                try:
+                    relation = self.warehouse.table(name)
+                except KeyError:
+                    relation = self.warehouse.create_table(name)
+            else:
+                relation = TemporalRelation(name)
+            node = _BaseNode(name, relation, self.clock)
+            self._tables[name] = node
+            self._order.append(name)
+            return relation
+
+    def attach_table(self, name: str, relation: TemporalRelation) -> None:
+        """Register an existing relation as a base table (replaying it)."""
+        with self._lock:
+            if self.has_node(name):
+                raise ValueError(f"table or view {name!r} already exists")
+            self._tables[name] = _BaseNode(name, relation, self.clock)
+            self._order.append(name)
+
+    def table(self, name: str) -> TemporalRelation:
+        with self._lock:
+            node = self._tables.get(name)
+            if node is None:
+                raise ViewDependencyError(f"unknown table {name!r}")
+            return node.relation
+
+    def insert(self, table: str, value: Any, valid, **payload: Any):
+        """Insert one tuple into a base table (records its change event)."""
+        with self._lock:
+            return self.table(table).insert(value, valid, **payload)
+
+    def delete(self, table: str, row_or_id):
+        with self._lock:
+            return self.table(table).delete(row_or_id)
+
+    # ------------------------------------------------------------------
+    # DAG maintenance
+    # ------------------------------------------------------------------
+    def dependents_of(self, name: str) -> List[str]:
+        """Views that consume *name* directly."""
+        with self._lock:
+            return [v.name for v in self._views.values() if name in v.sources]
+
+    def _check_acyclic(self, name: str, sources: Sequence[str]) -> None:
+        """Reject any edge set that would close a cycle through *name*.
+
+        Sources must already exist, so the only reachable cycles run
+        through the new view itself; the walk still follows the full
+        transitive closure so the guard stays correct if forward
+        references are ever allowed.
+        """
+        stack = list(sources)
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current == name:
+                raise CycleError(
+                    f"view {name!r} cannot (transitively) depend on itself"
+                )
+            if current in seen:
+                continue
+            seen.add(current)
+            view = self._views.get(current)
+            if view is not None:
+                stack.extend(view.sources)
+
+    def create_view(
+        self,
+        name: str,
+        over: Union[str, Sequence[str]],
+        kind,
+        *,
+        key: Optional[str] = None,
+        lag: Any = DOWNSTREAM,
+        create_sources: bool = False,
+    ) -> DynamicView:
+        """Declare a dynamic view over base tables and/or other views.
+
+        ``lag`` accepts anything :func:`parse_lag` does.  With
+        ``create_sources`` unknown source names are auto-created as
+        base tables (the service's ingest-after-declare convenience);
+        otherwise they are rejected.  The new view starts at watermark
+        0 everywhere, so its first refresh consumes each source's full
+        backlog -- a view over a non-empty table starts complete after
+        one refresh.
+        """
+        sources = [over] if isinstance(over, str) else list(over)
+        if not sources:
+            raise ValueError("a view needs at least one source")
+        parsed_lag = parse_lag(lag)
+        with self._lock:
+            if self.has_node(name):
+                raise ValueError(f"table or view {name!r} already exists")
+            self._check_acyclic(name, sources)
+            spec = spec_for(kind)
+            for src in sources:
+                if src in self._views and not spec.invertible:
+                    raise ValueError(
+                        f"view {name!r}: {spec.kind} cannot be maintained over "
+                        f"view {src!r} -- refreshing a view retracts rows, and "
+                        "MIN/MAX aggregates are not maintainable under "
+                        "deletions (paper, Section 3.4)"
+                    )
+                if not self.has_node(src):
+                    if not create_sources:
+                        raise ViewDependencyError(
+                            f"view {name!r}: unknown source {src!r}"
+                        )
+                    self.create_table(src)
+            view = DynamicView(
+                name, sources, spec, key=key, lag=parsed_lag,
+                clock=self.clock, **self._tree_args,
+            )
+            self._views[name] = view
+            self._order.append(name)
+            return view
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view; refused while other views still consume it."""
+        with self._lock:
+            view = self.view(name)
+            dependents = self.dependents_of(name)
+            if dependents:
+                raise ViewDependencyError(
+                    f"cannot drop view {name!r}: still consumed by "
+                    f"{sorted(dependents)}"
+                )
+            view.relation.unsubscribe(view._tap)
+            del self._views[name]
+            self._order.remove(name)
+
+    def drop_table(self, name: str) -> None:
+        """Unregister a base table; refused while views consume it."""
+        with self._lock:
+            node = self._tables.get(name)
+            if node is None:
+                raise ViewDependencyError(f"unknown table {name!r}")
+            dependents = self.dependents_of(name)
+            if dependents:
+                raise ViewDependencyError(
+                    f"cannot drop table {name!r}: still consumed by "
+                    f"{sorted(dependents)}"
+                )
+            node.detach()
+            del self._tables[name]
+            self._order.remove(name)
+
+    # ------------------------------------------------------------------
+    # Refresh scheduling
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self.clock()
+
+    def _transitive_oldest(
+        self, name: str, cache: Dict[str, Optional[float]]
+    ) -> Optional[float]:
+        """Arrival time of the oldest event not yet *reflected* in node
+        *name*, looking through the whole ancestor chain (``None`` when
+        the node is fully fresh).  A base table is always fresh with
+        respect to itself; a view is stale both for records it has not
+        consumed and for records its source views have not yet emitted.
+        """
+        if name in cache:
+            return cache[name]
+        cache[name] = None  # cycle guard; the DAG check makes this moot
+        view = self._views.get(name)
+        oldest: Optional[float] = None
+        if view is not None:
+            for src in view.sources:
+                candidates = [
+                    self._node(src).log.oldest_pending_at(
+                        view.watermarks.get(src, 0)
+                    ),
+                    self._transitive_oldest(src, cache),
+                ]
+                for stamp in candidates:
+                    if stamp is not None and (oldest is None or stamp < oldest):
+                        oldest = stamp
+        cache[name] = oldest
+        return oldest
+
+    def staleness(self, view: DynamicView, now: Optional[float] = None) -> float:
+        """Seconds the view lags the *base data* (0 when fully fresh).
+
+        Transitive: counts events the view has not consumed *and*
+        events its source views have not yet emitted, so a chain's
+        staleness never under-reports just because an intermediate view
+        is itself behind.
+        """
+        oldest = self._transitive_oldest(view.name, {})
+        if oldest is None:
+            return 0.0
+        now = self._now() if now is None else now
+        return max(0.0, now - oldest)
+
+    def _due(self, now: float) -> List[str]:
+        """Views whose numeric lag budget is exhausted, in topo order."""
+        due = []
+        cache: Dict[str, Optional[float]] = {}
+        for name in self._order:
+            view = self._views.get(name)
+            if view is None or view.lag is DOWNSTREAM:
+                continue
+            oldest = self._transitive_oldest(name, cache)
+            if oldest is None:
+                continue
+            if max(0.0, now - oldest) >= view.lag:
+                due.append(name)
+        return due
+
+    def _closure_with_lazy_ancestors(self, names: Sequence[str]) -> List[str]:
+        """*names* plus their ``downstream``-lagged ancestors, topo order.
+
+        Numeric-lag ancestors are *not* pulled in: their freshness is
+        their own schedule's business; a lazy (``downstream``) ancestor
+        refreshes exactly because a dependent needs it now.
+        """
+        needed = set(names)
+        # Walk ancestors; _order is topological, so one reverse sweep
+        # suffices to propagate need from dependents to sources.
+        for name in reversed(self._order):
+            if name not in needed:
+                continue
+            view = self._views.get(name)
+            if view is None:
+                continue
+            for src in view.sources:
+                ancestor = self._views.get(src)
+                if ancestor is not None and (
+                    src in needed or ancestor.lag is DOWNSTREAM
+                ):
+                    needed.add(src)
+        return [n for n in self._order if n in needed and n in self._views]
+
+    def _refresh_names(self, names: Sequence[str], now: float) -> Dict[str, int]:
+        consumed = {}
+        for name in names:
+            count = self._views[name].refresh(self._node, now)
+            if count:
+                consumed[name] = count
+        return consumed
+
+    def tick(self, now: Optional[float] = None) -> Dict[str, int]:
+        """One scheduler pass: refresh every due view, each at most
+        once, in topological order.  A due view pulls its *full*
+        ancestor closure into the tick -- a ``lag="0s"`` rollup over a
+        ``lag="1h"`` intermediate obliges the intermediate to move at
+        the rollup's cadence (a dependent's lag is a constraint on its
+        whole upstream chain, which is also why due-ness is judged on
+        *transitive* staleness).  Returns ``{view: events_consumed}``
+        for the views that moved.
+        """
+        with self._lock:
+            now = self._now() if now is None else now
+            self.ticks += 1
+            due = self._due(now)
+            if not due:
+                return {}
+            return self._refresh_names(self._ancestor_closure(due), now)
+
+    def refresh(self, name: Optional[str] = None) -> Dict[str, int]:
+        """Force a refresh: one view (with its full ancestor closure,
+        lag targets notwithstanding) or, with ``name=None``, every view.
+        """
+        with self._lock:
+            now = self._now()
+            if name is None:
+                names = [n for n in self._order if n in self._views]
+            else:
+                self.view(name)  # raise early on unknown names
+                names = self._ancestor_closure([name])
+            return self._refresh_names(names, now)
+
+    def _ancestor_closure(self, names: Sequence[str]) -> List[str]:
+        needed = set(names)
+        for name in reversed(self._order):
+            if name not in needed:
+                continue
+            view = self._views.get(name)
+            if view is not None:
+                needed.update(view.sources)
+        return [n for n in self._order if n in needed and n in self._views]
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(
+        self, name: str, t: Time, *, key: Hashable = None, now: Optional[float] = None
+    ) -> ViewReading:
+        """Read one view at instant *t*.
+
+        A ``downstream``-lagged view (and its lazy ancestors) refreshes
+        first -- that is what the lag means; views on a numeric lag
+        serve their current state and let ``staleness_s`` say how old
+        it is.  For a grouped view, *key* selects one group (unknown
+        keys read as the empty group); ``key=None`` returns every
+        group's value as a dict.
+        """
+        with self._lock:
+            view = self.view(name)
+            now = self._now() if now is None else now
+            if view.lag is DOWNSTREAM:
+                self._refresh_names(self._closure_with_lazy_ancestors([name]), now)
+            if view.key_field is not None and key is None:
+                value: Any = view.values_at(t)
+            else:
+                value = view.value_at(t, key)
+            return ViewReading(
+                value=value,
+                as_of_watermark=dict(view.watermarks),
+                staleness_s=self.staleness(view, now),
+            )
+
+    def report(
+        self, names: Sequence[str], t: Time, *, pin: bool = True
+    ) -> Dict[str, Any]:
+        """Read several views at *t* in one consistent snapshot.
+
+        With ``pin`` the full ancestor closure of *names* refreshes
+        first (inside the lock, so no ingest interleaves), after which
+        every reading reflects the same base-table log heads; those
+        heads are returned as the report's pinned watermark.  Without
+        ``pin`` each view is read as-is, like :meth:`read`.
+        """
+        with self._lock:
+            now = self._now()
+            for name in names:
+                self.view(name)
+            if pin:
+                self._refresh_names(self._ancestor_closure(names), now)
+            readings = {
+                name: self.read(name, t, now=now).to_json() for name in names
+            }
+            bases = {
+                tname: node.log.head for tname, node in self._tables.items()
+            }
+            return {
+                "views": readings,
+                "pinned": bool(pin),
+                "base_watermarks": bases,
+            }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Per-node freshness and cost counters (the ``view_stats`` op)."""
+        with self._lock:
+            now = self._now()
+            tables = {
+                name: {"head": node.log.head, "tuples": len(node.relation)}
+                for name, node in self._tables.items()
+            }
+            views = {}
+            for name, view in self._views.items():
+                views[name] = {
+                    "sources": list(view.sources),
+                    "kind": view.spec.kind.value,
+                    "key": view.key_field,
+                    "lag": format_lag(view.lag),
+                    "watermarks": dict(view.watermarks),
+                    "pending": view.pending_from(self._node),
+                    "staleness_s": self.staleness(view, now),
+                    "refreshes": view.refreshes,
+                    "events_consumed": view.events_consumed,
+                    "rows": view.row_count(),
+                    "rows_emitted": view.rows_emitted,
+                    "rows_retracted": view.rows_retracted,
+                    "groups": len(list(view.keys())),
+                    "last_refresh_s": view.last_refresh_s,
+                }
+            return {
+                "tables": tables,
+                "views": views,
+                "order": list(self._order),
+                "ticks": self.ticks,
+            }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self) -> str:
+        if self.directory is None:
+            raise ValueError("this catalog has no directory to persist into")
+        return os.path.join(self.directory, CHECKPOINT_NAME)
+
+    @staticmethod
+    def _rows_json(relation: TemporalRelation) -> List[List[Any]]:
+        return [
+            [row.tuple_id, row.value, row.valid.start, row.valid.end,
+             dict(row.payload)]
+            for row in relation
+        ]
+
+    def save(self) -> str:
+        """Checkpoint definitions, watermarks, logs, and rows to disk.
+
+        The write is atomic (temp file + rename), so a crash mid-save
+        leaves the previous checkpoint intact.
+        """
+        with self._lock:
+            path = self._checkpoint_path()
+            payload: Dict[str, Any] = {
+                "version": 1,
+                "order": list(self._order),
+                "tables": {
+                    name: {
+                        "log": node.log.to_json(),
+                        "rows": self._rows_json(node.relation),
+                    }
+                    for name, node in self._tables.items()
+                },
+                "views": {
+                    name: {
+                        "sources": view.sources,
+                        "kind": view.spec.kind.value,
+                        "key": view.key_field,
+                        "lag": format_lag(view.lag),
+                        "watermarks": view.watermarks,
+                        "refreshes": view.refreshes,
+                        "events_consumed": view.events_consumed,
+                        "log": view.log.to_json(),
+                        "rows": self._rows_json(view.relation),
+                    }
+                    for name, view in self._views.items()
+                },
+            }
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+            return path
+
+    def load(self) -> None:
+        """Restore a checkpoint: logs and rows verbatim, trees replayed.
+
+        A view's trees are rebuilt by replaying exactly the *consumed
+        prefix* (``seq <= watermark``) of each source log -- never the
+        whole stream -- so a reopened catalog resumes incremental
+        refresh from the persisted watermarks instead of rebuilding
+        from scratch.
+        """
+        with self._lock:
+            path = self._checkpoint_path()
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            self._tables.clear()
+            self._views.clear()
+            self._order = []
+            tables = payload.get("tables", {})
+            views = payload.get("views", {})
+            for name in payload.get("order", ()):
+                if name in tables:
+                    raw = tables[name]
+                    relation = self._restored_relation(name, raw["rows"])
+                    node = _BaseNode.__new__(_BaseNode)
+                    node.name = name
+                    node.relation = relation
+                    node.log = ChangeLog.from_json(raw["log"])
+                    node._tap = _LogTap(node.log, self.clock)
+                    relation.subscribe(node._tap, replay=False)
+                    self._tables[name] = node
+                    self._order.append(name)
+                elif name in views:
+                    raw = views[name]
+                    view = DynamicView(
+                        name, list(raw["sources"]), raw["kind"],
+                        key=raw.get("key"), lag=parse_lag(raw["lag"]),
+                        clock=self.clock, **self._tree_args,
+                    )
+                    # Output rows and the emitted log restore verbatim
+                    # (re-inserting them would re-emit downstream).
+                    view.relation.unsubscribe(view._tap)
+                    self._restore_rows(view, raw["rows"])
+                    view.log = ChangeLog.from_json(raw["log"])
+                    view._tap = _LogTap(view.log, self.clock)
+                    view.relation.subscribe(view._tap, replay=False)
+                    view.watermarks = {
+                        src: int(seq)
+                        for src, seq in raw.get("watermarks", {}).items()
+                    }
+                    for src in view.sources:
+                        view.watermarks.setdefault(src, 0)
+                    view.refreshes = int(raw.get("refreshes", 0))
+                    view.events_consumed = int(raw.get("events_consumed", 0))
+                    self._views[name] = view
+                    self._order.append(name)
+                    self._replay_trees(view)
+
+    def _restored_relation(self, name: str, rows: List[List[Any]]) -> TemporalRelation:
+        if self.warehouse is not None:
+            try:
+                relation = self.warehouse.table(name)
+            except KeyError:
+                relation = self.warehouse.create_table(name)
+        else:
+            relation = TemporalRelation(name)
+        if len(relation) == 0 and rows:
+            relation.restore(
+                (tid, value, Interval(start, end), payload)
+                for tid, value, start, end, payload in rows
+            )
+        return relation
+
+    def _restore_rows(self, view: DynamicView, rows: List[List[Any]]) -> None:
+        view.relation.restore(
+            (tid, value, Interval(start, end), payload)
+            for tid, value, start, end, payload in rows
+        )
+        for row in view.relation:
+            key = (
+                None if view.key_field is None
+                else row.payload.get(view.key_field)
+            )
+            view._tree(key)  # ensure the per-group row index exists
+            view._rows[key][row.tuple_id] = row
+
+    def _replay_trees(self, view: DynamicView) -> None:
+        """Rebuild a restored view's trees from its consumed prefixes."""
+        for src in view.sources:
+            node = self._node(src)
+            for record in node.log.upto(view.watermarks.get(src, 0)):
+                key = view._key_of(record)
+                tree = view._tree(key)
+                if record.kind == "insert":
+                    tree.insert(record.value, record.interval)
+                else:
+                    tree.delete(record.value, record.interval)
+
+    def close(self) -> None:
+        """Checkpoint (when persistent) and detach every node."""
+        with self._lock:
+            if self.directory is not None:
+                self.save()
+            for node in self._tables.values():
+                node.detach()
+
+    def __enter__(self) -> "DynamicCatalog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Hashable, Optional, Union
 
 from ..core.intervals import Time
+from ..core.results import ConstantIntervalTable
 from ..core.values import spec_for
 from ..relation.table import TemporalRelation
 from ..relation.tuples import ChangeEvent, ChangeKind, TemporalTuple
@@ -115,22 +116,55 @@ class GroupedAggregateView:
         """The maintained view for one group (KeyError if never seen)."""
         return self._groups[key]
 
+    def _check_window(self, w: Optional[Time]) -> None:
+        """The window/offset validation every query path shares.
+
+        Unknown-key reads must behave exactly like known-key reads
+        modulo the answer, so the argument checks cannot hide behind
+        the lazily-created per-group views.
+        """
+        any_window = isinstance(self.window, _AnyWindow)
+        if w is None and any_window:
+            raise ValueError(
+                f"view {self.name!r} answers arbitrary offsets; pass w"
+            )
+        if w is not None and not any_window:
+            raise ValueError(
+                f"view {self.name!r} was built for window={self.window!r}; "
+                "create it with window=ANY_WINDOW for arbitrary offsets"
+            )
+
     def value_at(self, key: Hashable, t: Time, w: Optional[Time] = None) -> Any:
         """One group's (finalized) value at instant *t*.
 
         Unknown keys yield the aggregate's empty value rather than an
         error: a group that never appeared is an empty group.
         """
+        self._check_window(w)
         if key not in self._groups:
             return self.spec.finalize(self.spec.v0)
         return self._groups[key].value_at(t, w)
 
     def values_at(self, t: Time, w: Optional[Time] = None) -> Dict[Hashable, Any]:
-        """Every known group's value at instant *t*."""
+        """Every known group's value at instant *t*.
+
+        Well-defined on an empty view: no groups seen yet means an
+        empty mapping, never an error (beyond window validation).
+        """
+        self._check_window(w)
         return {key: view.value_at(t, w) for key, view in self._groups.items()}
 
     def table(self, key: Hashable, w: Optional[Time] = None):
-        """One group's reconstructed constant-interval table."""
+        """One group's reconstructed constant-interval table.
+
+        An unknown key reconstructs as the *empty* table (no constant
+        intervals), mirroring :meth:`value_at`'s empty-group rule --
+        DAG refresh reads groups it has merely heard of, which must not
+        raise.
+        """
+        self._check_window(w)
+        if key not in self._groups:
+            return ConstantIntervalTable([])
         return self._groups[key].table(w)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -29,6 +29,7 @@ class TemporalWarehouse:
             os.makedirs(directory, exist_ok=True)
         self._relations: Dict[str, TemporalRelation] = {}
         self._views: Dict[str, TemporalAggregateView] = {}
+        self._dynamic = None
 
     # ------------------------------------------------------------------
     # Base tables
@@ -43,6 +44,52 @@ class TemporalWarehouse:
 
     def table(self, name: str) -> TemporalRelation:
         return self._relations[name]
+
+    def drop_table(self, name: str) -> None:
+        """Unregister a base table.
+
+        Refused while any view still depends on the relation -- both
+        the eagerly-maintained views of this warehouse and any dynamic
+        views of the attached :attr:`dynamic` catalog (a dangling view
+        would silently stop reflecting reality).
+        """
+        if name not in self._relations:
+            raise KeyError(f"no table {name!r}")
+        relation = self._relations[name]
+        dependents = [
+            view_name
+            for view_name, view in self._views.items()
+            if getattr(view, "relation", None) is relation
+        ]
+        if self._dynamic is not None:
+            if name in self._dynamic.table_names():
+                dependents.extend(self._dynamic.dependents_of(name))
+        if dependents:
+            raise ValueError(
+                f"cannot drop table {name!r}: still referenced by views "
+                f"{sorted(set(dependents))}"
+            )
+        if self._dynamic is not None and name in self._dynamic.table_names():
+            self._dynamic.drop_table(name)
+        del self._relations[name]
+
+    # ------------------------------------------------------------------
+    # Dynamic views
+    # ------------------------------------------------------------------
+    @property
+    def dynamic(self):
+        """The lazily-created dynamic-view catalog sharing these tables.
+
+        See :mod:`repro.warehouse.dynamic`: lag-driven views over base
+        tables and other views, refreshed incrementally from the change
+        stream.  Persistent when the warehouse has a directory (the
+        catalog checkpoints to ``<directory>/dynamic.json``).
+        """
+        if self._dynamic is None:
+            from .dynamic import DynamicCatalog
+
+            self._dynamic = DynamicCatalog(self.directory, warehouse=self)
+        return self._dynamic
 
     # ------------------------------------------------------------------
     # Views
@@ -126,9 +173,23 @@ class TemporalWarehouse:
         return self._views[name]
 
     def drop_view(self, name: str) -> None:
-        """Detach and forget a view (its page files, if any, remain)."""
+        """Detach a view and close + remove its persisted page stores.
+
+        A dropped persistent view's ``<name>.sbt`` page file (and its
+        rollback journal, and the ``.ended.sbt`` pair of an ANY_WINDOW
+        view) are deleted -- a dropped view that leaves pages behind
+        would resurrect stale aggregates if the name were ever reused.
+        """
         view = self._views.pop(name)
         view.detach()
+        for store in self._stores_of(view):
+            pager = getattr(store, "pager", None)
+            store.close()
+            if pager is None:
+                continue
+            for path in (pager.path, pager.journal_path):
+                if path and os.path.exists(path):
+                    os.remove(path)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -168,7 +229,10 @@ class TemporalWarehouse:
                     commit()
 
     def close(self) -> None:
-        """Flush and close every persistent view store."""
+        """Flush and close every persistent view store and the dynamic
+        catalog (checkpointing its watermarks when persistent)."""
+        if self._dynamic is not None:
+            self._dynamic.close()
         for view in self._views.values():
             for store in self._stores_of(view):
                 store.close()

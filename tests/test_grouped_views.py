@@ -97,6 +97,50 @@ class TestGroupedView:
         assert view.value_at("a", 25, 5) == 3
         assert view.value_at("b", 25, 20) == 9
 
+    def test_unknown_key_table_is_empty(self, setup):
+        _, view, _ = setup
+        table = view.table("Nobody")
+        assert list(table) == []
+        # Same domain semantics as any empty table: no instant covered.
+        with pytest.raises(KeyError):
+            table.value_at(19)
+
+    def test_unknown_key_avg_finalizes(self):
+        rel = TemporalRelation("r")
+        view = GroupedAggregateView(
+            "avg", rel, "avg",
+            key_of=lambda row: row.payload["patient"],
+            branching=4, leaf_capacity=4,
+        )
+        # Finalized empty value, not the raw (sum, count) accumulator.
+        assert view.value_at("Nobody", 19) is None
+
+    def test_empty_view_values_at(self):
+        rel = TemporalRelation("r")
+        view = GroupedAggregateView(
+            "empty", rel, "sum",
+            key_of=lambda row: row.payload["patient"],
+            branching=4, leaf_capacity=4,
+        )
+        assert view.values_at(19) == {}
+
+    def test_unknown_key_window_validation(self, setup):
+        # Argument checks must not hide behind lazily created groups:
+        # an unknown key with a bad window raises like a known key.
+        _, view, _ = setup
+        with pytest.raises(ValueError):
+            view.value_at("Nobody", 19, 5)
+        with pytest.raises(ValueError):
+            view.table("Nobody", 5)
+        cum = GroupedAggregateView(
+            "cum2", TemporalRelation("r2"), "sum",
+            key_of=lambda row: row.payload["k"],
+            window=ANY_WINDOW, branching=4, leaf_capacity=4,
+        )
+        with pytest.raises(ValueError):
+            cum.value_at("Nobody", 19)  # ANY_WINDOW needs w
+        assert cum.value_at("Nobody", 19, 5) == 0
+
     def test_matches_partitioned_query(self, setup):
         rel, view, _ = setup
         from repro.query import TemporalQuery

@@ -218,6 +218,57 @@ class TestTemporalWarehouse:
         rel.insert(1, Interval(0, 10))
         assert view.value_at(5) == 0
 
+    def test_drop_view_removes_persistent_files(self, tmp_path):
+        import os
+
+        directory = str(tmp_path / "wh")
+        with TemporalWarehouse(directory) as wh:
+            rel = wh.create_table("t")
+            wh.create_view("v", "t", "sum", persistent=True)
+            wh.create_view("cum", "t", "avg", window=ANY_WINDOW, persistent=True)
+            rel.insert(4, Interval(0, 10))
+            for name, backings in (("v", 1), ("cum", 2)):
+                paths = [f"{directory}/{name}.sbt"]
+                if backings == 2:
+                    paths.append(f"{directory}/{name}.ended.sbt")
+                for path in paths:
+                    assert os.path.exists(path)
+                wh.drop_view(name)
+                # Dropping closes and removes the page stores (and any
+                # leftover journals); nothing leaks on disk.
+                for path in paths:
+                    assert not os.path.exists(path)
+                    assert not os.path.exists(path + "-journal")
+
+    def test_drop_table_refuses_while_views_depend(self):
+        wh = TemporalWarehouse()
+        rel = wh.create_table("t")
+        wh.create_view("v", "t", "sum")
+        with pytest.raises(ValueError, match="v"):
+            wh.drop_table("t")
+        wh.drop_view("v")
+        wh.drop_table("t")
+        with pytest.raises(KeyError):
+            wh.table("t")
+        # The relation object itself survives for anyone still holding it.
+        rel.insert(1, Interval(0, 5))
+
+    def test_drop_table_refuses_while_dynamic_views_depend(self):
+        wh = TemporalWarehouse()
+        wh.create_table("t")
+        wh.dynamic.attach_table("t", wh.table("t"))
+        wh.dynamic.create_view("dv", "t", "sum", lag="downstream")
+        with pytest.raises(ValueError, match="dv"):
+            wh.drop_table("t")
+        wh.dynamic.drop_view("dv")
+        wh.drop_table("t")
+        assert "t" not in wh.dynamic.table_names()
+
+    def test_drop_table_unknown(self):
+        wh = TemporalWarehouse()
+        with pytest.raises(KeyError):
+            wh.drop_table("missing")
+
     def test_persistent_view_requires_directory(self):
         wh = TemporalWarehouse()
         wh.create_table("t")
