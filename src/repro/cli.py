@@ -215,15 +215,24 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     reachability/orphan analysis from the root, and leftover-journal
     inspection.  ``--repair`` quarantines corrupt pages and rebuilds
     the free list; it never invents tree data.
+
+    A ``.json`` path is audited as a dynamic-view catalog checkpoint
+    (``dynamic.json``) instead: structure, change-log density, and
+    per-view watermark/dependency consistency (``--repair`` does not
+    apply -- recovery is the load path's ``.prev`` fallback).
     """
     import json as _json
 
     from .storage import fsck as run_fsck
+    from .storage import fsck_dynamic
 
     if not os.path.exists(args.file):
         print(f"error: no such index file: {args.file}", file=sys.stderr)
         return 2
-    report = run_fsck(args.file, repair=args.repair)
+    if args.file.endswith(".json"):
+        report = fsck_dynamic(args.file)
+    else:
+        report = run_fsck(args.file, repair=args.repair)
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -577,7 +586,8 @@ def cmd_view(args: argparse.Namespace) -> int:
     view, ``insert`` feeds change rows into a base table, ``query``
     reads one or more views at an instant (with ``--pin`` for a
     consistent multi-view snapshot), ``stats`` dumps the catalog,
-    ``refresh`` forces a refresh, ``drop`` removes a view.
+    ``refresh`` forces a refresh, ``drop`` removes a view, and
+    ``repair`` clears a quarantined view and retries its refresh.
     """
     import json
 
@@ -634,6 +644,18 @@ def cmd_view(args: argparse.Namespace) -> int:
                     f"{k}+{v}" for k, v in sorted(refreshed.items())
                 ) or "(nothing stale)"
                 print(f"refreshed: {shown} ({result.get('events', 0)} events)")
+            elif verb == "repair":
+                result = svc.repair_view(args.name)
+                refreshed = result.get("refreshed") or {}
+                shown = ", ".join(
+                    f"{k}+{v}" for k, v in sorted(refreshed.items())
+                ) or "(nothing stale)"
+                was = (
+                    "was quarantined"
+                    if result.get("was_quarantined")
+                    else "was not quarantined"
+                )
+                print(f"repaired {result['repaired']!r} ({was}): {shown}")
             else:  # drop
                 result = svc.drop_view(args.name)
                 print(f"dropped view {result['dropped']!r}")
@@ -750,7 +772,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fsck = sub.add_parser(
         "fsck", parents=[common],
         help="offline integrity audit of the raw page file "
-        "(checksums, free list, reachability, journal)",
+        "(checksums, free list, reachability, journal); a .json path "
+        "is audited as a dynamic-view catalog checkpoint",
     )
     p_fsck.add_argument("file")
     p_fsck.add_argument(
@@ -874,7 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_view = sub.add_parser(
         "view", parents=[common],
         help="manage dynamic materialized views on a running service "
-        "(create / insert / query / stats / refresh / drop)",
+        "(create / insert / query / stats / refresh / drop / repair)",
     )
     view_common = argparse.ArgumentParser(add_help=False)
     view_common.add_argument("--host", default="127.0.0.1")
@@ -943,6 +966,14 @@ def build_parser() -> argparse.ArgumentParser:
     pv_drop.add_argument("name")
     pv_drop.set_defaults(fn=cmd_view)
 
+    pv_repair = view_sub.add_parser(
+        "repair", parents=[view_common],
+        help="clear a quarantined view and retry its refresh "
+        "(node-local: run it against the node showing QUARANTINED)",
+    )
+    pv_repair.add_argument("name")
+    pv_repair.set_defaults(fn=cmd_view)
+
     p_loadgen = sub.add_parser(
         "loadgen", parents=[common],
         help="drive a running service with a verified closed-loop workload",
@@ -992,6 +1023,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_readscale.add_argument("--min-speedup", type=float, default=0.0,
                              help="exit nonzero if the last cell's reads/s "
                              "is below this multiple of primary-only")
+    p_readscale.add_argument("--views", action="store_true",
+                             help="measure replica-served query_view reads "
+                             "instead of lookup (recorded as the separate "
+                             "view_read_scaling series)")
     p_readscale.set_defaults(fn=cmd_readscale)
 
     p_tql = sub.add_parser(

@@ -19,11 +19,20 @@ pre-commit or the post-commit fact set there -- but never anything in
 between (atomicity), and the recovered tree must additionally pass the
 full structural audit of :func:`repro.core.validate.check_tree`.
 
+The same discipline applies to the dynamic-view catalog: ``--catalog``
+sweeps :meth:`repro.warehouse.dynamic.DynamicCatalog.save` instead,
+crashing at every :data:`~repro.warehouse.dynamic.CATALOG_CRASH_POINTS`
+entry (plus a torn temp-file write and an fsync failure) of every
+checkpoint a workload takes, then reopening the catalog and verifying
+it restored exactly the previous (or, past the rename, the new)
+checkpoint and still resumes incremental refresh to oracle equivalence.
+
 Run it from the command line (also installed as ``repro-crashcheck``)::
 
     python -m repro.crashcheck                 # full sweep, all workloads
     python -m repro.crashcheck --hits sample   # first/middle/last hit only
     python -m repro.crashcheck --workload split --verbose
+    python -m repro.crashcheck --catalog       # dynamic.json checkpoint sweep
 
 Exit status is non-zero if any recovery diverged from the oracle.
 """
@@ -32,10 +41,11 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import sys
 import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from . import obs
 from .core import reference
@@ -45,13 +55,22 @@ from .core.validate import check_tree
 from .faults import FaultInjector, SimulatedCrash, simulate_crash
 from .storage import PagedNodeStore
 from .storage.pager import Pager
+from .warehouse.dynamic import (
+    CATALOG_CRASH_POINTS,
+    CATALOG_WRITE_LABEL,
+    DynamicCatalog,
+)
 
 __all__ = [
     "CrashCheckResult",
     "WORKLOADS",
+    "CATALOG_WORKLOADS",
     "run_case",
+    "run_catalog_case",
     "sweep",
     "sweep_all",
+    "catalog_sweep",
+    "catalog_sweep_all",
     "main",
 ]
 
@@ -335,6 +354,322 @@ def sweep_all(
     return results
 
 
+# ----------------------------------------------------------------------
+# Dynamic-view catalog checkpoint sweep
+# ----------------------------------------------------------------------
+#: One fault plan per checkpoint: the three labeled crash points, a torn
+#: temp-file write, and an injected fsync failure.
+CATALOG_FAULT_PLANS: Tuple[Tuple[str, Optional[str]], ...] = tuple(
+    ("crash", point) for point in CATALOG_CRASH_POINTS
+) + (("torn", None), ("fsync", None))
+
+#: Sentinel key meaning "aggregate over every group" in the view oracle.
+_ANY = object()
+
+
+class CatalogWorkloadContext:
+    """Drives one :class:`DynamicCatalog` while tracking checkpoint oracles.
+
+    ``completed`` is the base-table fact set as of the last checkpoint
+    that finished; ``inflight`` is the fact set the in-flight checkpoint
+    was serializing when the fault fired.  Unlike the pager's ambiguous
+    commit window, the catalog's crash points pin down which of the two
+    a recovery must restore: everything before the rename recovers
+    ``completed``, everything after it recovers ``inflight``.
+    """
+
+    def __init__(
+        self, directory: str, plan: Optional[Tuple[str, Optional[str], int]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.directory = directory
+        self.plan = plan  # (kind, crash point or None, checkpoint number)
+        self.injector = FaultInjector(seed=seed)
+        if plan is not None:
+            kind, point, ckpt = plan
+            if kind == "crash":
+                self.injector.crash_at(point, hit=ckpt)
+            elif kind == "torn":
+                self.injector.tear_write(CATALOG_WRITE_LABEL, call=ckpt)
+            # "fsync" is armed lazily in save(): fail_fsyncs fires on the
+            # *next* fsync, so it must not be live before checkpoint ckpt.
+        self._ticks = 0.0
+        self.catalog = DynamicCatalog(directory, clock=self._clock)
+        self.facts: List[Tuple[Any, Any, Any, Tuple]] = []
+        self.view_oracles: Dict[str, Tuple[str, bool]] = {}
+        self.saves = 0
+        self.completed: Optional[List] = None
+        self.inflight: Optional[List] = None
+
+    def _clock(self) -> float:
+        self._ticks += 1.0
+        return self._ticks
+
+    def snapshot(self) -> List:
+        return sorted(self.facts)
+
+    def insert(self, value: int, start, end, k: int):
+        row = self.catalog.insert("t", value, Interval(start, end), k=k)
+        self.facts.append((value, start, end, (("k", k),)))
+        return row
+
+    def delete(self, row) -> None:
+        self.catalog.delete("t", row)
+        self.facts.remove(
+            (row.value, row.valid.start, row.valid.end,
+             tuple(sorted(row.payload.items())))
+        )
+
+    def view(self, name: str, over: str, kind: str, *, key: Optional[str] = None) -> None:
+        self.catalog.create_view(name, over, kind, key=key)
+        self.view_oracles[name] = (kind, key is not None)
+
+    def baseline(self) -> None:
+        """Fault-free first checkpoint; arms the injector for the rest."""
+        self.catalog.refresh()
+        self.catalog.save()
+        self.completed = self.snapshot()
+        self.catalog.faults = self.injector
+
+    def save(self) -> None:
+        self.saves += 1
+        if (self.plan is not None and self.plan[0] == "fsync"
+                and self.plan[2] == self.saves):
+            self.injector.fail_fsyncs(CATALOG_WRITE_LABEL, times=1)
+        entry = self.snapshot()
+        self.inflight = entry
+        self.catalog.save()
+        self.completed = entry
+        self.inflight = None
+
+
+def _cwl_cat_ingest(ctx: CatalogWorkloadContext) -> None:
+    """Append-only ingest into ungrouped sum/avg rollups."""
+    ctx.catalog.create_table("t")
+    ctx.view("s", "t", "sum")
+    ctx.view("a", "t", "avg")
+    ctx.insert(5, 0, 50, 0)
+    ctx.baseline()
+    for i in range(14):
+        ctx.insert(i % 7 + 1, i * 4, i * 4 + 25, i % 3)
+        ctx.insert(i % 5 + 2, i * 6 + 2, i * 6 + 30, (i + 1) % 3)
+        if i % 2 == 0:
+            ctx.catalog.refresh()
+        ctx.save()
+
+
+def _cwl_cat_dag(ctx: CatalogWorkloadContext) -> None:
+    """A two-level DAG (sum over a grouped sum) plus a count, with deletes."""
+    ctx.catalog.create_table("t")
+    ctx.view("by_k", "t", "sum", key="k")
+    ctx.view("total", "by_k", "sum")
+    ctx.view("c", "t", "count")
+    ctx.insert(3, 0, 40, 0)
+    ctx.insert(4, 10, 60, 1)
+    ctx.baseline()
+    rows = []
+    for i in range(14):
+        rows.append(ctx.insert(i % 6 + 1, i * 3, i * 3 + 18, i % 3))
+        if i % 4 == 3:
+            ctx.delete(rows.pop(0))
+        ctx.catalog.refresh()
+        ctx.save()
+
+
+def _cwl_cat_churn(ctx: CatalogWorkloadContext) -> None:
+    """Heavy insert/delete churn with an unconsumed tail at most saves."""
+    ctx.catalog.create_table("t")
+    ctx.view("s", "t", "sum", key="k")
+    ctx.view("a", "t", "avg")
+    ctx.baseline()
+    live = []
+    for i in range(14):
+        live.append(ctx.insert(i % 4 + 1, i * 2, i * 2 + 16, i % 2))
+        live.append(ctx.insert(i % 3 + 5, i * 5, i * 5 + 11, (i + 1) % 2))
+        if len(live) > 5:
+            ctx.delete(live.pop(i % 3))
+        if i % 3 != 2:
+            ctx.catalog.refresh()
+        ctx.save()
+
+
+CATALOG_WORKLOADS: Dict[str, Callable[[CatalogWorkloadContext], None]] = {
+    "cat-ingest": _cwl_cat_ingest,
+    "cat-dag": _cwl_cat_dag,
+    "cat-churn": _cwl_cat_churn,
+}
+
+
+def _expected_view_value(kind: str, facts: Sequence[Tuple], t, key) -> Any:
+    vals = [
+        value for value, start, end, payload in facts
+        if start <= t < end and (key is _ANY or dict(payload).get("k") == key)
+    ]
+    if kind == "sum":
+        return sum(vals)
+    if kind == "count":
+        return len(vals)
+    if kind == "avg":
+        return (sum(vals) / len(vals)) if vals else None
+    raise ValueError(f"no oracle for aggregate kind {kind!r}")
+
+
+def _catalog_facts(catalog: DynamicCatalog) -> List:
+    return sorted(
+        (row.value, row.valid.start, row.valid.end,
+         tuple(sorted(row.payload.items())))
+        for row in catalog.table("t")
+    )
+
+
+def _check_catalog_views(
+    catalog: DynamicCatalog, facts: Sequence[Tuple], ctx: CatalogWorkloadContext
+) -> str:
+    """Every declared view against the brute-force oracle over *facts*."""
+    keys = {dict(payload).get("k") for _, _, _, payload in facts}
+    probes = sorted(
+        {start for _, start, _, _ in facts}
+        | {(start + end) / 2.0 for _, start, end, _ in facts}
+        | {-7.0}
+    )
+    for name, (kind, grouped) in ctx.view_oracles.items():
+        view = catalog.view(name)
+        for t in probes:
+            for key in (keys if grouped else (_ANY,)):
+                got = view.value_at(t, None if key is _ANY else key)
+                want = _expected_view_value(kind, facts, t, key)
+                if got != want:
+                    label = "" if key is _ANY else f" key={key!r}"
+                    return (
+                        f"view {name!r}{label} at t={t}: "
+                        f"recovered {got!r} != oracle {want!r}"
+                    )
+    return ""
+
+
+def _verify_catalog_recovery(
+    dirpath: str, ctx: CatalogWorkloadContext
+) -> Tuple[bool, str]:
+    try:
+        catalog = DynamicCatalog(dirpath, clock=ctx._clock)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        return False, f"reopen failed: {exc!r}"
+    # Which checkpoint must the recovery equal?  Deterministic: only a
+    # crash *after* the rename makes the in-flight checkpoint durable.
+    if (ctx.inflight is not None and ctx.plan is not None
+            and ctx.plan[0] == "crash"
+            and ctx.plan[1] == "view_ckpt:after_rename"):
+        expected = ctx.inflight
+    else:
+        expected = ctx.completed
+    try:
+        recovered = _catalog_facts(catalog)
+    except Exception as exc:  # noqa: BLE001
+        return False, f"restored catalog is unusable: {exc!r}"
+    if recovered != expected:
+        return False, (
+            f"restored base table holds {len(recovered)} facts; the "
+            f"checkpoint oracle holds {len(expected)}"
+        )
+    if set(catalog.view_names()) != set(ctx.view_oracles):
+        return False, (
+            f"restored views {sorted(catalog.view_names())} != declared "
+            f"{sorted(ctx.view_oracles)}"
+        )
+    try:
+        catalog.refresh()
+        error = _check_catalog_views(catalog, recovered, ctx)
+        if error:
+            return False, error
+        # Resume incrementally: fresh ingest must flow through the
+        # restored watermarks, not trip over the compacted prefix.
+        horizon = max((end for _, _, end, _ in recovered), default=0)
+        extra = [
+            (9, horizon + 1, horizon + 20, 0),
+            (4, horizon + 5, horizon + 30, 1),
+            (7, horizon + 2, horizon + 15, 2),
+        ]
+        for value, start, end, k in extra:
+            catalog.insert("t", value, Interval(start, end), k=k)
+        catalog.refresh()
+        resumed = sorted(
+            recovered + [(v, s, e, (("k", k),)) for v, s, e, k in extra]
+        )
+        error = _check_catalog_views(catalog, resumed, ctx)
+        if error:
+            return False, "after resume: " + error
+    except Exception as exc:  # noqa: BLE001
+        return False, f"restored catalog is unusable: {exc!r}"
+    return True, ""
+
+
+def run_catalog_case(
+    workdir: str, workload: str, kind: str, point: Optional[str], ckpt: int
+) -> CrashCheckResult:
+    """One catalog case: fault checkpoint *ckpt* per *kind*, recover, verify."""
+    dirpath = os.path.join(workdir, f"crashcheck-{workload}")
+    shutil.rmtree(dirpath, ignore_errors=True)
+    ctx = CatalogWorkloadContext(dirpath, plan=(kind, point, ckpt), seed=ckpt)
+    crashed = False
+    try:
+        CATALOG_WORKLOADS[workload](ctx)
+        ctx.catalog.faults = None
+    except (SimulatedCrash, OSError):
+        # A dying process keeps no file handles to abandon here: the
+        # checkpoint path opens and closes its temp file per save.
+        crashed = True
+    ok, detail = _verify_catalog_recovery(dirpath, ctx)
+    obs.count("crashcheck.cases")
+    if crashed:
+        obs.count("crashcheck.faults_injected")
+    if ok:
+        obs.count("crashcheck.cases_passed")
+    label = point if kind == "crash" else f"{CATALOG_WRITE_LABEL}:{kind}"
+    return CrashCheckResult(workload, label, ckpt, crashed, ok, detail)
+
+
+def _count_catalog_saves(workdir: str, workload: str) -> int:
+    """Dry run with no faults armed: how many checkpoints does it take?"""
+    dirpath = os.path.join(workdir, f"crashcheck-{workload}")
+    shutil.rmtree(dirpath, ignore_errors=True)
+    ctx = CatalogWorkloadContext(dirpath)
+    CATALOG_WORKLOADS[workload](ctx)
+    return ctx.saves
+
+
+def catalog_sweep(
+    workload: str,
+    workdir: str,
+    *,
+    hits: Union[str, int] = "all",
+    verbose: bool = False,
+) -> List[CrashCheckResult]:
+    """Fault one catalog workload at every plan and chosen checkpoint."""
+    total = _count_catalog_saves(workdir, workload)
+    results: List[CrashCheckResult] = []
+    for kind, point in CATALOG_FAULT_PLANS:
+        for ckpt in _hit_schedule(total, hits):
+            result = run_catalog_case(workdir, workload, kind, point, ckpt)
+            results.append(result)
+            if verbose or not result.ok:
+                print(result, flush=True)
+    return results
+
+
+def catalog_sweep_all(
+    workdir: str,
+    *,
+    workloads: Optional[Sequence[str]] = None,
+    hits: Union[str, int] = "all",
+    verbose: bool = False,
+) -> List[CrashCheckResult]:
+    """Run :func:`catalog_sweep` for every (or the selected) workload."""
+    results: List[CrashCheckResult] = []
+    for name in workloads or sorted(CATALOG_WORKLOADS):
+        results.extend(catalog_sweep(name, workdir, hits=hits, verbose=verbose))
+    return results
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-crashcheck",
@@ -344,8 +679,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--workload",
         action="append",
-        choices=sorted(WORKLOADS),
         help="restrict to one workload (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--catalog",
+        action="store_true",
+        help="sweep the dynamic-view catalog checkpoint path "
+        "(dynamic.json) instead of the journaled page file",
     )
     parser.add_argument(
         "--hits",
@@ -363,9 +703,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             hits = int(hits)
         except ValueError:
             parser.error("--hits must be 'all', 'sample', or an integer")
+    table = CATALOG_WORKLOADS if args.catalog else WORKLOADS
+    for name in args.workload or ():
+        if name not in table:
+            parser.error(
+                f"unknown workload {name!r} (choose from {sorted(table)})"
+            )
+    run_sweep = catalog_sweep_all if args.catalog else sweep_all
 
     with tempfile.TemporaryDirectory(prefix="repro-crashcheck-") as workdir:
-        results = sweep_all(
+        results = run_sweep(
             workdir, workloads=args.workload, hits=hits, verbose=args.verbose
         )
     crashes = sum(r.crashed for r in results)

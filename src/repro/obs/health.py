@@ -155,19 +155,26 @@ def record_view_gauges(registry: MetricsRegistry, stats: Dict[str, Any]) -> None
     """Publish a dynamic-view catalog's stats as ``service.views.*`` gauges.
 
     One gauge family per view -- ``staleness_s``, ``pending``, ``rows``,
-    ``refreshes``, ``watermark`` (the highest source sequence consumed)
-    -- plus the catalog-wide ``service.views.count``.  These are what
-    the ``repro top`` staleness panel and the Prometheus exposition
-    read.
+    ``refreshes``, ``watermark`` (the highest source sequence consumed),
+    ``quarantined`` (0/1) -- plus the catalog-wide
+    ``service.views.count`` and ``service.views.quarantined``.  These
+    are what the ``repro top`` staleness panel and the Prometheus
+    exposition read.
     """
     views = stats.get("views", {})
     registry.gauge("service.views.count").set(float(len(views)))
+    registry.gauge("service.views.quarantined").set(
+        float(sum(1 for entry in views.values() if entry.get("quarantined")))
+    )
     for name, entry in views.items():
         prefix = f"service.views.{name}."
         for key in ("staleness_s", "pending", "rows", "refreshes"):
             value = entry.get(key)
             if isinstance(value, (int, float)):
                 registry.gauge(prefix + key).set(float(value))
+        registry.gauge(prefix + "quarantined").set(
+            1.0 if entry.get("quarantined") else 0.0
+        )
         watermarks = entry.get("watermarks") or {}
         numeric = [v for v in watermarks.values() if isinstance(v, (int, float))]
         if numeric:

@@ -47,6 +47,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import os
+import random
 import shutil
 import socket
 import subprocess
@@ -251,6 +252,105 @@ def _promote(port: int, timeout: float = 20.0) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# The view failover drill
+# ----------------------------------------------------------------------
+#: The view suite the ``--views`` drill declares on the primary: a
+#: grouped SUM, an ungrouped SUM stacked on it (view-over-view), and a
+#: COUNT, all over one shipped base table.
+_VIEW_TABLE = "vr_obs"
+_VIEW_SUITE = (
+    ("vr_by_k", [_VIEW_TABLE], "sum", "k"),
+    ("vr_total", ["vr_by_k"], "sum", None),
+    ("vr_count", [_VIEW_TABLE], "count", None),
+)
+
+
+def _setup_views(port: int, seed: int) -> List[Tuple[Any, Tuple[float, float], str]]:
+    """Declare the drill's views and ingest acked base rows (no chaos).
+
+    Goes straight to the primary -- the point is to verify *shipping*
+    of the catalog down the (chaotic) replication link, so the writes
+    themselves must be deterministic.  Returns the ingested rows for
+    the recompute oracle.
+    """
+    rng = random.Random(seed + 31)
+    rows: List[List[Any]] = []
+    facts: List[Tuple[Any, Tuple[float, float], str]] = []
+    for _ in range(40):
+        value = rng.randint(1, 9)
+        start = round(rng.uniform(_SPAN[0], _SPAN[1] - 600), 3)
+        end = round(start + rng.uniform(1.0, 500.0), 3)
+        key = rng.choice("abc")
+        rows.append([value, start, end, {"k": key}])
+        facts.append((value, (start, end), key))
+    with ServiceClient("127.0.0.1", port, timeout=5.0, retries=3) as svc:
+        for name, over, agg, key in _VIEW_SUITE:
+            svc.create_view(name, over, agg, key=key, lag="downstream")
+        svc.table_insert(_VIEW_TABLE, rows)
+    return facts
+
+
+def _expected_view(
+    kind: str,
+    facts: List[Tuple[Any, Tuple[float, float], str]],
+    t: float,
+    key: Optional[str],
+) -> Any:
+    active = [(v, k) for v, (s, e), k in facts if s <= t < e]
+    if kind == "count":
+        return len(active)
+    if key is not None:
+        return sum(v for v, k in active if k == key)
+    return sum(v for v, _ in active)
+
+
+def _verify_views(
+    port: int, facts: List[Tuple[Any, Tuple[float, float], str]]
+) -> Tuple[bool, str, int]:
+    """Every drill view on the promoted node vs the recompute oracle.
+
+    Probes each view at the segment boundaries of the ingested rows
+    (plus midpoints), where an off-by-one in replay or a double-applied
+    shipped event is most visible.  ``lag="downstream"`` means each
+    read refreshes on demand, so the readings reflect every applied
+    event with no tick-timing dependence.
+    """
+    instants: List[float] = []
+    for _, (start, end), _ in facts[:12]:
+        instants.extend((start, (start + end) / 2.0))
+    instants.append(float(_SPAN[0]))
+    checked = 0
+    try:
+        with ServiceClient("127.0.0.1", port, timeout=5.0, retries=3) as svc:
+            names = set((svc.view_stats().get("views") or {}))
+            for name, _, agg, key_field in _VIEW_SUITE:
+                if name not in names:
+                    return (
+                        False,
+                        f"view {name!r} is missing from the promoted "
+                        f"primary's catalog",
+                        checked,
+                    )
+                keys = ("a", "b", "c") if key_field else (None,)
+                for t in instants:
+                    for key in keys:
+                        got = svc.query_view(name, t, key=key)["value"]
+                        want = _expected_view(agg, facts, t, key)
+                        if got != want:
+                            return (
+                                False,
+                                f"view {name!r} at t={t} key={key!r}: "
+                                f"promoted primary answered {got!r}, "
+                                f"recompute oracle says {want!r}",
+                                checked,
+                            )
+                        checked += 1
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the run
+        return False, f"view verification failed: {exc!r}", checked
+    return True, "", checked
+
+
+# ----------------------------------------------------------------------
 # The harness
 # ----------------------------------------------------------------------
 @dataclass
@@ -276,6 +376,12 @@ class RescheckResult:
     #: primary: True iff it answered ``duplicate=true`` (exactly-once
     #: survived the failover).  None when no failover ran.
     failover_dedup_ok: Optional[bool] = None
+    #: View failover drill: number of dynamic views verified against
+    #: the recompute oracle on the promoted primary, and whether every
+    #: probed reading matched.  None when the drill did not run.
+    views_verified: int = 0
+    views_ok: Optional[bool] = None
+    view_drill: bool = False
     plan: Optional[ChaosPlan] = None
     log_paths: List[str] = field(default_factory=list)
 
@@ -303,6 +409,11 @@ class RescheckResult:
                 "repl_link_faults": dict(self.repl_injected),
                 "failover_dedup_ok": self.failover_dedup_ok,
             }
+            if self.view_drill:
+                payload["replication"]["views"] = {
+                    "verified": self.views_verified,
+                    "ok": self.views_ok,
+                }
         if self.writes is not None:
             payload["writes"] = self.writes.extra()
         return payload
@@ -348,6 +459,15 @@ class RescheckResult:
                 )
                 + f", cross-failover dedup: {dedup}"
             )
+            if self.view_drill:
+                shown = (
+                    "n/a" if self.views_ok is None
+                    else ("OK" if self.views_ok else "BROKEN")
+                )
+                lines.append(
+                    f"  views: {self.views_verified} verified against the"
+                    f" recompute oracle post-failover: {shown}"
+                )
         if w is not None:
             lines.append(
                 f"  writes: {w.acked} acked in {w.attempts} attempts,"
@@ -371,6 +491,7 @@ class RescheckResult:
                 f" --duplicate {plan.duplicate} --truncate {plan.truncate}"
                 f" --kill {plan.kill}"
                 + (f" --replicas {self.replicas}" if self.replicas else "")
+                + (" --views" if self.view_drill else "")
             )
             if self.log_paths:
                 lines.append("  server logs:")
@@ -419,6 +540,7 @@ def run_rescheck(
     kill_after: float = 2.5,
     restarts: int = 1,
     replicas: int = 0,
+    views: bool = False,
     min_faults: int = 500,
     client_timeout: float = 0.4,
     give_up_after: float = 90.0,
@@ -446,11 +568,21 @@ def run_rescheck(
     verifies the *promoted* server's page file against the acked-facts
     oracle -- plus replays a pre-failover idempotency key against the
     new primary, which must answer ``duplicate=true``.
+
+    With ``views=True`` (requires ``replicas > 0``) the run also
+    declares a suite of dynamic views and ingests acked base-table
+    rows on the primary before the chaos window opens; the catalog
+    mutations ship down the (chaotic) replication link as view events,
+    and after the failover every view on the promoted primary must
+    answer the recompute oracle exactly -- a missing view, a lost
+    shipped row, or a double-applied replay all show up as a mismatch.
     """
     plan = plan or DEFAULT_PLAN
+    if views and replicas <= 0:
+        raise ValueError("views=True requires replicas > 0")
     result = RescheckResult(
         seed=seed, codec=codec, min_faults=min_faults, plan=plan,
-        replicas=replicas,
+        replicas=replicas, view_drill=views,
     )
     own_workdir = workdir is None
     if own_workdir:
@@ -474,6 +606,7 @@ def run_rescheck(
     replica_paths: List[str] = []
     probe_key: Optional[Tuple[str, int]] = None
     probe_fact = (7, (_SPAN[0] + 1, _SPAN[0] + 2))
+    view_problem: Optional[str] = None
     try:
         _wait_ready(port, proc)
         if replicas > 0:
@@ -520,6 +653,16 @@ def run_rescheck(
                     probe_fact[0], probe_fact[1][0], probe_fact[1][1],
                     seq=probe_key[1],
                 )
+            commit = int(_replication_stats(port).get("commit", 0))
+            _wait_applied(replica_ports[0], commit)
+
+        view_facts: List[Tuple[Any, Tuple[float, float], str]] = []
+        if views and replicas > 0:
+            # The catalog mutations themselves are acked before the
+            # client-side chaos window opens, so the post-failover
+            # oracle is exact; they still ship through the chaotic
+            # replication link, which is the path under test.
+            view_facts = _setup_views(port, seed)
             commit = int(_replication_stats(port).get("commit", 0))
             _wait_applied(replica_ports[0], commit)
 
@@ -606,6 +749,13 @@ def run_rescheck(
             except Exception:  # noqa: BLE001 - counted as a failure below
                 result.failover_dedup_ok = False
 
+        if views and replicas > 0 and result.failovers:
+            views_ok, view_problem, checked = _verify_views(
+                replica_ports[0], view_facts
+            )
+            result.views_ok = views_ok
+            result.views_verified = checked
+
         result.proxy_connections = proxy.connections
         result.injected = dict(proxy.injected)
         if repl_proxy is not None:
@@ -663,6 +813,15 @@ def run_rescheck(
             problems.append(
                 "no faults were injected on the replication link"
             )
+        if views:
+            if result.views_ok is None and result.failovers:
+                problems.append("view verification never ran")
+            elif result.views_ok is False:
+                problems.append(
+                    view_problem
+                    or "a view on the promoted primary diverged from "
+                    "the recompute oracle"
+                )
     elif result.restarts < restarts:
         problems.append(
             f"only {result.restarts}/{restarts} server kills happened"
@@ -701,6 +860,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "SIGKILL the primary mid-run (no restart), "
                         "promote replica 0, and verify the promoted "
                         "server -- including dedup across the failover")
+    parser.add_argument("--views", action="store_true",
+                        help="with --replicas: declare dynamic views and "
+                        "ingest base-table rows before the chaos window, "
+                        "then verify every view on the promoted primary "
+                        "against a recompute oracle after the failover")
     parser.add_argument("--min-faults", type=int, default=500,
                         help="fail unless at least this many faults injected")
     parser.add_argument("--drop", type=float, default=DEFAULT_PLAN.drop)
@@ -743,6 +907,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.path or not args.port:
             parser.error("--serve-child needs --path and --port")
         return _serve_child(args)
+    if args.views and args.replicas <= 0:
+        parser.error("--views requires --replicas >= 1")
 
     kwargs: Dict[str, Any] = dict(
         seed=args.seed,
@@ -751,6 +917,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         kill_after=args.kill_after,
         restarts=args.restarts,
         replicas=args.replicas,
+        views=args.views,
         min_faults=args.min_faults,
         plan=ChaosPlan(
             drop=args.drop,

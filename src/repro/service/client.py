@@ -942,10 +942,11 @@ class ServiceClient:
         return self._request("stats")
 
     # ------------------------------------------------------------------
-    # Dynamic views (the create_view/query_view family).  These go to
-    # the primary via _request -- the view catalog lives there and is
-    # not part of the replication stream, so replica routing would read
-    # a catalog that does not exist.
+    # Dynamic views (the create_view/query_view family).  View DDL and
+    # base-table inserts go to the primary via _request; the primary
+    # ships them down the journal stream, so every replica maintains
+    # its own catalog copy and view *reads* route through the replica
+    # set like any other read (staleness-gated, primary as fallback).
     # ------------------------------------------------------------------
     def table_insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         """Ingest rows into a named view base table (auto-created).
@@ -985,8 +986,12 @@ class ServiceClient:
         -- the reading plus the source watermark(s) it reflects and how
         far it trails the base data.  For a grouped view pass ``key``
         for one group; without it the value is a per-group dict.
+
+        Served from the replica set when one is configured (replicas
+        maintain their own catalogs off the journal stream), falling
+        back to the primary when every replica is down or too stale.
         """
-        return self._request("query_view", view=view, t=t, key=key)
+        return self._read_request("query_view", view=view, t=t, key=key)
 
     def query_views(
         self, views: Sequence[str], t, *, pin: bool = True
@@ -1010,6 +1015,10 @@ class ServiceClient:
     def view_stats(self) -> Dict[str, Any]:
         """The catalog's per-view freshness and cost counters."""
         return self._request("view_stats")
+
+    def repair_view(self, view: str) -> Dict[str, Any]:
+        """Clear a quarantined view and retry its refresh (node-local)."""
+        return self._request("repair_view", view=view)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ServiceClient":

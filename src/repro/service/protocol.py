@@ -56,10 +56,12 @@ Requests::
     {"op": "refresh_view", "view": "by_k"}
     {"op": "drop_view",    "view": "by_k"}
     {"op": "view_stats"}
+    {"op": "repair_view",  "view": "by_k"}
 
 The ``table_insert``/``create_view``/``query_view``/``refresh_view``/
-``drop_view``/``view_stats`` family is the dynamic materialized-view
-surface (see ``repro.warehouse.dynamic`` and DESIGN.md section 13):
+``drop_view``/``view_stats``/``repair_view`` family is the dynamic
+materialized-view surface (see ``repro.warehouse.dynamic`` and
+DESIGN.md sections 13-14):
 named base tables ingest rows (``[value, start, end]`` plus an optional
 payload dict, or a bare scalar shorthand for ``{"key": <scalar>}``),
 views declare sources/aggregate/grouping-key/freshness-lag over them,
@@ -69,7 +71,13 @@ reflects, and how far it trails the base data.  The multi-view form
 with ``"pin"`` refreshes the views' shared ancestor closure first and
 reads them all at one consistent set of base watermarks.  Single-view
 ``query_view`` requests and their scalar readings have typed binary
-layouts; the rest of the family travels JSON-wrapped.
+layouts; the rest of the family travels JSON-wrapped.  On a primary
+with followers, ``table_insert``/``create_view``/``drop_view`` also
+ship down the journal stream as ``{"view_event": {"kind": ...}}``
+records, so replicas maintain their own catalog copies and serve
+``query_view`` locally (stamped with ``watermark``/``staleness_s``
+like any replica read); ``repair_view`` is node-local -- it clears a
+quarantined view on whichever node receives it.
 
 The last three are the replication surface (see
 ``repro.service.replication`` and DESIGN.md section 12): a follower

@@ -57,6 +57,13 @@ __all__ = ["run_readscale", "main"]
 #: admission ceiling for the cell to measure anything interesting.
 _WRITE_DEPTH = 200
 
+#: The base table and grouped view the ``--views`` mode reads.  The
+#: catalog ships down the journal stream, so replica-routed
+#: ``query_view`` reads exercise each replica's own catalog copy.
+_VIEW_TABLE = "rs_obs"
+_VIEW_NAME = "rs_by_k"
+_VIEW_KEYS = ("a", "b", "c")
+
 
 # ----------------------------------------------------------------------
 # Child processes
@@ -90,10 +97,16 @@ def _writer_child(args: argparse.Namespace) -> int:
 
 
 def _reader_child(args: argparse.Namespace) -> int:
-    """Run patient lookups for ``--duration`` seconds, report JSON."""
+    """Run patient reads for ``--duration`` seconds, report JSON.
+
+    Plain mode hammers ``lookup``; ``--views 1`` hammers ``query_view``
+    against the drill's grouped view instead -- same replica-aware
+    routing, so the cell measures replica-served *view* reads.
+    """
     endpoints = [e for e in args.endpoints.split(",") if e]
     phost, _, pport = endpoints[0].rpartition(":")
     replicas = endpoints[1:] or None
+    view_mode = bool(getattr(args, "views", 0))
     rng = random.Random(args.seed)
     lo, hi = _SPAN
     reads = errors = 0
@@ -108,7 +121,14 @@ def _reader_child(args: argparse.Namespace) -> int:
     ) as svc:
         while time.monotonic() < deadline:
             try:
-                svc.lookup(rng.randrange(lo, hi))
+                if view_mode:
+                    svc.query_view(
+                        _VIEW_NAME,
+                        rng.randrange(lo, hi),
+                        key=rng.choice(_VIEW_KEYS),
+                    )
+                else:
+                    svc.lookup(rng.randrange(lo, hi))
                 reads += 1
             except (ServiceError, TransportError, CircuitOpenError, OSError):
                 errors += 1
@@ -147,6 +167,7 @@ def _run_cell(
     workdir: str,
     batch_max: int,
     batch_delay: float,
+    views: bool = False,
 ) -> Dict[str, Any]:
     ports = [_free_port() for _ in range(1 + replicas)]
     primary_port, replica_ports = ports[0], ports[1:]
@@ -177,12 +198,29 @@ def _run_cell(
 
         # Seed some facts so lookups traverse real leaves, and make
         # sure every replica has applied them before the clock starts.
+        # In views mode the seed also declares the grouped view and
+        # ingests its base table, both of which ship to the replicas.
         rng = random.Random(seed)
         lo, hi = _SPAN
         with ServiceClient("127.0.0.1", primary_port, timeout=10.0) as svc:
             for _ in range(200):
                 start = rng.randrange(lo, hi - 1)
                 svc.insert(rng.randint(1, 9), start, rng.randrange(start + 1, hi))
+            if views:
+                svc.create_view(
+                    _VIEW_NAME, [_VIEW_TABLE], "sum", key="k",
+                    lag="downstream",
+                )
+                rows = []
+                for _ in range(200):
+                    start = rng.randrange(lo, hi - 1)
+                    rows.append([
+                        rng.randint(1, 9),
+                        start,
+                        rng.randrange(start + 1, hi),
+                        {"k": rng.choice(_VIEW_KEYS)},
+                    ])
+                svc.table_insert(_VIEW_TABLE, rows)
         if replicas:
             commit = int(_replication_stats(primary_port).get("commit", 0))
             for rport in replica_ports:
@@ -209,6 +247,7 @@ def _run_cell(
                 endpoints=endpoints,
                 duration=duration,
                 seed=seed * 131 + r,
+                views=1 if views else 0,
             )
             for r in range(readers)
         ]
@@ -251,32 +290,39 @@ def _run_cell(
 # ----------------------------------------------------------------------
 # The sweep
 # ----------------------------------------------------------------------
-def _merge_bench(out_dir: str, series: benchlib.Series, extra: Dict[str, Any]) -> str:
-    """Fold the read-scaling sweep into ``BENCH_service.json``.
+def _merge_bench(
+    out_dir: str,
+    series: benchlib.Series,
+    extra: Dict[str, Any],
+    name: str = "read_scaling",
+) -> str:
+    """Fold one scaling sweep into ``BENCH_service.json`` under *name*.
 
     The service bench file is shared with the load generator's latency
-    sweep; when one already exists the read-scaling series is added
-    alongside it instead of clobbering the write-path numbers.
+    sweep (and between the plain and ``--views`` read sweeps); when one
+    already exists the series is added alongside whatever is there
+    instead of clobbering it.
     """
     path = os.path.join(out_dir, "BENCH_service.json")
+    bench = f"service.{name}"
     if os.path.exists(path):
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
-        payload["read_scaling"] = series.to_dict("service.read_scaling")
+        payload[name] = series.to_dict(bench)
         records = [
             r
             for r in payload.get("records", [])
-            if r.get("benchmark") != "service.read_scaling"
+            if r.get("benchmark") != bench
         ]
-        records.extend(series.to_records("service.read_scaling"))
+        records.extend(series.to_records(bench))
         payload["records"] = records
-        payload.setdefault("extra", {})["read_scaling"] = extra
+        payload.setdefault("extra", {})[name] = extra
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         return path
     return benchlib.write_bench_json(
-        out_dir, "service", series, extra={"read_scaling": extra}
+        out_dir, "service", series, extra={name: extra}
     )
 
 
@@ -289,12 +335,16 @@ def run_readscale(
     seed: int = 0,
     batch_max: int = 64,
     batch_delay: float = 0.002,
+    views: bool = False,
     out_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the replica sweep and return ``{"cells": ..., "speedup": ...}``.
 
     *speedup* is the last cell's aggregate reads/s over the first
-    cell's (conventionally 2 replicas over primary-only).
+    cell's (conventionally 2 replicas over primary-only).  With
+    ``views=True`` readers issue replica-routed ``query_view`` instead
+    of ``lookup`` and the sweep lands in ``BENCH_service.json`` as the
+    separate ``view_read_scaling`` series.
     """
     workdir = tempfile.mkdtemp(prefix="repro-readscale-")
     results: List[Dict[str, Any]] = []
@@ -310,6 +360,7 @@ def run_readscale(
                     workdir=workdir,
                     batch_max=batch_max,
                     batch_delay=batch_delay,
+                    views=views,
                 )
             )
     finally:
@@ -327,6 +378,7 @@ def run_readscale(
         "readers": readers,
         "writers": writers,
         "seed": seed,
+        "views": views,
     }
     if out_dir is not None:
         summary["bench_path"] = _merge_bench(
@@ -339,6 +391,7 @@ def run_readscale(
                 "readers": readers,
                 "writers": writers,
             },
+            name="view_read_scaling" if views else "read_scaling",
         )
     summary["series"] = series
     return summary
@@ -350,18 +403,21 @@ def main(args: argparse.Namespace) -> int:
     if getattr(args, "reader_child", False):
         return _reader_child(args)
     cells = tuple(getattr(args, "cells", None) or (0, 1, 2))
+    views = bool(getattr(args, "views", False))
     summary = run_readscale(
         cells=cells,
         duration=getattr(args, "duration", 6.0),
         readers=getattr(args, "readers", 4),
         writers=getattr(args, "writers", 2),
         seed=getattr(args, "seed", 0),
+        views=views,
         out_dir=getattr(args, "out_dir", None) or os.getcwd(),
     )
     print(summary["series"].render(with_exponents=False))
+    mode = "view reads/s" if views else "reads/s"
     for cell in summary["cells"]:
         print(
-            f"replicas={cell['replicas']}: {cell['reads_per_s']:.1f} reads/s"
+            f"replicas={cell['replicas']}: {cell['reads_per_s']:.1f} {mode}"
             f" ({cell['reads']} reads, {cell['read_errors']} errors,"
             f" {cell.get('primary_overload_rejections', 0)}"
             " primary overload rejections)"
@@ -388,6 +444,11 @@ def _parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out-dir", default=None)
     parser.add_argument("--min-speedup", type=float, default=0.0)
+    # "--views" alone turns the mode on; the harness's child spawner
+    # passes an explicit 0/1 value through the same flag.
+    parser.add_argument("--views", type=int, nargs="?", const=1, default=0,
+                        help="measure replica-served query_view reads "
+                        "instead of lookup (view_read_scaling series)")
     parser.add_argument(
         "--cells", type=int, nargs="*", default=None,
         help="replica counts to sweep (default: 0 1 2)",

@@ -69,7 +69,9 @@ never the loop.  The moving parts:
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
+import traceback
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
@@ -88,6 +90,8 @@ from .dedup import DedupWindow
 from .replication import CommitLog, ReplicationError, decode_records, encode_records
 
 __all__ = ["TemporalAggregateServer", "ServerHandle"]
+
+logger = logging.getLogger(__name__)
 
 #: Header-metadata key the dedup window is persisted under.
 DEDUP_META_KEY = "service.dedup"
@@ -381,6 +385,7 @@ class TemporalAggregateServer:
             "refresh_view": self._op_refresh_view,
             "drop_view": self._op_drop_view,
             "view_stats": self._op_view_stats,
+            "repair_view": self._op_repair_view,
         }
 
     # ------------------------------------------------------------------
@@ -897,7 +902,9 @@ class TemporalAggregateServer:
         )
         if not reply.get("ok"):
             self._m_errors.inc()
-        elif self._is_replica and op in ("lookup", "rangeq", "window", "stats"):
+        elif self._is_replica and op in (
+            "lookup", "rangeq", "window", "stats", "query_view", "view_stats",
+        ):
             self._tag_watermark(reply)
         if sctx is not None:
             trace.emit_span(
@@ -985,15 +992,30 @@ class TemporalAggregateServer:
         """Drive the catalog's refresh scheduler off the event loop.
 
         Each pass runs in the executor (refreshes take the catalog
-        lock and descend SB-trees); a failing pass is counted, never
-        fatal -- the next tick retries and ``lag="downstream"`` reads
-        still refresh on demand.
+        lock and descend SB-trees).  Per-view failures inside a tick
+        are isolated by the catalog (the view is quarantined, siblings
+        keep refreshing) and surfaced here with the view's name and
+        traceback plus a per-view error counter; a failing pass as a
+        whole is counted, never fatal -- the next tick retries and
+        ``lag="downstream"`` reads still refresh on demand.
         """
+
+        def on_error(name: str, exc: BaseException) -> None:
+            self.registry.counter("service.views.refresh_errors").inc()
+            self.registry.counter(f"service.views.{name}.refresh_errors").inc()
+            logger.error(
+                "view %r refresh failed (quarantined):\n%s",
+                name,
+                "".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+            )
+
         try:
             while True:
                 await asyncio.sleep(self.view_tick)
                 try:
-                    await self._run(self.views.tick)
+                    await self._run(lambda: self.views.tick(on_error=on_error))
                 except Exception:
                     self.registry.counter("service.views.tick_errors").inc()
         except asyncio.CancelledError:
@@ -1048,6 +1070,43 @@ class TemporalAggregateServer:
                 views.insert(table, value, interval, **payload)
         return len(rows)
 
+    def _apply_view_event(self, event: Dict[str, Any]) -> None:
+        """Apply one shipped catalog mutation to the local catalog.
+
+        Tolerant by design: a resubscribe after a link fault can
+        redeliver an event, so a create of an existing view and a drop
+        of an unknown one are no-ops, and unknown kinds (from a newer
+        primary) are skipped rather than fatal.
+        """
+        kind = event.get("kind")
+        if kind == "table_insert":
+            table = event.get("table")
+            rows = [self._view_row(item) for item in event.get("rows") or ()]
+            if isinstance(table, str) and table and rows:
+                self._apply_table_rows(table, rows)
+        elif kind == "create_view":
+            name = event.get("name")
+            if not isinstance(name, str) or not name:
+                return
+            with self.views._lock:
+                if self.views.has_node(name):
+                    return  # replayed create: already present
+                self.views.create_view(
+                    name,
+                    list(event.get("over") or ()),
+                    event.get("agg", "sum"),
+                    key=event.get("key"),
+                    lag=event.get("lag", "downstream"),
+                    create_sources=True,
+                )
+        elif kind == "drop_view":
+            name = event.get("view")
+            if not isinstance(name, str) or not name:
+                return
+            with self.views._lock:
+                if self.views.has_node(name):
+                    self.views.drop_view(name)
+
     async def _op_table_insert(self, request, sctx) -> Dict[str, Any]:
         if self._is_replica:
             raise _NotPrimary(
@@ -1062,6 +1121,16 @@ class TemporalAggregateServer:
         rows = [self._view_row(item) for item in raw]
         applied = await self._run_view(
             self._apply_table_rows, table, rows, ctx=sctx
+        )
+        await self._ship_view_event(
+            {
+                "kind": "table_insert",
+                "table": table,
+                "rows": [
+                    [value, iv.start, iv.end, payload]
+                    for value, iv, payload in rows
+                ],
+            }
         )
         return wire.ok_reply({"applied": applied}, request)
 
@@ -1107,7 +1176,18 @@ class TemporalAggregateServer:
                 "lag": format_lag(view.lag),
             }
 
-        return wire.ok_reply(await self._run_view(create, ctx=sctx), request)
+        created = await self._run_view(create, ctx=sctx)
+        await self._ship_view_event(
+            {
+                "kind": "create_view",
+                "name": created["name"],
+                "over": created["sources"],
+                "agg": created["agg"],
+                "key": created["key"],
+                "lag": created["lag"],
+            }
+        )
+        return wire.ok_reply(created, request)
 
     async def _op_query_view(self, request, sctx) -> Dict[str, Any]:
         t = _number(request.get("t"), "t")
@@ -1158,6 +1238,7 @@ class TemporalAggregateServer:
         if not isinstance(name, str) or not name:
             raise wire.ProtocolError("drop_view needs a 'view' string")
         await self._run_view(self.views.drop_view, name, ctx=sctx)
+        await self._ship_view_event({"kind": "drop_view", "view": name})
         return wire.ok_reply({"dropped": name}, request)
 
     def _view_stats(self) -> Dict[str, Any]:
@@ -1167,6 +1248,49 @@ class TemporalAggregateServer:
 
     async def _op_view_stats(self, request, sctx) -> Dict[str, Any]:
         return wire.ok_reply(await self._run(self._view_stats), request)
+
+    async def _op_repair_view(self, request, sctx) -> Dict[str, Any]:
+        """Clear a quarantined view and retry its refresh.
+
+        Deliberately node-local (allowed on replicas): quarantine is a
+        per-catalog condition, so each node repairs its own copy.  A
+        refresh that fails again re-quarantines and surfaces the error
+        to the caller.
+        """
+        name = request.get("view")
+        if not isinstance(name, str) or not name:
+            raise wire.ProtocolError("repair_view needs a 'view' string")
+        result = await self._run_view(self.views.repair, name, ctx=sctx)
+        return wire.ok_reply(result, request)
+
+    async def _ship_view_event(self, event: Dict[str, Any]) -> None:
+        """Record one catalog mutation in the replication journal.
+
+        View DDL and base-table inserts ride the same commit log as
+        fact batches, appended under the flush lock, so a follower's
+        backlog snapshot and the live stream see one gap-free sequence
+        and a promoted replica holds every view the primary did.  Like
+        :meth:`_ship_batch`, the encode is skipped until the first
+        subscriber ever appears, and semi-sync mode holds the reply
+        until every live follower has applied the event.
+        """
+        if self._is_replica or self._flush_lock is None:
+            return
+        assert self._loop is not None
+        async with self._flush_lock:
+            now = self._loop.time()
+            if not self._had_subscriber:
+                self._commit_log.skip(now)
+                return
+            blob = encode_records([{"view_event": event}])
+            seq = self._commit_log.append(blob, now)
+            self.registry.counter("service.repl.view_events_shipped").inc()
+            if self._subscribers:
+                msg = self._batch_msg(seq, blob)
+                for sub in list(self._subscribers.values()):
+                    self._send_subscriber(sub, msg)
+        if self.repl_sync and (self._subscribers or self._repl_expected):
+            await self._wait_replicated(seq)
 
     def _check_deadline(self, request, arrival, loop) -> None:
         deadline_ms = request.get("deadline_ms")
@@ -2076,6 +2200,21 @@ class TemporalAggregateServer:
         facts = []
         idem_entries = []
         for record in records:
+            event = record.get("view_event")
+            if event is not None:
+                # Catalog mutations ship as their own single-record
+                # batches; apply tolerantly (a resubscribe can replay
+                # them) and never let one poison the stream.
+                try:
+                    await self._run(self._apply_view_event, event)
+                    self.registry.counter(
+                        "service.repl.view_events_applied"
+                    ).inc()
+                except Exception:
+                    self.registry.counter(
+                        "service.repl.view_event_failures"
+                    ).inc()
+                continue
             for triple in record.get("facts", ()):
                 value, start, end = triple
                 facts.append((value, Interval(start, end)))

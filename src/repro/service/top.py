@@ -143,13 +143,18 @@ def _view_rows(stats: Dict[str, Any]) -> List[str]:
         entry = views[name]
         staleness = entry.get("staleness_s")
         shown = f"{staleness:7.2f}s" if staleness is not None else f"{'fresh':>8}"
-        rows.append(
+        line = (
             f"  {name:<14} lag {str(entry.get('lag', '?')):<10}"
             f" stale {shown}"
             f"  pending {entry.get('pending', 0):>5}"
             f"  rows {entry.get('rows', 0):>6}"
             f"  refreshes {entry.get('refreshes', 0):>5}"
         )
+        if entry.get("quarantined"):
+            # Reads still serve the last-good state (degraded); the
+            # operator unblocks refresh with `repro view repair`.
+            line += "  QUARANTINED"
+        rows.append(line)
     return rows
 
 

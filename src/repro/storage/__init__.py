@@ -2,7 +2,7 @@
 
 from .buffer import BufferPool, BufferStats
 from .codec import NodeCodec, NodeEncodingError
-from .fsck import Finding, FsckReport, fsck
+from .fsck import Finding, FsckReport, fsck, fsck_dynamic
 from .pager import (
     DEFAULT_PAGE_SIZE,
     JournalError,
@@ -28,4 +28,5 @@ __all__ = [
     "PagerDegradedError",
     "PagerStats",
     "fsck",
+    "fsck_dynamic",
 ]

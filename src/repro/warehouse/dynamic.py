@@ -53,6 +53,25 @@ where the aggregate sits at ``v0`` (no contributing tuples, or exact
 cancellation) carry no row.  Downstream SUM/COUNT/AVG views are
 insensitive to the dropped rows (``v0`` contributes nothing), and the
 recompute-from-scratch oracle in the tests mirrors the same rule.
+
+Robustness (DESIGN.md section 14)
+---------------------------------
+
+* **Bounded retention.**  Consumed change-log prefixes are compacted
+  away on every :meth:`DynamicCatalog.save` (knob: ``retention``);
+  what the dropped records built is captured instead as per-group
+  *tree checkpoints* -- the coalesced internal step function of each
+  group's SB-tree -- so a restore replays only the unconsumed tail.
+* **Crash safety.**  ``save`` is fault-injectable (``faults=``) at
+  labeled crash points (torn temp write, fsync failure, crash
+  before/after the rename) and always retains the previous checkpoint
+  as ``dynamic.json.prev``; ``load`` falls back to it when the main
+  checkpoint is corrupt (or raises :class:`CatalogCheckpointError`
+  under ``strict=True``) and never adopts a leftover temp file.
+* **Quarantine.**  A view whose refresh raises during a scheduler
+  :meth:`~DynamicCatalog.tick` is quarantined: siblings keep
+  refreshing, reads serve its last-good values flagged
+  ``degraded=True``, and :meth:`DynamicCatalog.repair` retries.
 """
 
 from __future__ import annotations
@@ -65,7 +84,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import obs
-from ..core.intervals import Interval, Time
+from ..core.intervals import Interval, NEG_INF, POS_INF, Time
 from ..core.sbtree import SBTree
 from ..core.values import AggregateSpec, spec_for
 from ..relation.table import TemporalRelation
@@ -73,6 +92,7 @@ from ..relation.tuples import ChangeEvent, ChangeKind
 
 __all__ = [
     "DOWNSTREAM",
+    "CATALOG_CRASH_POINTS",
     "parse_lag",
     "format_lag",
     "ChangeLog",
@@ -82,10 +102,29 @@ __all__ = [
     "DynamicCatalog",
     "ViewDependencyError",
     "CycleError",
+    "CatalogCheckpointError",
 ]
 
 #: Name of the catalog's checkpoint file inside its directory.
 CHECKPOINT_NAME = "dynamic.json"
+
+#: Labeled crash points the checkpoint path consults (via ``faults=``),
+#: in the order :meth:`DynamicCatalog.save` reaches them.  Torn temp
+#: writes and fsync failures are armed separately through the
+#: injector's ``tear_write``/``fail_fsyncs`` on the ``"view_ckpt"``
+#: write label.
+CATALOG_CRASH_POINTS = (
+    "view_ckpt:serialized",
+    "view_ckpt:before_rename",
+    "view_ckpt:after_rename",
+)
+
+#: Write/fsync label the checkpoint temp-file I/O is intercepted under.
+CATALOG_WRITE_LABEL = "view_ckpt"
+
+
+class CatalogCheckpointError(RuntimeError):
+    """A catalog checkpoint that cannot be restored (corrupt or absent)."""
 
 
 class ViewDependencyError(ValueError):
@@ -179,16 +218,22 @@ class ChangeLog:
 
     Sequence numbers start at 1; ``head`` is the last assigned number
     (0 for an empty log).  Consumers remember a *watermark* -- the last
-    sequence they applied -- and read forward with :meth:`since`.  The
-    log is retained in full so a restored catalog can rebuild a view's
-    trees by replaying exactly the consumed prefix (see
-    :meth:`DynamicCatalog.load`); see DESIGN.md section 13 for the
-    retention trade-off.
+    sequence they applied -- and read forward with :meth:`since`.
+    Retention is bounded: :meth:`compact` drops a fully-consumed prefix
+    (records ``seq <= base`` are gone), so only the unconsumed tail --
+    plus any per-catalog retention slack -- stays in memory and on
+    disk.  What the dropped prefix built is captured by the catalog's
+    per-view tree checkpoints instead (see
+    :meth:`DynamicCatalog.save`); DESIGN.md section 14 has the
+    trade-off.
     """
 
     def __init__(self) -> None:
         self.records: List[LogRecord] = []
         self.head = 0
+        #: Highest compacted-away sequence number; retained records are
+        #: exactly ``base + 1 .. head``.
+        self.base = 0
 
     def append(self, kind: str, value: Any, interval: Interval,
                payload: Mapping[str, Any], at: float) -> int:
@@ -203,25 +248,56 @@ class ChangeLog:
         """Records with ``seq > watermark``, oldest first."""
         if watermark >= self.head:
             return []
-        # Sequence numbers are dense (1..head), so the slice is direct.
-        return self.records[watermark:]
+        if watermark < self.base:
+            raise ValueError(
+                f"change log compacted through seq {self.base}; cannot "
+                f"stream from watermark {watermark}"
+            )
+        # Sequence numbers are dense (base+1..head), so the slice is direct.
+        return self.records[watermark - self.base:]
 
     def upto(self, watermark: int) -> List[LogRecord]:
-        """The consumed prefix ``seq <= watermark`` (restore replay)."""
-        return self.records[:watermark]
+        """The retained consumed prefix ``base < seq <= watermark``."""
+        return self.records[:max(0, watermark - self.base)]
+
+    def compact(self, upto_seq: int) -> int:
+        """Drop the prefix ``seq <= upto_seq``; returns records dropped.
+
+        Compacting past ``head`` clamps to ``head``; compacting behind
+        ``base`` is a no-op.  Callers must not compact past the lowest
+        consumer watermark (the catalog's retention policy enforces
+        this) or :meth:`since` will refuse those consumers.
+        """
+        target = min(upto_seq, self.head)
+        if target <= self.base:
+            return 0
+        dropped = target - self.base
+        self.records = self.records[dropped:]
+        self.base = target
+        return dropped
+
+    @property
+    def retained(self) -> int:
+        """Number of records currently held in memory."""
+        return len(self.records)
 
     def oldest_pending_at(self, watermark: int) -> Optional[float]:
-        pending = self.since(watermark)
+        pending = self.since(max(watermark, self.base))
         return pending[0].at if pending else None
 
     def to_json(self) -> Dict[str, Any]:
-        return {"head": self.head, "records": [r.to_json() for r in self.records]}
+        return {
+            "head": self.head,
+            "base": self.base,
+            "records": [r.to_json() for r in self.records],
+        }
 
     @classmethod
     def from_json(cls, raw: Dict[str, Any]) -> "ChangeLog":
         log = cls()
         log.records = [LogRecord.from_json(r) for r in raw.get("records", ())]
         log.head = int(raw.get("head", len(log.records)))
+        log.base = int(raw.get("base", log.head - len(log.records)))
         return log
 
 
@@ -258,21 +334,31 @@ class _BaseNode:
 
 @dataclass
 class ViewReading:
-    """One view read: the value plus its consistency coordinates."""
+    """One view read: the value plus its consistency coordinates.
+
+    ``degraded`` marks a read served from a quarantined view's
+    last-good state; it appears in the JSON form only when set, so
+    healthy readings (and their typed binary wire layout) are
+    unchanged.
+    """
 
     value: Any
     as_of_watermark: Dict[str, int]
     staleness_s: float
+    degraded: bool = False
 
     def to_json(self) -> Dict[str, Any]:
         watermark: Any = self.as_of_watermark
         if len(watermark) == 1:
             watermark = next(iter(watermark.values()))
-        return {
+        reading = {
             "value": self.value,
             "watermark": watermark,
             "staleness_s": self.staleness_s,
         }
+        if self.degraded:
+            reading["degraded"] = True
+        return reading
 
 
 class DynamicView:
@@ -323,6 +409,11 @@ class DynamicView:
         self.rows_retracted = 0
         self.last_refresh_at: Optional[float] = None
         self.last_refresh_s = 0.0
+        # Quarantine state: set by the catalog when a scheduled refresh
+        # raises; reads then serve last-good values flagged degraded.
+        self.quarantined = False
+        self.quarantined_at: Optional[float] = None
+        self.last_error: Optional[str] = None
 
     # ------------------------------------------------------------------
     def _tree(self, key: Hashable) -> SBTree:
@@ -513,6 +604,9 @@ class DynamicCatalog:
         clock=time.monotonic,
         branching: int = 32,
         leaf_capacity: Optional[int] = None,
+        retention: Union[str, int] = "compact",
+        faults=None,
+        strict: bool = False,
     ) -> None:
         self.directory = directory
         self.warehouse = warehouse
@@ -523,6 +617,21 @@ class DynamicCatalog:
         self._views: Dict[str, DynamicView] = {}
         self._order: List[str] = []  # creation order == a topological order
         self.ticks = 0
+        #: Change-log retention policy applied on every save: ``"full"``
+        #: keeps everything, ``"compact"`` (default) drops prefixes every
+        #: consumer has applied, an integer keeps that many consumed
+        #: records of slack behind the lowest consumer watermark.
+        if not (retention == "full" or retention == "compact"
+                or (isinstance(retention, int)
+                    and not isinstance(retention, bool) and retention >= 0)):
+            raise ValueError(f"invalid retention policy {retention!r}")
+        self.retention = retention
+        #: Optional :class:`repro.faults.FaultInjector` consulted at the
+        #: checkpoint crash points and around the temp-file write/fsync.
+        self.faults = faults
+        #: With ``strict`` a corrupt checkpoint raises instead of falling
+        #: back to ``dynamic.json.prev``.
+        self.strict = strict
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
             if os.path.exists(os.path.join(directory, CHECKPOINT_NAME)):
@@ -678,9 +787,39 @@ class DynamicCatalog:
                 name, sources, spec, key=key, lag=parsed_lag,
                 clock=self.clock, **self._tree_args,
             )
+            self._bootstrap_compacted_sources(view)
             self._views[name] = view
             self._order.append(name)
             return view
+
+    def _bootstrap_compacted_sources(self, view: DynamicView) -> None:
+        """Seed a new view from sources whose log prefix was compacted.
+
+        A new view starts at watermark 0 and normally replays each
+        source's full log on first refresh; once retention has dropped
+        a consumed prefix that replay is impossible.  The source
+        relation's live rows are the net effect of the whole log
+        (inserts minus deletions -- and MIN/MAX-unsafe deletion
+        histories only arise where refresh would have vetoed them), so
+        the view bootstraps from those rows instead and starts at the
+        source's current head.
+        """
+        affected: Dict[Hashable, List[Interval]] = {}
+        for src in view.sources:
+            node = self._node(src)
+            if node.log.base <= 0:
+                continue
+            for row in node.relation:
+                key = (
+                    None if view.key_field is None
+                    else row.payload.get(view.key_field)
+                )
+                view._tree(key).insert(row.value, row.valid)
+                affected.setdefault(key, []).append(row.valid)
+            view.watermarks[src] = node.log.head
+        for key, intervals in affected.items():
+            for lo, hi in _merge_spans(intervals):
+                view._regenerate(key, lo, hi)
 
     def drop_view(self, name: str) -> None:
         """Remove a view; refused while other views still consume it."""
@@ -799,15 +938,80 @@ class DynamicCatalog:
                     needed.add(src)
         return [n for n in self._order if n in needed and n in self._views]
 
-    def _refresh_names(self, names: Sequence[str], now: float) -> Dict[str, int]:
+    def _refresh_names(
+        self,
+        names: Sequence[str],
+        now: float,
+        *,
+        isolate: bool = False,
+        on_error=None,
+    ) -> Dict[str, int]:
+        """Refresh *names* in order; quarantined views are skipped.
+
+        With ``isolate`` (the scheduler path) a refresh that raises
+        quarantines only that view -- siblings and dependents keep
+        going -- and ``on_error(name, exc)`` is invoked for logging.
+        Without it (explicit refreshes, pinned reports) the exception
+        propagates to the caller unchanged.
+        """
         consumed = {}
         for name in names:
-            count = self._views[name].refresh(self._node, now)
+            view = self._views[name]
+            if view.quarantined:
+                continue
+            if isolate:
+                try:
+                    count = view.refresh(self._node, now)
+                except Exception as exc:
+                    self._quarantine(view, exc, now)
+                    if on_error is not None:
+                        on_error(name, exc)
+                    continue
+            else:
+                count = view.refresh(self._node, now)
             if count:
                 consumed[name] = count
         return consumed
 
-    def tick(self, now: Optional[float] = None) -> Dict[str, int]:
+    def _quarantine(self, view: DynamicView, exc: BaseException, now: float) -> None:
+        view.quarantined = True
+        view.quarantined_at = now
+        view.last_error = f"{type(exc).__name__}: {exc}"
+        obs.count("views.quarantined")
+
+    def quarantined_names(self) -> List[str]:
+        with self._lock:
+            return [n for n, v in self._views.items() if v.quarantined]
+
+    def repair(self, name: str) -> Dict[str, Any]:
+        """Clear a view's quarantine and retry its refresh.
+
+        On success returns ``{"repaired", "was_quarantined",
+        "refreshed"}``; if the retry raises again the view goes straight
+        back into quarantine and the exception propagates (so the
+        caller sees *why* the view is still broken).
+        """
+        with self._lock:
+            view = self.view(name)
+            was = view.quarantined
+            view.quarantined = False
+            view.quarantined_at = None
+            view.last_error = None
+            now = self._now()
+            try:
+                refreshed = self._refresh_names(
+                    self._ancestor_closure([name]), now
+                )
+            except Exception as exc:
+                self._quarantine(view, exc, now)
+                raise
+            return {
+                "repaired": name,
+                "was_quarantined": was,
+                "refreshed": refreshed,
+            }
+
+    def tick(self, now: Optional[float] = None, *, on_error=None) -> Dict[str, int]:
         """One scheduler pass: refresh every due view, each at most
         once, in topological order.  A due view pulls its *full*
         ancestor closure into the tick -- a ``lag="0s"`` rollup over a
@@ -816,6 +1020,10 @@ class DynamicCatalog:
         whole upstream chain, which is also why due-ness is judged on
         *transitive* staleness).  Returns ``{view: events_consumed}``
         for the views that moved.
+
+        A view whose refresh raises is quarantined rather than killing
+        the tick: the remaining views still refresh, and ``on_error``
+        (when given) is called with ``(view_name, exception)``.
         """
         with self._lock:
             now = self._now() if now is None else now
@@ -823,7 +1031,10 @@ class DynamicCatalog:
             due = self._due(now)
             if not due:
                 return {}
-            return self._refresh_names(self._ancestor_closure(due), now)
+            return self._refresh_names(
+                self._ancestor_closure(due), now,
+                isolate=True, on_error=on_error,
+            )
 
     def refresh(self, name: Optional[str] = None) -> Dict[str, int]:
         """Force a refresh: one view (with its full ancestor closure,
@@ -866,7 +1077,7 @@ class DynamicCatalog:
         with self._lock:
             view = self.view(name)
             now = self._now() if now is None else now
-            if view.lag is DOWNSTREAM:
+            if view.lag is DOWNSTREAM and not view.quarantined:
                 self._refresh_names(self._closure_with_lazy_ancestors([name]), now)
             if view.key_field is not None and key is None:
                 value: Any = view.values_at(t)
@@ -876,6 +1087,7 @@ class DynamicCatalog:
                 value=value,
                 as_of_watermark=dict(view.watermarks),
                 staleness_s=self.staleness(view, now),
+                degraded=view.quarantined,
             )
 
     def report(
@@ -915,7 +1127,12 @@ class DynamicCatalog:
         with self._lock:
             now = self._now()
             tables = {
-                name: {"head": node.log.head, "tuples": len(node.relation)}
+                name: {
+                    "head": node.log.head,
+                    "log_base": node.log.base,
+                    "log_retained": node.log.retained,
+                    "tuples": len(node.relation),
+                }
                 for name, node in self._tables.items()
             }
             views = {}
@@ -935,12 +1152,17 @@ class DynamicCatalog:
                     "rows_retracted": view.rows_retracted,
                     "groups": len(list(view.keys())),
                     "last_refresh_s": view.last_refresh_s,
+                    "quarantined": view.quarantined,
+                    "last_error": view.last_error,
                 }
             return {
                 "tables": tables,
                 "views": views,
                 "order": list(self._order),
                 "ticks": self.ticks,
+                "quarantined": sum(
+                    1 for v in self._views.values() if v.quarantined
+                ),
             }
 
     # ------------------------------------------------------------------
@@ -959,16 +1181,66 @@ class DynamicCatalog:
             for row in relation
         ]
 
-    def save(self) -> str:
-        """Checkpoint definitions, watermarks, logs, and rows to disk.
+    @staticmethod
+    def _trees_json(view: DynamicView) -> List[List[Any]]:
+        """Per-group tree checkpoints: the coalesced internal step
+        function of each group's SB-tree, ``v0`` segments elided.
+        Re-applying each segment as a raw effect reconstructs the tree
+        exactly (segments are disjoint and ``acc(v0, x) == x``)."""
+        out: List[List[Any]] = []
+        for key, tree in view._trees.items():
+            full = tree.range_query(Interval(NEG_INF, POS_INF))
+            segments = [
+                [value, interval.start, interval.end]
+                for value, interval in full.coalesce(view.spec.eq)
+                if not view.spec.is_initial(value)
+            ]
+            out.append([key, segments])
+        return out
 
-        The write is atomic (temp file + rename), so a crash mid-save
-        leaves the previous checkpoint intact.
+    def compact(self) -> int:
+        """Apply the retention policy now; returns records dropped."""
+        with self._lock:
+            return self._compact_logs()
+
+    def _compact_logs(self) -> int:
+        if self.retention == "full":
+            return 0
+        slack = self.retention if isinstance(self.retention, int) else 0
+        dropped = 0
+        for name in self._order:
+            node = self._tables.get(name) or self._views.get(name)
+            if node is None:  # pragma: no cover - order only names nodes
+                continue
+            consumers = [
+                v.watermarks.get(name, 0)
+                for v in self._views.values()
+                if name in v.sources
+            ]
+            # With no consumers the whole log is compactable: a view
+            # created later bootstraps from the relation's live rows.
+            target = min(consumers) if consumers else node.log.head
+            dropped += node.log.compact(target - slack)
+        return dropped
+
+    def save(self) -> str:
+        """Checkpoint definitions, watermarks, logs, trees, and rows.
+
+        Consumed change-log prefixes are first compacted per the
+        retention policy; the checkpoint carries per-group tree
+        checkpoints instead, so a restore replays only the unconsumed
+        tail.  The write is atomic (temp file + fsync + rename) and
+        the previous checkpoint is retained as ``dynamic.json.prev``
+        before the rename, so a crash at *any* point of the sequence
+        leaves a restorable checkpoint behind.  With ``faults`` the
+        labeled crash points in :data:`CATALOG_CRASH_POINTS` and the
+        ``"view_ckpt"`` write/fsync label are consulted.
         """
         with self._lock:
             path = self._checkpoint_path()
+            self._compact_logs()
             payload: Dict[str, Any] = {
-                "version": 1,
+                "version": 2,
                 "order": list(self._order),
                 "tables": {
                     name: {
@@ -988,29 +1260,132 @@ class DynamicCatalog:
                         "events_consumed": view.events_consumed,
                         "log": view.log.to_json(),
                         "rows": self._rows_json(view.relation),
+                        "trees": self._trees_json(view),
+                        "quarantined": view.quarantined,
+                        "last_error": view.last_error,
                     }
                     for name, view in self._views.items()
                 },
             }
+            data = json.dumps(payload).encode("utf-8")
+            faults = self.faults
+            if faults is not None:
+                faults.crash_point("view_ckpt:serialized")
             tmp = path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+            handle = open(tmp, "wb")
+            try:
+                torn_exc = None
+                out = data
+                if faults is not None:
+                    out, torn_exc = faults.intercept_write(
+                        CATALOG_WRITE_LABEL, data
+                    )
+                handle.write(out)
+                handle.flush()
+                if torn_exc is not None:
+                    # Torn-write protocol: the prefix reaches the file,
+                    # then the simulated crash fires.
+                    os.fsync(handle.fileno())
+                    raise torn_exc
+                if faults is not None:
+                    faults.intercept_fsync(CATALOG_WRITE_LABEL)
+                os.fsync(handle.fileno())
+            finally:
+                handle.close()
+            if faults is not None:
+                faults.crash_point("view_ckpt:before_rename")
+            if os.path.exists(path):
+                # Retain the last-good checkpoint via a hardlink swap:
+                # the main file is never missing, and .prev is complete
+                # before the main rename can clobber anything.
+                prev_tmp = path + ".prev.tmp"
+                try:
+                    os.remove(prev_tmp)
+                except FileNotFoundError:
+                    pass
+                os.link(path, prev_tmp)
+                os.replace(prev_tmp, path + ".prev")
             os.replace(tmp, path)
+            if faults is not None:
+                faults.crash_point("view_ckpt:after_rename")
+            self._fsync_directory()
             return path
 
-    def load(self) -> None:
-        """Restore a checkpoint: logs and rows verbatim, trees replayed.
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
 
-        A view's trees are rebuilt by replaying exactly the *consumed
-        prefix* (``seq <= watermark``) of each source log -- never the
-        whole stream -- so a reopened catalog resumes incremental
-        refresh from the persisted watermarks instead of rebuilding
-        from scratch.
+    def _load_payload(self, path: str) -> Dict[str, Any]:
+        """Read and parse the checkpoint, falling back to ``.prev``.
+
+        Under ``strict`` any unreadable/corrupt main checkpoint raises
+        :class:`CatalogCheckpointError` immediately; otherwise the
+        previous checkpoint (retained by :meth:`save`) is tried, and
+        only when *neither* restores does the error propagate.  A
+        leftover ``.tmp`` file is never adopted -- it may be torn.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("checkpoint must be a JSON object")
+            return payload
+        except (OSError, ValueError) as exc:
+            main_error = exc
+        if self.strict:
+            raise CatalogCheckpointError(
+                f"corrupt or unreadable catalog checkpoint {path}: "
+                f"{main_error}"
+            ) from main_error
+        prev = path + ".prev"
+        try:
+            with open(prev, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("checkpoint must be a JSON object")
+            obs.count("views.ckpt.fallbacks")
+            return payload
+        except (OSError, ValueError) as prev_error:
+            raise CatalogCheckpointError(
+                f"catalog checkpoint {path} is corrupt or unreadable "
+                f"({main_error}) and no previous checkpoint could be "
+                f"restored ({prev_error})"
+            ) from main_error
+
+    def load(self) -> None:
+        """Restore a checkpoint: logs, rows, and trees; tail replayable.
+
+        Version-2 checkpoints restore each view's per-group trees from
+        their saved step functions; version-1 checkpoints (which retain
+        full logs) rebuild them by replaying the consumed prefix
+        (``seq <= watermark``) of each source log.  Either way a
+        reopened catalog resumes incremental refresh from the persisted
+        watermarks instead of rebuilding from scratch.
         """
         with self._lock:
             path = self._checkpoint_path()
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+            payload = self._load_payload(path)
+            version = int(payload.get("version", 1))
+            if version not in (1, 2):
+                raise CatalogCheckpointError(
+                    f"unsupported catalog checkpoint version {version} "
+                    f"in {path}"
+                )
+            # A crash mid-save can leave temp files behind; they are
+            # superseded by whichever checkpoint just restored.
+            for leftover in (path + ".tmp", path + ".prev.tmp"):
+                try:
+                    os.remove(leftover)
+                except OSError:
+                    pass
             self._tables.clear()
             self._views.clear()
             self._order = []
@@ -1050,9 +1425,17 @@ class DynamicCatalog:
                         view.watermarks.setdefault(src, 0)
                     view.refreshes = int(raw.get("refreshes", 0))
                     view.events_consumed = int(raw.get("events_consumed", 0))
+                    view.quarantined = bool(raw.get("quarantined", False))
+                    last_error = raw.get("last_error")
+                    view.last_error = (
+                        str(last_error) if last_error is not None else None
+                    )
                     self._views[name] = view
                     self._order.append(name)
-                    self._replay_trees(view)
+                    if "trees" in raw:
+                        self._restore_trees(view, raw["trees"])
+                    else:
+                        self._replay_trees(view)
 
     def _restored_relation(self, name: str, rows: List[List[Any]]) -> TemporalRelation:
         if self.warehouse is not None:
@@ -1081,6 +1464,20 @@ class DynamicCatalog:
             )
             view._tree(key)  # ensure the per-group row index exists
             view._rows[key][row.tuple_id] = row
+
+    def _restore_trees(self, view: DynamicView, raw_trees: List[List[Any]]) -> None:
+        """Rebuild a restored view's trees from saved step functions.
+
+        Each segment's internal value re-applies as a raw effect over
+        its interval; AVG pairs come back from JSON as lists and are
+        restored to tuples so the value algebra sees its own types.
+        """
+        for key, segments in raw_trees:
+            tree = view._tree(key)
+            for value, start, end in segments:
+                if isinstance(value, list):
+                    value = tuple(value)
+                tree.insert_effect(value, Interval(start, end))
 
     def _replay_trees(self, view: DynamicView) -> None:
         """Rebuild a restored view's trees from its consumed prefixes."""

@@ -1,0 +1,492 @@
+"""Robustness tests for the crash-safe, replicated view catalog.
+
+Covers the PR-10 surface end to end: bounded change-log retention under
+sustained ingest (with restore-and-resume oracle equivalence), the
+checkpoint corruption triple (truncation, trailing garbage, leftover
+mid-rename temp) falling back to the retained ``.prev`` checkpoint --
+or raising :class:`CatalogCheckpointError` in ``strict`` mode --
+quarantine/tick isolation with degraded reads and ``repair``,
+tree-checkpoint restore without log replay, bootstrapping new views
+over compacted sources, the offline ``fsck_dynamic`` audit, a sampled
+catalog crash sweep, and view DDL shipping down the replication
+journal (replica-served ``query_view``, failover keeping the catalog,
+``repair_view`` round-trip).
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.core import reference
+from repro.crashcheck import catalog_sweep
+from repro.service.client import ServiceClient
+from repro.service.server import ServerHandle
+from repro.sharding import ShardedTree
+from repro.storage import fsck_dynamic
+from repro.warehouse.dynamic import (
+    CHECKPOINT_NAME,
+    CatalogCheckpointError,
+    DynamicCatalog,
+)
+
+
+def _facts(catalog, table="t"):
+    return [
+        (row.value, (row.valid.start, row.valid.end))
+        for row in catalog.table(table)
+    ]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# Bounded retention
+# ----------------------------------------------------------------------
+class TestRetentionBound:
+    def test_log_stays_bounded_under_sustained_ingest(self, tmp_path):
+        """With every consumer caught up, each save compacts the consumed
+        prefix: the retained log never grows with total ingest."""
+        directory = str(tmp_path / "cat")
+        batch = 25
+        with DynamicCatalog(directory) as cat:
+            cat.create_table("t")
+            cat.create_view("v", "t", "sum")
+            retained = []
+            for i in range(12 * batch):
+                cat.insert("t", 1 + i % 3, (i % 200, i % 200 + 10))
+                if i % batch == batch - 1:
+                    cat.refresh()
+                    cat.save()
+                    retained.append(cat.stats()["tables"]["t"]["log_retained"])
+            # O(unconsumed), not O(ingested): after refresh+save the
+            # consumed prefix is gone, regardless of how much history
+            # the table has absorbed.
+            assert max(retained) == 0
+            assert cat.stats()["tables"]["t"]["log_base"] == 12 * batch
+
+        # Restore and resume: the compacted catalog reopens from tree
+        # checkpoints and keeps matching the brute-force oracle.
+        with DynamicCatalog(directory) as cat:
+            assert cat.stats()["tables"]["t"]["log_base"] == 12 * batch
+            cat.insert("t", 7, (40, 90))
+            cat.refresh()
+            facts = _facts(cat)
+            for t in (5, 45, 120, 199):
+                want = reference.instantaneous_value(facts, "sum", t)
+                assert (cat.read("v", t).value or 0) == (want or 0), f"t={t}"
+
+    def test_unconsumed_tail_is_kept(self):
+        """A lagging consumer pins the log: only the prefix below the
+        minimum consumer watermark is compactable."""
+        cat = DynamicCatalog()
+        cat.create_table("t")
+        cat.create_view("fast", "t", "sum")
+        cat.create_view("slow", "t", "count")
+        for i in range(10):
+            cat.insert("t", 1, (i, i + 5))
+        cat.refresh("fast")  # slow stays at watermark 0
+        cat.compact()
+        # The table's log is pinned by the lagging consumer (the view's
+        # own output log may compact -- nobody consumes it).
+        assert cat.stats()["tables"]["t"]["log_retained"] == 10
+        cat.refresh()  # now everyone is at head
+        cat.compact()
+        assert cat.stats()["tables"]["t"]["log_retained"] == 0
+
+    def test_integer_retention_keeps_slack(self):
+        cat = DynamicCatalog(retention=4)
+        cat.create_table("t")
+        cat.create_view("v", "t", "sum")
+        for i in range(10):
+            cat.insert("t", 1, (i, i + 5))
+        cat.refresh()
+        cat.compact()
+        assert cat.stats()["tables"]["t"]["log_retained"] == 4
+
+    def test_full_retention_never_drops(self):
+        cat = DynamicCatalog(retention="full")
+        cat.create_table("t")
+        cat.create_view("v", "t", "sum")
+        for i in range(10):
+            cat.insert("t", 1, (i, i + 5))
+        cat.refresh()
+        assert cat.compact() == 0
+        assert cat.stats()["tables"]["t"]["log_retained"] == 10
+
+    def test_bad_retention_rejected(self):
+        for bad in ("sometimes", -1, True, 2.5):
+            with pytest.raises(ValueError):
+                DynamicCatalog(retention=bad)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint corruption
+# ----------------------------------------------------------------------
+def _seed_two_checkpoints(directory):
+    """Two saves with data in between; returns (facts_at_prev, facts_now).
+
+    No ``close()`` here: closing saves once more, which would rotate
+    ``.prev`` up to the latest state and defeat the fallback tests.
+    """
+    cat = DynamicCatalog(directory, retention="full")
+    cat.create_table("t")
+    cat.create_view("v", "t", "sum")
+    cat.insert("t", 2, (0, 50))
+    cat.refresh()
+    cat.save()
+    first = _facts(cat)
+    cat.insert("t", 3, (10, 60))
+    cat.refresh()
+    cat.save()
+    return first, _facts(cat)
+
+
+class TestCheckpointCorruption:
+    def test_truncated_checkpoint_falls_back_to_prev(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        first, _ = _seed_two_checkpoints(directory)
+        path = os.path.join(directory, CHECKPOINT_NAME)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        with DynamicCatalog(directory) as cat:
+            # Last-good state: the .prev checkpoint, i.e. the first save.
+            assert _facts(cat) == first
+            want = reference.instantaneous_value(first, "sum", 20)
+            assert cat.read("v", 20).value == want
+
+    def test_trailing_garbage_falls_back_to_prev(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        first, _ = _seed_two_checkpoints(directory)
+        path = os.path.join(directory, CHECKPOINT_NAME)
+        with open(path, "ab") as handle:
+            handle.write(b"\0\0garbage after the document")
+        with DynamicCatalog(directory) as cat:
+            assert _facts(cat) == first
+
+    def test_leftover_temp_never_adopted(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        _, current = _seed_two_checkpoints(directory)
+        path = os.path.join(directory, CHECKPOINT_NAME)
+        for suffix in (".tmp", ".prev.tmp"):
+            with open(path + suffix, "wb") as handle:
+                handle.write(b'{"version": 2, "torn')
+        with DynamicCatalog(directory) as cat:
+            # The intact main checkpoint wins; the torn temps are swept.
+            assert _facts(cat) == current
+        assert not os.path.exists(path + ".tmp")
+        assert not os.path.exists(path + ".prev.tmp")
+
+    def test_strict_mode_raises_instead_of_falling_back(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        _seed_two_checkpoints(directory)
+        path = os.path.join(directory, CHECKPOINT_NAME)
+        with open(path, "wb") as handle:
+            handle.write(b"not json at all")
+        with pytest.raises(CatalogCheckpointError):
+            DynamicCatalog(directory, strict=True)
+
+    def test_both_checkpoints_corrupt_raises(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        _seed_two_checkpoints(directory)
+        path = os.path.join(directory, CHECKPOINT_NAME)
+        for target in (path, path + ".prev"):
+            with open(target, "wb") as handle:
+                handle.write(b"{broken")
+        with pytest.raises(CatalogCheckpointError):
+            DynamicCatalog(directory)
+
+
+# ----------------------------------------------------------------------
+# Quarantine and repair
+# ----------------------------------------------------------------------
+def _poison(view, exc):
+    def bad_refresh(resolve, now):
+        raise exc
+
+    view.refresh = bad_refresh
+
+
+class TestQuarantine:
+    def test_tick_isolates_failing_view(self):
+        clock = FakeClock()
+        cat = DynamicCatalog(clock=clock)
+        cat.create_table("t")
+        cat.create_view("good", "t", "sum", lag=0)
+        cat.create_view("bad", "t", "count", lag=0)
+        _poison(cat.view("bad"), RuntimeError("disk on fire"))
+        cat.insert("t", 5, (0, 10))
+        clock.advance(1.0)
+        errors = []
+        cat.tick(on_error=lambda name, exc: errors.append((name, str(exc))))
+        # The sibling refreshed; the failure was contained and reported.
+        assert cat.read("good", 5).value == 5
+        assert errors == [("bad", "disk on fire")]
+        stats = cat.stats()
+        assert stats["quarantined"] == 1
+        assert stats["views"]["bad"]["quarantined"] is True
+        assert "disk on fire" in stats["views"]["bad"]["last_error"]
+        assert cat.quarantined_names() == ["bad"]
+        # Subsequent ticks skip the quarantined view instead of
+        # re-raising forever.
+        clock.advance(1.0)
+        cat.tick(on_error=lambda name, exc: errors.append((name, str(exc))))
+        assert len(errors) == 1
+
+    def test_degraded_reads_and_repair(self):
+        clock = FakeClock()
+        cat = DynamicCatalog(clock=clock)
+        cat.create_table("t")
+        cat.create_view("v", "t", "sum", lag=0)
+        cat.insert("t", 5, (0, 10))
+        clock.advance(1.0)
+        cat.tick()
+        view = cat.view("v")
+        original_refresh = view.refresh
+        _poison(view, RuntimeError("boom"))
+        cat.insert("t", 2, (0, 10))
+        clock.advance(1.0)
+        cat.tick()
+        # Quarantined: reads still serve the last good state, flagged.
+        reading = cat.read("v", 5)
+        assert reading.degraded is True
+        assert reading.value == 5
+        # Repair with the fault still present goes straight back into
+        # quarantine and propagates the cause.
+        with pytest.raises(RuntimeError, match="boom"):
+            cat.repair("v")
+        assert cat.view("v").quarantined is True
+        # Fix the fault; repair clears the flag and catches up.
+        view.refresh = original_refresh
+        out = cat.repair("v")
+        assert out["was_quarantined"] is True
+        assert out["refreshed"].get("v", 0) >= 1
+        reading = cat.read("v", 5)
+        assert reading.degraded is False
+        assert reading.value == 7
+
+    def test_explicit_refresh_still_propagates(self):
+        cat = DynamicCatalog()
+        cat.create_table("t")
+        cat.create_view("v", "t", "sum")
+        _poison(cat.view("v"), RuntimeError("explicit"))
+        cat.insert("t", 1, (0, 5))
+        with pytest.raises(RuntimeError, match="explicit"):
+            cat.refresh()
+        # Explicit refreshes do not quarantine -- the caller saw it.
+        assert cat.view("v").quarantined is False
+
+
+# ----------------------------------------------------------------------
+# Tree checkpoints and bootstrap over compacted logs
+# ----------------------------------------------------------------------
+class TestTreeCheckpointRestore:
+    def test_avg_and_grouped_views_restore_without_replay(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        rng = random.Random(11)
+        with DynamicCatalog(directory) as cat:
+            cat.create_table("t")
+            cat.create_view("by_k", "t", "sum", key="k")
+            cat.create_view("mean", "t", "avg")
+            for _ in range(60):
+                s = rng.randint(0, 400)
+                cat.insert("t", rng.randint(1, 9), (s, s + rng.randint(1, 80)),
+                           k=f"g{rng.randrange(3)}")
+            cat.refresh()
+            cat.save()
+            facts = _facts(cat)
+            want = {
+                t: (cat.read("mean", t).value, cat.read("by_k", t).value)
+                for t in (10, 150, 390)
+            }
+        with DynamicCatalog(directory) as cat:
+            # The consumed prefix was compacted away on save: a restore
+            # that relied on log replay could not produce these values.
+            assert cat.stats()["tables"]["t"]["log_retained"] == 0
+            assert cat.stats()["tables"]["t"]["log_base"] == 60
+            assert _facts(cat) == facts
+            for t, (mean, groups) in want.items():
+                got = cat.read("mean", t).value
+                assert (got or 0) == pytest.approx(mean or 0)
+                assert cat.read("by_k", t).value == groups
+
+    def test_new_view_bootstraps_over_compacted_source(self):
+        cat = DynamicCatalog()
+        cat.create_table("t")
+        cat.create_view("v", "t", "sum")
+        for i in range(20):
+            cat.insert("t", 1 + i % 4, (i * 5, i * 5 + 30))
+        cat.refresh()
+        cat.compact()
+        assert cat.stats()["tables"]["t"]["log_base"] == 20
+        assert cat.stats()["tables"]["t"]["log_retained"] == 0
+        # The log prefix is gone; a new view cannot replay it and must
+        # bootstrap from the relation's live rows instead.
+        cat.create_view("late", "t", "sum")
+        cat.create_view("late_by_k", "t", "count")
+        facts = _facts(cat)
+        for t in (3, 47, 95):
+            want = reference.instantaneous_value(facts, "sum", t)
+            assert (cat.read("late", t).value or 0) == (want or 0)
+        # And it keeps maintaining incrementally from there.
+        cat.insert("t", 10, (0, 200))
+        cat.refresh()
+        facts = _facts(cat)
+        for t in (3, 47, 95):
+            want = reference.instantaneous_value(facts, "sum", t)
+            assert (cat.read("late", t).value or 0) == (want or 0)
+
+
+# ----------------------------------------------------------------------
+# Offline audit (fsck_dynamic)
+# ----------------------------------------------------------------------
+class TestFsckDynamic:
+    def test_clean_checkpoint(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        _seed_two_checkpoints(directory)
+        report = fsck_dynamic(os.path.join(directory, CHECKPOINT_NAME))
+        assert report.ok
+        assert report.errors() == []
+
+    def test_corrupt_main_reports_prev_restorable(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        _seed_two_checkpoints(directory)
+        path = os.path.join(directory, CHECKPOINT_NAME)
+        with open(path, "wb") as handle:
+            handle.write(b"{nope")
+        report = fsck_dynamic(path)
+        assert not report.ok
+        codes = {f.code for f in report.findings}
+        assert "bad-json" in codes
+        assert "prev-restorable" in codes
+
+    def test_watermark_past_head_detected(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        _seed_two_checkpoints(directory)
+        path = os.path.join(directory, CHECKPOINT_NAME)
+        payload = json.load(open(path))
+        payload["views"]["v"]["watermarks"]["t"] = 999
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        report = fsck_dynamic(path)
+        assert not report.ok
+        assert any(f.code == "watermark-ahead" for f in report.findings)
+
+    def test_leftover_temp_is_a_warning_not_an_error(self, tmp_path):
+        directory = str(tmp_path / "cat")
+        _seed_two_checkpoints(directory)
+        path = os.path.join(directory, CHECKPOINT_NAME)
+        with open(path + ".tmp", "wb") as handle:
+            handle.write(b"torn")
+        report = fsck_dynamic(path)
+        assert report.ok  # warnings do not fail the audit
+        assert any(f.code == "leftover-temp" for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# Crash sweep (sampled -- the exhaustive sweep runs in CI via
+# `python -m repro.crashcheck --catalog`)
+# ----------------------------------------------------------------------
+class TestCatalogCrashSweepSmoke:
+    def test_sampled_sweep_recovers_everywhere(self, tmp_path):
+        results = catalog_sweep("cat-dag", str(tmp_path), hits="sample")
+        assert results, "sweep produced no cases"
+        failed = [r for r in results if not r.ok]
+        assert not failed, failed
+
+
+# ----------------------------------------------------------------------
+# View replication over the journal stream
+# ----------------------------------------------------------------------
+def _wait_applied(port, commit, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with ServiceClient("127.0.0.1", port, timeout=2.0) as svc:
+            repl = (svc.stats() or {}).get("replication") or {}
+            if repl.get("applied", -1) >= commit:
+                return repl
+        time.sleep(0.02)
+    raise AssertionError(f"replica :{port} never applied commit {commit}")
+
+
+def _tree():
+    return ShardedTree("sum", num_shards=2, span=(0, 1000), branching=4,
+                       leaf_capacity=4)
+
+
+class TestViewReplication:
+    @pytest.fixture()
+    def pair(self):
+        primary = ServerHandle.start(
+            _tree(), batch_max=8, batch_delay=0.002, repl_ack_timeout=5.0,
+        )
+        replica = ServerHandle.start(
+            _tree(), batch_max=8, batch_delay=0.002,
+            replica_of=f"127.0.0.1:{primary.port}", replica_name="r1",
+        )
+        try:
+            yield primary, replica
+        finally:
+            replica.stop()
+            primary.stop()
+
+    def test_catalog_ships_and_replica_serves_views(self, pair):
+        primary, replica = pair
+        with ServiceClient("127.0.0.1", primary.port, timeout=5.0) as svc:
+            svc.create_view("by_k", ["obs"], "sum", key="k", lag="downstream")
+            svc.table_insert(
+                "obs", [[2, 10, 40, {"k": "a"}], [3, 20, 50, {"k": "b"}]]
+            )
+            commit = svc.stats()["replication"]["commit"]
+            want = svc.query_view("by_k", 25, key="a")["value"]
+        _wait_applied(replica.port, commit)
+
+        with ServiceClient("127.0.0.1", replica.port, timeout=5.0) as svc:
+            reading = svc.query_view("by_k", 25, key="a")
+            assert reading["value"] == want == 2
+            # Replica-served view reads are stamped like fact reads.
+            assert svc.last_watermark == commit
+            assert svc.last_staleness_s is not None
+            assert svc.last_staleness_s >= 0
+            assert "by_k" in svc.view_stats()["views"]
+
+        # The client's replica routing reaches the view too.
+        with ServiceClient(
+            "127.0.0.1", primary.port, timeout=5.0,
+            replicas=[f"127.0.0.1:{replica.port}"],
+        ) as svc:
+            assert svc.query_view("by_k", 25, key="b")["value"] == 3
+            assert svc.last_watermark == commit
+
+    def test_drop_ships_and_promotion_keeps_catalog(self, pair):
+        primary, replica = pair
+        with ServiceClient("127.0.0.1", primary.port, timeout=5.0) as svc:
+            svc.create_view("keep", ["obs"], "sum", lag="downstream")
+            svc.create_view("tmp", ["obs"], "count", lag="downstream")
+            svc.table_insert("obs", [[4, 0, 100, {}]])
+            svc.drop_view("tmp")
+            commit = svc.stats()["replication"]["commit"]
+        _wait_applied(replica.port, commit)
+
+        with ServiceClient("127.0.0.1", replica.port, timeout=5.0) as svc:
+            views = svc.view_stats()["views"]
+            assert "keep" in views and "tmp" not in views
+            # Promote: the catalog survives the role change wholesale.
+            assert svc._request("promote")["promoted"] is True
+            assert svc.query_view("keep", 50)["value"] == 4
+            # repair_view round-trips against the promoted node.
+            out = svc.repair_view("keep")
+            assert out["repaired"] == "keep"
+            assert out["was_quarantined"] is False
